@@ -1,0 +1,289 @@
+// Package repro's root benchmark suite regenerates each of the paper's
+// tables and figures at bench scale (one bench per artifact) plus the
+// design-choice ablations called out in DESIGN.md. The full-budget runs are
+// produced by cmd/experiments; these benches exercise the identical code
+// paths on reduced instance subsets so `go test -bench=.` stays tractable.
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/autom"
+	"repro/internal/core"
+	"repro/internal/encode"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/heuristic"
+	"repro/internal/pbsolver"
+	"repro/internal/sbp"
+	"repro/internal/symgraph"
+)
+
+// BenchmarkTable1 regenerates the benchmark-statistics table (generation +
+// certification, no exact verification).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(0)
+		if err != nil || len(rows) != 20 {
+			b.Fatalf("rows=%d err=%v", len(rows), err)
+		}
+	}
+}
+
+// BenchmarkTable2 measures encoding + symmetry detection per SBP type on a
+// representative subset (full 20-instance run: cmd/experiments -table 2).
+func BenchmarkTable2(b *testing.B) {
+	cfg := experiments.Config{
+		K:           8,
+		Instances:   []string{"myciel3", "myciel4", "queen5_5"},
+		SymMaxNodes: 100000,
+	}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(cfg)
+		if err != nil || len(rows) != 6 {
+			b.Fatalf("rows=%d err=%v", len(rows), err)
+		}
+	}
+}
+
+// BenchmarkTable3 runs the K=20-style solver matrix on a small subset.
+func BenchmarkTable3(b *testing.B) {
+	cfg := experiments.Config{
+		K:           8,
+		Timeout:     2 * time.Second,
+		Instances:   []string{"myciel3", "queen5_5"},
+		Engines:     []pbsolver.Engine{pbsolver.EnginePBS, pbsolver.EngineBnB},
+		SBPs:        []encode.SBPKind{encode.SBPNone, encode.SBPNU, encode.SBPSC},
+		SymMaxNodes: 50000,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Matrix(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4 is the K=30 variant (scaled to K=12 here; the real bound
+// is exercised by cmd/experiments -table 4).
+func BenchmarkTable4(b *testing.B) {
+	cfg := experiments.Config{
+		K:           12,
+		Timeout:     2 * time.Second,
+		Instances:   []string{"myciel3", "queen5_5"},
+		Engines:     []pbsolver.Engine{pbsolver.EnginePBS},
+		SBPs:        []encode.SBPKind{encode.SBPNone, encode.SBPNUSC},
+		SymMaxNodes: 50000,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Matrix(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable5 runs the queens-appendix detail on queen5_5.
+func BenchmarkTable5(b *testing.B) {
+	cfg := experiments.Config{
+		K:           7,
+		Timeout:     5 * time.Second,
+		Instances:   []string{"queen5_5"},
+		Engines:     []pbsolver.Engine{pbsolver.EnginePBS, pbsolver.EnginePueblo},
+		SBPs:        []encode.SBPKind{encode.SBPNone, encode.SBPNU, encode.SBPSC},
+		SymMaxNodes: 50000,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table5(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure1 enumerates the worked example's optimal assignments
+// under every construction and checks the paper's counts.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Survivors != r.PaperExpect {
+				b.Fatalf("%v: %d != %d", r.Kind, r.Survivors, r.PaperExpect)
+			}
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md "Design choices called out for ablation") ---
+
+// BenchmarkAblationSearchStrategy compares the linear objective-tightening
+// loop against binary search with fresh solvers.
+func BenchmarkAblationSearchStrategy(b *testing.B) {
+	g, _ := graph.Benchmark("queen5_5")
+	for _, strat := range []struct {
+		name string
+		s    pbsolver.Strategy
+	}{{"linear", pbsolver.LinearSearch}, {"binary", pbsolver.BinarySearch}} {
+		b.Run(strat.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := encode.Build(g, 7, encode.SBPNU)
+				res := pbsolver.Optimize(e.F, pbsolver.Options{
+					Engine: pbsolver.EnginePBS, Strategy: strat.s,
+				})
+				if res.Status != pbsolver.StatusOptimal || res.Objective != 5 {
+					b.Fatalf("%v obj=%d", res.Status, res.Objective)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLIEncoding compares the linear prefix-chain LI encoding
+// against the paper-literal quadratic variant.
+func BenchmarkAblationLIEncoding(b *testing.B) {
+	g, _ := graph.Benchmark("myciel4")
+	for _, variant := range []struct {
+		name string
+		kind encode.SBPKind
+	}{{"prefix-linear", encode.SBPLI}, {"paper-quadratic", encode.SBPLIQuad}} {
+		b.Run(variant.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := encode.Build(g, 7, variant.kind)
+				res := pbsolver.Optimize(e.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
+				if res.Status != pbsolver.StatusOptimal || res.Objective != 5 {
+					b.Fatalf("%v obj=%d", res.Status, res.Objective)
+				}
+				b.ReportMetric(float64(len(e.F.Clauses)), "clauses")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGeneratorPowers compares breaking only group generators
+// against additionally breaking their low powers.
+func BenchmarkAblationGeneratorPowers(b *testing.B) {
+	g, _ := graph.Benchmark("queen5_5")
+	for _, variant := range []struct {
+		name     string
+		maxPower int
+	}{{"generators-only", 1}, {"with-powers-3", 3}} {
+		b.Run(variant.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := encode.Build(g, 7, encode.SBPNone)
+				perms, _ := symgraph.Detect(e.F, autom.Options{})
+				if variant.maxPower > 1 {
+					perms = sbp.ExpandPowers(perms, variant.maxPower)
+				}
+				sbp.AddSBPs(e.F, perms, sbp.Options{})
+				res := pbsolver.Optimize(e.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
+				if res.Status != pbsolver.StatusOptimal || res.Objective != 5 {
+					b.Fatalf("%v obj=%d", res.Status, res.Objective)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationExactlyOneEncoding compares the PB exactly-one rows of
+// the paper's encoding against pure-CNF pairwise at-most-one (the
+// CNF-vs-PB tradeoff of §2.3).
+func BenchmarkAblationExactlyOneEncoding(b *testing.B) {
+	g, _ := graph.Benchmark("queen5_5")
+	for _, variant := range []struct {
+		name     string
+		pairwise bool
+	}{{"pb-row", false}, {"cnf-pairwise", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := encode.BuildWithOptions(g, 7, encode.SBPNU,
+					encode.Options{PairwiseExactlyOne: variant.pairwise})
+				res := pbsolver.Optimize(e.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
+				if res.Status != pbsolver.StatusOptimal || res.Objective != 5 {
+					b.Fatalf("%v obj=%d", res.Status, res.Objective)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSeqSATvsILP compares repeated decision-SAT calls
+// (one-shot and incremental with assumptions) against direct 0-1 ILP
+// optimization (§2.3's motivation for the PB route).
+func BenchmarkAblationSeqSATvsILP(b *testing.B) {
+	g, _ := graph.Benchmark("queen5_5")
+	b.Run("sequential-sat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ub := heuristic.DsaturCount(g)
+			chi, proven := core.SequentialChromatic(g, ub, time.Time{})
+			if !proven || chi != 5 {
+				b.Fatalf("chi=%d proven=%v", chi, proven)
+			}
+		}
+	})
+	b.Run("incremental-sat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ub := heuristic.DsaturCount(g)
+			chi, proven := core.SequentialChromaticIncremental(g, ub, time.Time{})
+			if !proven || chi != 5 {
+				b.Fatalf("chi=%d proven=%v", chi, proven)
+			}
+		}
+	})
+	b.Run("pb-optimize", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out := core.Solve(g, core.Config{K: 7, SBP: encode.SBPNU, Engine: pbsolver.EnginePBS})
+			if out.Chi != 5 {
+				b.Fatalf("chi=%d", out.Chi)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationSCvsClique compares the paper's SC predicate against the
+// clique-pinning extension its §3.4 sketches (SBPClique).
+func BenchmarkAblationSCvsClique(b *testing.B) {
+	g, _ := graph.Benchmark("queen6_6")
+	for _, variant := range []struct {
+		name string
+		kind encode.SBPKind
+	}{{"sc-two-pins", encode.SBPSC}, {"clique-pins", encode.SBPClique}} {
+		b.Run(variant.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := encode.Build(g, 9, variant.kind)
+				res := pbsolver.Optimize(e.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
+				if res.Status != pbsolver.StatusOptimal || res.Objective != 7 {
+					b.Fatalf("%v obj=%d", res.Status, res.Objective)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolverEngines times one representative optimal solve per engine.
+func BenchmarkSolverEngines(b *testing.B) {
+	g, _ := graph.Benchmark("myciel4")
+	for _, eng := range pbsolver.Engines {
+		b.Run(eng.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out := core.Solve(g, core.Config{K: 8, SBP: encode.SBPNUSC, Engine: eng,
+					Timeout: 30 * time.Second})
+				if out.Chi != 5 {
+					b.Fatalf("chi=%d status=%v", out.Chi, out.Result.Status)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSymmetryDetection times the Saucy-analogue on a full-size
+// encoding (anna, K=20).
+func BenchmarkSymmetryDetection(b *testing.B) {
+	g, _ := graph.Benchmark("anna")
+	for i := 0; i < b.N; i++ {
+		sym, _ := core.DetectSymmetries(g, 20, encode.SBPNone, 0, 0)
+		if sym.Generators == 0 {
+			b.Fatal("no generators found")
+		}
+	}
+}

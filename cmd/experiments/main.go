@@ -1,0 +1,187 @@
+// Command experiments regenerates the paper's tables and figure.
+//
+// Usage:
+//
+//	experiments -table 1                       # benchmark statistics
+//	experiments -table 2 -k 20                 # encoding + symmetry stats
+//	experiments -table 3 -timeout 2s           # solver matrix, K=20
+//	experiments -table 4 -timeout 2s           # solver matrix, K=30
+//	experiments -table 5 -timeout 2s           # queens appendix
+//	experiments -figure 1                      # worked-example enumeration
+//	experiments -all -timeout 1s               # everything
+//
+// Budgets are scaled down from the paper's 1000 s timeouts; use -timeout to
+// raise them. -instances, -engines and -sbps restrict the matrix.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/encode"
+	"repro/internal/experiments"
+	"repro/internal/pbsolver"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table to regenerate (1-5)")
+	figure := flag.Int("figure", 0, "figure to regenerate (1)")
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	k := flag.Int("k", 0, "color bound K (default: 20, or 30 for -table 4)")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-solve budget (paper: 1000s)")
+	symNodes := flag.Int64("symnodes", 200000, "symmetry search node budget per instance")
+	symTimeout := flag.Duration("symtimeout", 10*time.Second, "symmetry search time budget per instance")
+	instances := flag.String("instances", "", "comma-separated instance subset (default: all 20)")
+	engines := flag.String("engines", "", "comma-separated engine subset: pbs2,bnb,galena,pueblo")
+	sbps := flag.String("sbps", "", "comma-separated SBP subset: none,NU,CA,LI,SC,NU+SC")
+	verbose := flag.Bool("v", false, "stream per-instance progress")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		K:           *k,
+		Timeout:     *timeout,
+		SymMaxNodes: *symNodes,
+		SymTimeout:  *symTimeout,
+		Verbose:     *verbose,
+		Out:         os.Stdout,
+	}
+	if *instances != "" {
+		cfg.Instances = strings.Split(*instances, ",")
+	}
+	if *engines != "" {
+		for _, name := range strings.Split(*engines, ",") {
+			e, err := parseEngine(name)
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Engines = append(cfg.Engines, e)
+		}
+	}
+	if *sbps != "" {
+		for _, name := range strings.Split(*sbps, ",") {
+			s, err := parseSBP(name)
+			if err != nil {
+				fatal(err)
+			}
+			cfg.SBPs = append(cfg.SBPs, s)
+		}
+	}
+
+	ran := false
+	run := func(n int) bool { return *all || *table == n }
+	if run(1) {
+		ran = true
+		rows, err := experiments.Table1(5 * time.Second)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintTable1(os.Stdout, rows)
+		fmt.Println()
+	}
+	if run(2) {
+		ran = true
+		rows, err := experiments.Table2(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintTable2(os.Stdout, rows, cfg.KOrDefault(), cfg.NumInstances())
+		fmt.Println()
+	}
+	if run(3) {
+		ran = true
+		c := cfg
+		if c.K == 0 {
+			c.K = 20
+		}
+		rows, err := experiments.Matrix(c)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintMatrix(os.Stdout, rows, c.EngineList(), c.K, c.NumInstances(), c.Timeout)
+		fmt.Println()
+		experiments.PrintTrends(os.Stdout, experiments.AnalyzeTrends(rows, c.EngineList()))
+		fmt.Println()
+		fmt.Print(experiments.SpeedupSummary(rows, c.EngineList()))
+		fmt.Println()
+	}
+	if run(4) {
+		ran = true
+		c := cfg
+		if c.K == 0 {
+			c.K = 30
+		}
+		rows, err := experiments.Matrix(c)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintMatrix(os.Stdout, rows, c.EngineList(), c.K, c.NumInstances(), c.Timeout)
+		fmt.Println()
+		experiments.PrintTrends(os.Stdout, experiments.AnalyzeTrends(rows, c.EngineList()))
+		fmt.Println()
+	}
+	if run(5) {
+		ran = true
+		c := cfg
+		if c.K == 0 {
+			c.K = 20
+		}
+		entries, err := experiments.Table5(c)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintTable5(os.Stdout, entries, c.EngineList(), c.K, c.Timeout)
+		fmt.Println()
+	}
+	if *all || *figure == 1 {
+		ran = true
+		rows, err := experiments.Figure1()
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintFigure1(os.Stdout, rows)
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func parseEngine(name string) (pbsolver.Engine, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "pbs", "pbs2", "pbsii":
+		return pbsolver.EnginePBS, nil
+	case "bnb", "cplex":
+		return pbsolver.EngineBnB, nil
+	case "galena":
+		return pbsolver.EngineGalena, nil
+	case "pueblo":
+		return pbsolver.EnginePueblo, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q", name)
+}
+
+func parseSBP(name string) (encode.SBPKind, error) {
+	switch strings.ToUpper(strings.TrimSpace(name)) {
+	case "NONE":
+		return encode.SBPNone, nil
+	case "NU":
+		return encode.SBPNU, nil
+	case "CA":
+		return encode.SBPCA, nil
+	case "LI":
+		return encode.SBPLI, nil
+	case "SC":
+		return encode.SBPSC, nil
+	case "NU+SC", "NUSC":
+		return encode.SBPNUSC, nil
+	}
+	return 0, fmt.Errorf("unknown SBP %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

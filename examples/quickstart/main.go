@@ -1,0 +1,61 @@
+// Quickstart: optimally color a graph through the paper's flow.
+//
+// Build and run:
+//
+//	go run ./examples/quickstart
+//
+// It colors the Petersen graph (χ=3) with every instance-independent SBP
+// construction, with and without instance-dependent symmetry breaking, and
+// prints the encoding sizes, symmetry statistics and solver work so the
+// effect of each construction is visible on a small instance.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/encode"
+	"repro/internal/graph"
+	"repro/internal/pbsolver"
+)
+
+func main() {
+	g := graph.Petersen()
+	fmt.Printf("instance: %s (χ=3)\n\n", g)
+
+	fmt.Printf("%-8s %-9s %8s %8s %10s %9s %6s\n",
+		"SBP", "inst-dep", "clauses", "|Aut|", "conflicts", "time", "chi")
+	for _, kind := range encode.Kinds {
+		for _, instDep := range []bool{false, true} {
+			out := core.Solve(g, core.Config{
+				K:                 5,
+				SBP:               kind,
+				InstanceDependent: instDep,
+				Engine:            pbsolver.EnginePBS,
+				Timeout:           30 * time.Second,
+			})
+			aut := "-"
+			if out.Sym != nil {
+				aut = out.Sym.Order.String()
+			}
+			fmt.Printf("%-8v %-9v %8d %8s %10d %9s %6d\n",
+				kind, instDep, out.EncodeStats.CNF, aut,
+				out.Result.Stats.Conflicts,
+				out.Result.Runtime.Round(time.Millisecond),
+				out.Chi)
+			if out.Chi != 3 {
+				panic("Petersen graph must 3-color")
+			}
+		}
+	}
+
+	fmt.Println("\nwitness coloring (SBP=NU+SC, instance-dependent SBPs on):")
+	out := core.Solve(g, core.Config{
+		K: 5, SBP: encode.SBPNUSC, InstanceDependent: true,
+		Engine: pbsolver.EnginePBS, Timeout: 30 * time.Second,
+	})
+	for v, c := range out.Coloring {
+		fmt.Printf("  vertex %d -> color %d\n", v, c)
+	}
+}

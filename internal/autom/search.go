@@ -1,0 +1,204 @@
+package autom
+
+import (
+	"math/big"
+	"time"
+)
+
+// Options bound the automorphism search.
+type Options struct {
+	// MaxNodes caps individualization steps across the whole search;
+	// 0 selects the default of 500000. When exceeded the result is still
+	// sound (every reported generator is an automorphism) but possibly
+	// incomplete, and Exact is false.
+	MaxNodes int64
+	// Deadline stops the search when passed (zero = none).
+	Deadline time.Time
+}
+
+// Result reports the discovered automorphism group.
+type Result struct {
+	// Generators generate (a subgroup of) the automorphism group. Identity
+	// is never included.
+	Generators []Perm
+	// Order is the group order computed from orbit-stabilizer products
+	// along the search base. Exact when Exact is true, otherwise a lower
+	// bound.
+	Order *big.Int
+	// Exact reports whether the search ran to completion.
+	Exact bool
+	// Nodes is the number of individualization steps performed.
+	Nodes int64
+	// BaseLen is the length of the stabilizer base (search depth).
+	BaseLen int
+	// Time is the wall-clock search duration.
+	Time time.Duration
+}
+
+type level struct {
+	snapshot *partition // partition before individualization at this level
+	target   int        // target cell start (position-aligned on all branches)
+	base     int        // vertex individualized on the canonical path
+	tr       *trace     // refinement transcript after individualization
+}
+
+type searcher struct {
+	g        *Graph
+	opts     Options
+	levels   []level
+	leafLeft []int
+	uf       *unionFind
+	gens     []Perm
+	nodes    int64
+	maxNodes int64
+	aborted  bool
+	cnt      []int // shared scratch for refinement
+	deadline time.Time
+}
+
+// FindAutomorphisms searches for generators of the color-preserving
+// automorphism group of g (Saucy-style individualization-refinement with
+// orbit pruning) and computes the group order from the stabilizer chain.
+func FindAutomorphisms(g *Graph, opts Options) *Result {
+	start := time.Now()
+	g.freeze()
+	n := g.n
+	res := &Result{Order: big.NewInt(1), Exact: true}
+	if n == 0 {
+		res.Time = time.Since(start)
+		return res
+	}
+	s := &searcher{
+		g:        g,
+		opts:     opts,
+		uf:       newUnionFind(n),
+		maxNodes: opts.MaxNodes,
+		cnt:      make([]int, n),
+		deadline: opts.Deadline,
+	}
+	if s.maxNodes == 0 {
+		s.maxNodes = 500000
+	}
+
+	// Canonical (left) path: repeatedly individualize the first vertex of
+	// the first non-singleton cell and refine, recording transcripts.
+	p := newPartition(g.colors)
+	work := []int{}
+	for i := 0; i < n; i += p.clen[i] {
+		work = append(work, i)
+	}
+	refineRecord(g, p, work, s.cnt)
+	for {
+		t := p.firstNonSingleton()
+		if t < 0 {
+			break
+		}
+		snap := p.copy()
+		b := p.elems[t]
+		p.individualize(b)
+		tr := refineRecord(g, p, []int{t, t + 1}, s.cnt)
+		s.levels = append(s.levels, level{snapshot: snap, target: t, base: b, tr: tr})
+	}
+	s.leafLeft = append([]int(nil), p.elems...)
+	res.BaseLen = len(s.levels)
+
+	// Bottom-up candidate exploration: generators found at level L fix all
+	// base points above L, so one union-find accumulates valid stabilizer
+	// orbits for every level processed afterwards.
+	orbitSizes := make([]int, len(s.levels))
+	for L := len(s.levels) - 1; L >= 0; L-- {
+		lvl := s.levels[L]
+		t := lvl.target
+		cands := lvl.snapshot.elems[t : t+lvl.snapshot.clen[t]]
+		for _, u := range cands {
+			if u == lvl.base || s.uf.same(u, lvl.base) {
+				continue
+			}
+			if s.budgetExceeded() {
+				break
+			}
+			cp := lvl.snapshot.copy()
+			cp.individualize(u)
+			s.nodes++
+			if refineReplay(g, cp, lvl.tr, s.cnt) {
+				s.dfs(cp, L+1)
+			}
+		}
+		// Orbit of the base vertex within its cell (base included).
+		sz := 0
+		for _, u := range cands {
+			if s.uf.same(u, lvl.base) {
+				sz++
+			}
+		}
+		orbitSizes[L] = sz
+	}
+
+	res.Generators = s.gens
+	res.Order = GroupOrderFromChain(orbitSizes)
+	res.Exact = !s.aborted
+	res.Nodes = s.nodes
+	res.Time = time.Since(start)
+	return res
+}
+
+func (s *searcher) budgetExceeded() bool {
+	if s.aborted {
+		return true
+	}
+	if s.nodes >= s.maxNodes {
+		s.aborted = true
+		return true
+	}
+	if !s.deadline.IsZero() && s.nodes%64 == 0 && time.Now().After(s.deadline) {
+		s.aborted = true
+		return true
+	}
+	return false
+}
+
+// dfs searches for one automorphism extending the current deviation branch.
+// Returns true when a generator was recorded.
+func (s *searcher) dfs(cp *partition, lvl int) bool {
+	if lvl == len(s.levels) {
+		// Discrete leaf: candidate maps the left leaf onto this leaf.
+		perm := make(Perm, s.g.n)
+		for i, v := range s.leafLeft {
+			perm[v] = cp.elems[i]
+		}
+		if perm.IsIdentity() || !s.g.isAutomorphism(perm) {
+			return false
+		}
+		s.gens = append(s.gens, perm)
+		s.uf.addPerm(perm)
+		return true
+	}
+	t := s.levels[lvl].target
+	b := s.levels[lvl].base
+	cl := cp.clen[t]
+	cands := make([]int, cl)
+	copy(cands, cp.elems[t:t+cl])
+	// Prefer continuing along the left base vertex: it usually completes
+	// the mapping immediately.
+	for i, u := range cands {
+		if u == b && i != 0 {
+			cands[0], cands[i] = cands[i], cands[0]
+			break
+		}
+	}
+	for _, u := range cands {
+		if s.budgetExceeded() {
+			return false
+		}
+		cp2 := cp.copy()
+		cp2.individualize(u)
+		s.nodes++
+		if !refineReplay(s.g, cp2, s.levels[lvl].tr, s.cnt) {
+			continue
+		}
+		if s.dfs(cp2, lvl+1) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,157 @@
+package autom
+
+import "math/big"
+
+// This file implements a deterministic Schreier–Sims stabilizer chain. The
+// individualization-refinement search already derives the group order from
+// its own orbit products; the chain provides an independent certificate
+// (used by tests and cross-checks) that the returned generators really
+// generate a group of that order, mirroring how the paper's tools hand
+// generator sets to GAP for inspection.
+
+// Chain is a stabilizer chain for a permutation group on n points: level j
+// holds the generators of G^(j) (the pointwise stabilizer of bases
+// b_0..b_{j-1}) together with the orbit of b_j and a transversal.
+type Chain struct {
+	n      int
+	levels []*chainLevel
+}
+
+type chainLevel struct {
+	base        int
+	gens        []Perm
+	transversal map[int]Perm // orbit point -> permutation mapping base to it
+}
+
+// NewChain returns the chain of the trivial group on n points.
+func NewChain(n int) *Chain {
+	return &Chain{n: n}
+}
+
+// OrderOf computes |⟨gens⟩| for permutations on n points.
+func OrderOf(n int, gens []Perm) *big.Int {
+	c := NewChain(n)
+	for _, g := range gens {
+		c.Extend(g)
+	}
+	return c.Order()
+}
+
+// Order returns the group order: the product of orbit sizes down the chain.
+func (c *Chain) Order() *big.Int {
+	out := big.NewInt(1)
+	for _, l := range c.levels {
+		out.Mul(out, big.NewInt(int64(len(l.transversal))))
+	}
+	return out
+}
+
+// Contains reports whether g is in the group represented by the chain.
+func (c *Chain) Contains(g Perm) bool {
+	res, _ := c.stripFrom(0, g)
+	return res.IsIdentity()
+}
+
+// Base returns the base points of the chain.
+func (c *Chain) Base() []int {
+	out := make([]int, len(c.levels))
+	for i, l := range c.levels {
+		out[i] = l.base
+	}
+	return out
+}
+
+// Extend adds a generator to the group, maintaining the chain invariants.
+func (c *Chain) Extend(g Perm) {
+	if len(g) != c.n {
+		panic("autom: degree mismatch")
+	}
+	c.insertFrom(0, g)
+}
+
+// stripFrom sifts g through levels start.. and returns the residue and the
+// level at which sifting stopped (len(levels) when fully stripped). The
+// residue fixes the base points of all levels in [start, stop).
+func (c *Chain) stripFrom(start int, g Perm) (Perm, int) {
+	cur := g
+	for i := start; i < len(c.levels); i++ {
+		l := c.levels[i]
+		img := cur[l.base]
+		t, ok := l.transversal[img]
+		if !ok {
+			return cur, i
+		}
+		// cur := t⁻¹ ∘ cur fixes the level's base.
+		cur = cur.Compose(t.Inverse())
+	}
+	return cur, len(c.levels)
+}
+
+// insertFrom sifts h from level min and, when a non-identity residue
+// remains, installs it as a generator of every level in [min, stop] —
+// the residue fixes those levels' bases but can still extend their orbits —
+// then re-closes those orbits, sifting each Schreier generator into the
+// next level down.
+func (c *Chain) insertFrom(min int, h Perm) {
+	res, stop := c.stripFrom(min, h)
+	if res.IsIdentity() {
+		return
+	}
+	if stop == len(c.levels) {
+		// Residue fixes every existing base: open a new level on a point it
+		// moves.
+		b := -1
+		for i, v := range res {
+			if i != v {
+				b = i
+				break
+			}
+		}
+		c.levels = append(c.levels, &chainLevel{
+			base:        b,
+			transversal: map[int]Perm{b: Identity(c.n)},
+		})
+	}
+	for j := min; j <= stop && j < len(c.levels); j++ {
+		c.levels[j].gens = append(c.levels[j].gens, res)
+	}
+	for j := min; j <= stop && j < len(c.levels); j++ {
+		c.closeOrbit(j)
+	}
+}
+
+// closeOrbit recomputes the orbit/transversal of level j under its current
+// generators and sifts every Schreier generator into level j+1.
+func (c *Chain) closeOrbit(j int) {
+	l := c.levels[j]
+	frontier := make([]int, 0, len(l.transversal))
+	for p := range l.transversal {
+		frontier = append(frontier, p)
+	}
+	for len(frontier) > 0 {
+		p := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		tp := l.transversal[p]
+		for _, g := range l.gens {
+			q := g[p]
+			tq, ok := l.transversal[q]
+			if !ok {
+				// New orbit point; transversal element is g ∘ t_p.
+				l.transversal[q] = tp.Compose(g)
+				frontier = append(frontier, q)
+				continue
+			}
+			// Schreier generator t_q⁻¹ ∘ g ∘ t_p stabilizes the base; it is
+			// a product of level-j generators, so it only carries new
+			// information for deeper levels.
+			s := tp.Compose(g).Compose(tq.Inverse())
+			if s.IsIdentity() {
+				continue
+			}
+			if s[l.base] != l.base {
+				panic("autom: Schreier generator moves base")
+			}
+			c.insertFrom(j+1, s)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package clique provides maximum-clique bounds. The max-clique size lower-
+// bounds the chromatic number (paper §2.1), seeds the exact colorer, and
+// supports the Coudert-style comparison in §4.3 (exact coloring via
+// max-clique reasoning).
+package clique
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Greedy returns a maximal clique found greedily from each of the top
+// highest-degree seeds, keeping the best. Deterministic.
+func Greedy(g *graph.Graph) []int {
+	n := g.N()
+	if n == 0 {
+		return nil
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return g.Degree(order[a]) > g.Degree(order[b])
+	})
+	seeds := 8
+	if seeds > n {
+		seeds = n
+	}
+	var best []int
+	for s := 0; s < seeds; s++ {
+		cl := []int{order[s]}
+		for _, v := range order {
+			if v == order[s] {
+				continue
+			}
+			ok := true
+			for _, u := range cl {
+				if !g.HasEdge(u, v) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				cl = append(cl, v)
+			}
+		}
+		if len(cl) > len(best) {
+			best = cl
+		}
+	}
+	sort.Ints(best)
+	return best
+}
+
+// Exact finds a maximum clique by branch and bound with greedy-coloring
+// bounds. Returns the clique and whether the search completed within the
+// deadline (zero deadline = no limit). Intended for the benchmark-scale
+// graphs in this repository, not for large dense instances.
+func Exact(g *graph.Graph, deadline time.Time) ([]int, bool) {
+	s := &cliqueState{g: g, deadline: deadline}
+	s.best = append([]int(nil), Greedy(g)...)
+	cand := make([]int, g.N())
+	for i := range cand {
+		cand[i] = i
+	}
+	s.expand(nil, cand)
+	sort.Ints(s.best)
+	return s.best, !s.timedOut
+}
+
+type cliqueState struct {
+	g        *graph.Graph
+	best     []int
+	deadline time.Time
+	timedOut bool
+	nodes    int64
+}
+
+func (s *cliqueState) expired() bool {
+	if s.timedOut {
+		return true
+	}
+	if !s.deadline.IsZero() && s.nodes%512 == 0 && time.Now().After(s.deadline) {
+		s.timedOut = true
+	}
+	return s.timedOut
+}
+
+// colorBound greedily colors the candidate set; the color count bounds the
+// largest clique inside it (Tomita-style pruning).
+func (s *cliqueState) colorBound(cand []int) ([]int, []int) {
+	colors := make([]int, len(cand))
+	order := make([]int, 0, len(cand))
+	classes := [][]int{}
+	for _, v := range cand {
+		placed := false
+		for ci, cls := range classes {
+			ok := true
+			for _, u := range cls {
+				if s.g.HasEdge(u, v) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				classes[ci] = append(classes[ci], v)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			classes = append(classes, []int{v})
+		}
+	}
+	for ci, cls := range classes {
+		for _, v := range cls {
+			order = append(order, v)
+			colors[len(order)-1] = ci + 1
+		}
+	}
+	return order, colors
+}
+
+func (s *cliqueState) expand(cur, cand []int) {
+	s.nodes++
+	if s.expired() {
+		return
+	}
+	order, colors := s.colorBound(cand)
+	for i := len(order) - 1; i >= 0; i-- {
+		if len(cur)+colors[i] <= len(s.best) {
+			return // color bound: no improvement possible
+		}
+		v := order[i]
+		next := make([]int, 0, len(order))
+		for j := 0; j < i; j++ {
+			if s.g.HasEdge(order[j], v) {
+				next = append(next, order[j])
+			}
+		}
+		cur = append(cur, v)
+		if len(cur) > len(s.best) {
+			s.best = append(s.best[:0:0], cur...)
+		}
+		if len(next) > 0 {
+			s.expand(cur, next)
+		}
+		cur = cur[:len(cur)-1]
+	}
+}

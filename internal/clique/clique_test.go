@@ -1,0 +1,92 @@
+package clique
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+func TestGreedyFindsCliques(t *testing.T) {
+	g := graph.Complete(6)
+	cl := Greedy(g)
+	if len(cl) != 6 || !g.IsClique(cl) {
+		t.Fatalf("K6: greedy clique %v", cl)
+	}
+	c5 := graph.Cycle(5)
+	cl = Greedy(c5)
+	if len(cl) != 2 || !c5.IsClique(cl) {
+		t.Fatalf("C5: greedy clique %v, want an edge", cl)
+	}
+}
+
+func TestGreedyOnPlantedClique(t *testing.T) {
+	g := graph.PartitePlanted("p", 40, 150, 6, 4)
+	cl := Greedy(g)
+	if !g.IsClique(cl) {
+		t.Fatal("greedy result not a clique")
+	}
+	// Greedy is a heuristic; it must at least find an edge.
+	if len(cl) < 2 {
+		t.Fatalf("clique too small: %v", cl)
+	}
+}
+
+func TestExactKnownValues(t *testing.T) {
+	cases := []struct {
+		g    *graph.Graph
+		want int
+	}{
+		{graph.Complete(5), 5},
+		{graph.Cycle(6), 2},
+		{graph.Cycle(3), 3},
+		{graph.Petersen(), 2},
+		{graph.Queens(5, 5), 5},
+		{graph.Mycielski(4), 2}, // triangle-free
+		{graph.PartitePlanted("p", 30, 100, 5, 8), 5},
+	}
+	for _, c := range cases {
+		cl, complete := Exact(c.g, time.Time{})
+		if !complete {
+			t.Errorf("%s: did not complete", c.g.Name())
+		}
+		if len(cl) != c.want {
+			t.Errorf("%s: ω = %d, want %d", c.g.Name(), len(cl), c.want)
+		}
+		if !c.g.IsClique(cl) {
+			t.Errorf("%s: result is not a clique", c.g.Name())
+		}
+	}
+}
+
+func TestExactEmptyGraph(t *testing.T) {
+	cl, complete := Exact(graph.New("e", 0), time.Time{})
+	if len(cl) != 0 || !complete {
+		t.Fatalf("empty graph: %v %v", cl, complete)
+	}
+	cl, _ = Exact(graph.New("iso", 4), time.Time{})
+	if len(cl) != 1 {
+		t.Fatalf("isolated vertices: ω = %d, want 1", len(cl))
+	}
+}
+
+func TestExactDeadlineStillValid(t *testing.T) {
+	g := graph.PartitePlanted("p", 60, 600, 8, 1)
+	cl, _ := Exact(g, time.Now().Add(time.Millisecond))
+	if !g.IsClique(cl) {
+		t.Fatal("budgeted result must still be a clique")
+	}
+}
+
+func TestCliqueLowerBoundsChi(t *testing.T) {
+	for _, name := range []string{"queen5_5", "myciel4", "games120"} {
+		g, err := graph.Benchmark(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := Greedy(g)
+		if g.Chi > 0 && len(cl) > g.Chi {
+			t.Errorf("%s: clique %d exceeds χ %d", name, len(cl), g.Chi)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package cnf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDimacs reads a CNF formula in DIMACS format:
+//
+//	c comment
+//	p cnf <vars> <clauses>
+//	1 -2 3 0
+//
+// Clauses may span lines; each is terminated by 0. The header clause count
+// is not enforced (many published files get it wrong), but the variable
+// bound is.
+func ParseDimacs(r io.Reader) (*Formula, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	var f *Formula
+	var cur Clause
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			if f != nil {
+				return nil, fmt.Errorf("dimacs line %d: duplicate problem line", lineNo)
+			}
+			var kind string
+			var nv, nc int
+			if _, err := fmt.Sscanf(line, "p %s %d %d", &kind, &nv, &nc); err != nil || kind != "cnf" {
+				return nil, fmt.Errorf("dimacs line %d: bad problem line %q", lineNo, line)
+			}
+			f = NewFormula(nv)
+			continue
+		}
+		if f == nil {
+			return nil, fmt.Errorf("dimacs line %d: clause before problem line", lineNo)
+		}
+		for _, tok := range strings.Fields(line) {
+			x, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("dimacs line %d: bad literal %q", lineNo, tok)
+			}
+			if x == 0 {
+				f.AddClause(cur...)
+				cur = cur[:0]
+				continue
+			}
+			v := x
+			if v < 0 {
+				v = -v
+			}
+			if v > f.NumVars {
+				return nil, fmt.Errorf("dimacs line %d: variable %d beyond header bound %d", lineNo, v, f.NumVars)
+			}
+			cur = append(cur, Lit(x))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if f == nil {
+		return nil, fmt.Errorf("dimacs: no problem line")
+	}
+	if len(cur) > 0 {
+		return nil, fmt.Errorf("dimacs: unterminated clause at end of input")
+	}
+	return f, nil
+}

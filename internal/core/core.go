@@ -1,0 +1,256 @@
+// Package core wires the paper's full flow together: reduce a graph
+// coloring instance to 0-1 ILP with an instance-independent SBP
+// construction (§2.5, §3), optionally detect and break instance-dependent
+// symmetries via colored-graph automorphism and lex-leader predicates
+// (§2.4, the Shatter flow), and solve with one of the 0-1 ILP engines
+// (§2.3). This is the public API a downstream user of the library calls.
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"time"
+
+	"repro/internal/autom"
+	"repro/internal/cnf"
+	"repro/internal/encode"
+	"repro/internal/graph"
+	"repro/internal/pb"
+	"repro/internal/pbsolver"
+	"repro/internal/sat"
+	"repro/internal/sbp"
+	"repro/internal/symgraph"
+)
+
+// Config selects one cell of the paper's experimental matrix.
+type Config struct {
+	// K is the color bound (the paper uses 20 and 30). Zero selects
+	// max degree + 1, the greedy upper bound.
+	K int
+	// SBP is the instance-independent construction added during encoding.
+	SBP encode.SBPKind
+	// InstanceDependent adds lex-leader SBPs for detected symmetries of the
+	// generated 0-1 ILP instance before solving (the "w/ i.-d. SBPs"
+	// columns of Tables 3-5).
+	InstanceDependent bool
+	// Engine selects the solver configuration (PBS II / Galena / Pueblo /
+	// BnB-as-CPLEX).
+	Engine pbsolver.Engine
+	// Strategy selects the optimization loop (linear by default).
+	Strategy pbsolver.Strategy
+	// Timeout bounds the solve; zero means no limit. The paper used 1000 s;
+	// the experiment harness scales this down.
+	Timeout time.Duration
+	// MaxConflicts optionally bounds total conflicts instead of (or in
+	// addition to) wall-clock time.
+	MaxConflicts int64
+	// SymMaxNodes and SymTimeout bound symmetry detection.
+	SymMaxNodes int64
+	SymTimeout  time.Duration
+	// SBPMaxSupport truncates each lex-leader chain (0 = full).
+	SBPMaxSupport int
+}
+
+// SymmetryStats reports the symmetry detection and breaking step
+// (Table 2's columns).
+type SymmetryStats struct {
+	Order      *big.Int // |Aut| of the instance graph (lower bound if !Exact)
+	Generators int      // generators found
+	Exact      bool
+	DetectTime time.Duration
+	AddedVars  int // variables added by lex-leader SBPs
+	AddedCNF   int // clauses added by lex-leader SBPs
+}
+
+// Outcome is the result of solving one instance under one configuration.
+type Outcome struct {
+	Instance string
+	K        int
+	SBP      encode.SBPKind
+	// EncodeStats are the formula sizes before instance-dependent SBPs.
+	EncodeStats pb.Stats
+	// Sym is nil unless instance-dependent symmetry breaking ran.
+	Sym *SymmetryStats
+	// Result is the raw solver outcome; Result.Objective is the color count
+	// when Status is StatusOptimal.
+	Result pbsolver.Result
+	// Chi is the proven chromatic number within the K bound (0 unless
+	// optimal). An UNSAT outcome means χ > K.
+	Chi int
+	// Coloring is a witness optimal coloring (0-based), when available.
+	Coloring []int
+}
+
+// Solved reports whether the configuration answered the instance
+// definitively within budget (optimum proven or χ > K proven), the "#S"
+// counting rule of Tables 3-5.
+func (o Outcome) Solved() bool {
+	return o.Result.Status == pbsolver.StatusOptimal ||
+		o.Result.Status == pbsolver.StatusUnsat
+}
+
+// Solve runs the full flow on one instance.
+func Solve(g *graph.Graph, cfg Config) Outcome {
+	if cfg.K == 0 {
+		maxDeg := 0
+		for v := 0; v < g.N(); v++ {
+			if d := g.Degree(v); d > maxDeg {
+				maxDeg = d
+			}
+		}
+		cfg.K = maxDeg + 1
+	}
+	enc := encode.Build(g, cfg.K, cfg.SBP)
+	out := Outcome{
+		Instance:    g.Name(),
+		K:           cfg.K,
+		SBP:         cfg.SBP,
+		EncodeStats: enc.F.Stats(),
+	}
+	if cfg.InstanceDependent {
+		out.Sym = breakSymmetries(enc.F, cfg)
+	}
+	out.Result = pbsolver.Optimize(enc.F, pbsolver.Options{
+		Engine:       cfg.Engine,
+		Strategy:     cfg.Strategy,
+		Timeout:      cfg.Timeout,
+		MaxConflicts: cfg.MaxConflicts,
+	})
+	if out.Result.Status == pbsolver.StatusOptimal || out.Result.Status == pbsolver.StatusSat {
+		out.Coloring = enc.ColoringFromModel(out.Result.Model)
+		if !g.IsProperColoring(out.Coloring) {
+			panic(fmt.Sprintf("core: solver returned improper coloring for %s", g.Name()))
+		}
+		if out.Result.Status == pbsolver.StatusOptimal {
+			out.Chi = out.Result.Objective
+		}
+	}
+	return out
+}
+
+// breakSymmetries detects symmetries of the formula and appends lex-leader
+// SBPs, returning the statistics.
+func breakSymmetries(f *pb.Formula, cfg Config) *SymmetryStats {
+	aOpts := autom.Options{MaxNodes: cfg.SymMaxNodes}
+	if cfg.SymTimeout > 0 {
+		aOpts.Deadline = time.Now().Add(cfg.SymTimeout)
+	}
+	perms, res := symgraph.Detect(f, aOpts)
+	st := sbp.AddSBPs(f, perms, sbp.Options{MaxSupport: cfg.SBPMaxSupport})
+	return &SymmetryStats{
+		Order:      res.Order,
+		Generators: len(perms),
+		Exact:      res.Exact,
+		DetectTime: res.Time,
+		AddedVars:  st.AddedVars,
+		AddedCNF:   st.Clauses,
+	}
+}
+
+// DetectSymmetries runs only the symmetry-detection half of the flow on the
+// encoding of an instance (Table 2's measurement: symmetries remaining
+// after each instance-independent construction).
+func DetectSymmetries(g *graph.Graph, K int, kind encode.SBPKind, maxNodes int64, timeout time.Duration) (*SymmetryStats, pb.Stats) {
+	enc := encode.Build(g, K, kind)
+	aOpts := autom.Options{MaxNodes: maxNodes}
+	if timeout > 0 {
+		aOpts.Deadline = time.Now().Add(timeout)
+	}
+	perms, res := symgraph.Detect(enc.F, aOpts)
+	return &SymmetryStats{
+		Order:      res.Order,
+		Generators: len(perms),
+		Exact:      res.Exact,
+		DetectTime: res.Time,
+	}, enc.F.Stats()
+}
+
+// SequentialChromatic determines the chromatic number with repeated calls
+// to the pure CNF-SAT solver on the K-coloring decision variant, the
+// alternative the paper contrasts with direct 0-1 ILP optimization (§2.3).
+// It performs a downward linear search from the DSATUR upper bound (the
+// paper's per-instance bound procedure). Returns (χ, proven) — proven is
+// false on budget exhaustion.
+func SequentialChromatic(g *graph.Graph, startUB int, deadline time.Time) (int, bool) {
+	k := startUB
+	best := startUB
+	for k >= 1 {
+		f := DecisionCNF(g, k)
+		opts := sat.Options{Deadline: deadline}
+		s := sat.New(f, opts)
+		switch s.Solve() {
+		case sat.Sat:
+			best = k
+			k--
+		case sat.Unsat:
+			return best, true
+		default:
+			return best, false
+		}
+	}
+	return best, true
+}
+
+// SequentialChromaticIncremental determines the chromatic number with a
+// single incremental SAT solver: the K-coloring CNF is extended with color
+// usage variables u[j], and each probe "is the graph j-colorable?" is a
+// SolveAssuming call with assumptions ¬u[j], ..., ¬u[K−1]. Learnt clauses
+// carry over between probes, the advantage a black-box one-shot SAT solver
+// cannot offer (ablation against SequentialChromatic and PB optimization).
+func SequentialChromaticIncremental(g *graph.Graph, startUB int, deadline time.Time) (int, bool) {
+	K := startUB
+	n := g.N()
+	f := DecisionCNF(g, K)
+	// Usage variables u[j] = n*K + j + 1 with x[i][j] ⇒ u[j].
+	u := func(j int) cnf.Lit { return cnf.PosLit(n*K + j + 1) }
+	x := func(i, j int) cnf.Lit { return cnf.PosLit(i*K + j + 1) }
+	for i := 0; i < n; i++ {
+		for j := 0; j < K; j++ {
+			f.AddImplication(x(i, j), u(j))
+		}
+	}
+	s := sat.New(f, sat.Options{Deadline: deadline, PhaseSaving: true})
+	best := K
+	for k := K; k >= 1; k-- {
+		assumps := make([]cnf.Lit, 0, K-k+1)
+		for j := k; j < K; j++ {
+			assumps = append(assumps, u(j).Neg())
+		}
+		switch s.SolveAssuming(assumps) {
+		case sat.Sat:
+			best = k
+		case sat.Unsat:
+			return best, true
+		default:
+			return best, false
+		}
+	}
+	return best, true
+}
+
+// DecisionCNF encodes the K-colorability decision problem as pure CNF
+// (at-least-one + conflict clauses + pairwise at-most-one), the reduction
+// used with black-box SAT solvers.
+func DecisionCNF(g *graph.Graph, K int) *cnf.Formula {
+	n := g.N()
+	f := cnf.NewFormula(n * K)
+	x := func(i, j int) cnf.Lit { return cnf.PosLit(i*K + j + 1) }
+	for i := 0; i < n; i++ {
+		cl := make([]cnf.Lit, K)
+		for j := 0; j < K; j++ {
+			cl[j] = x(i, j)
+		}
+		f.AddClause(cl...)
+		for a := 0; a < K; a++ {
+			for b := a + 1; b < K; b++ {
+				f.AddClause(x(i, a).Neg(), x(i, b).Neg())
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		for j := 0; j < K; j++ {
+			f.AddClause(x(e[0], j).Neg(), x(e[1], j).Neg())
+		}
+	}
+	return f
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/encode"
+	"repro/internal/graph"
+	"repro/internal/pbsolver"
+)
+
+func TestSolveSmallGraphsAllConfigurations(t *testing.T) {
+	graphs := []struct {
+		g   *graph.Graph
+		chi int
+	}{
+		{graph.Cycle(5), 3},
+		{graph.Complete(4), 4},
+		{graph.Mycielski(3), 4},
+	}
+	for _, tc := range graphs {
+		for _, kind := range encode.Kinds {
+			for _, instDep := range []bool{false, true} {
+				cfg := Config{
+					K: 6, SBP: kind, InstanceDependent: instDep,
+					Engine: pbsolver.EnginePBS, Timeout: 30 * time.Second,
+				}
+				out := Solve(tc.g, cfg)
+				if !out.Solved() || out.Chi != tc.chi {
+					t.Errorf("%s sbp=%v instdep=%v: status=%v χ=%d, want %d",
+						tc.g.Name(), kind, instDep, out.Result.Status, out.Chi, tc.chi)
+				}
+				if out.Coloring == nil || !tc.g.IsProperColoring(out.Coloring) {
+					t.Errorf("%s sbp=%v: bad witness", tc.g.Name(), kind)
+				}
+				if instDep && out.Sym == nil {
+					t.Errorf("%s: missing symmetry stats", tc.g.Name())
+				}
+			}
+		}
+	}
+}
+
+func TestSolveAllEnginesAgree(t *testing.T) {
+	g := graph.Queens(4, 4) // χ=5
+	for _, eng := range pbsolver.Engines {
+		out := Solve(g, Config{K: 7, Engine: eng, Timeout: 60 * time.Second})
+		if !out.Solved() || out.Chi != 5 {
+			t.Errorf("engine %v: status=%v χ=%d, want 5", eng, out.Result.Status, out.Chi)
+		}
+	}
+}
+
+func TestSolveUnsatWhenChiExceedsK(t *testing.T) {
+	out := Solve(graph.Complete(6), Config{K: 4, Engine: pbsolver.EnginePBS})
+	if out.Result.Status != pbsolver.StatusUnsat || !out.Solved() {
+		t.Fatalf("K6 with K=4: %v", out.Result.Status)
+	}
+	if out.Chi != 0 || out.Coloring != nil {
+		t.Fatal("UNSAT outcome must not carry χ or a coloring")
+	}
+}
+
+func TestSolveDefaultKIsMaxDegreePlusOne(t *testing.T) {
+	g := graph.Cycle(5)
+	out := Solve(g, Config{Engine: pbsolver.EnginePBS})
+	if out.K != 3 {
+		t.Fatalf("default K = %d, want Δ+1 = 3", out.K)
+	}
+	if out.Chi != 3 {
+		t.Fatalf("χ = %d", out.Chi)
+	}
+}
+
+func TestSolveTimeoutReturnsUnknownOrFeasible(t *testing.T) {
+	g, err := graph.Benchmark("queen8_12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Solve(g, Config{K: 20, Engine: pbsolver.EnginePBS, Timeout: 30 * time.Millisecond})
+	if out.Solved() && out.Result.Runtime > 5*time.Second {
+		t.Fatal("timeout not respected")
+	}
+}
+
+func TestSymmetryStatsShrinkWithSBPs(t *testing.T) {
+	// Table 2's headline: instance-independent SBPs cut the number of
+	// symmetries. Compare |Aut| for no-SBP vs NU vs LI on a small instance.
+	g := graph.Cycle(5)
+	K := 4
+	none, _ := DetectSymmetries(g, K, encode.SBPNone, 0, 0)
+	nu, _ := DetectSymmetries(g, K, encode.SBPNU, 0, 0)
+	li, _ := DetectSymmetries(g, K, encode.SBPLI, 0, 0)
+	if !none.Exact || !nu.Exact || !li.Exact {
+		t.Fatal("detection did not complete")
+	}
+	if none.Order.Cmp(nu.Order) <= 0 {
+		t.Errorf("NU should reduce symmetries: %v -> %v", none.Order, nu.Order)
+	}
+	if li.Order.Int64() != 1 {
+		t.Errorf("LI should break all symmetries, got %v", li.Order)
+	}
+}
+
+func TestDetectSymmetriesColorGroupPresent(t *testing.T) {
+	// Without SBPs, the encoding has at least the full color symmetry S_K.
+	g := graph.Cycle(4)
+	K := 3
+	st, enc := DetectSymmetries(g, K, encode.SBPNone, 0, 0)
+	if !st.Exact {
+		t.Fatal("incomplete")
+	}
+	if st.Order.Int64()%6 != 0 {
+		t.Errorf("|Aut| = %v not divisible by |S_3| = 6", st.Order)
+	}
+	if enc.Vars != g.N()*K+K {
+		t.Errorf("encode stats vars = %d", enc.Vars)
+	}
+}
+
+func TestInstanceDependentSBPsPreserveChi(t *testing.T) {
+	g := graph.Queens(4, 4)
+	base := Solve(g, Config{K: 6, Engine: pbsolver.EnginePueblo})
+	withSym := Solve(g, Config{K: 6, Engine: pbsolver.EnginePueblo, InstanceDependent: true})
+	if base.Chi != withSym.Chi || base.Chi != 5 {
+		t.Fatalf("χ changed: %d vs %d", base.Chi, withSym.Chi)
+	}
+	if withSym.Sym.Generators == 0 {
+		t.Fatal("no generators found on a symmetric encoding")
+	}
+	if withSym.Sym.AddedCNF == 0 {
+		t.Fatal("no SBP clauses added")
+	}
+}
+
+func TestSequentialChromatic(t *testing.T) {
+	cases := []struct {
+		g   *graph.Graph
+		chi int
+	}{
+		{graph.Cycle(5), 3},
+		{graph.Complete(4), 4},
+		{graph.Petersen(), 3},
+		{graph.Mycielski(3), 4},
+	}
+	for _, tc := range cases {
+		ub := 6
+		chi, proven := SequentialChromatic(tc.g, ub, time.Time{})
+		if !proven || chi != tc.chi {
+			t.Errorf("%s: sequential χ = %d (proven=%v), want %d", tc.g.Name(), chi, proven, tc.chi)
+		}
+	}
+}
+
+func TestSequentialChromaticIncremental(t *testing.T) {
+	cases := []struct {
+		g   *graph.Graph
+		chi int
+	}{
+		{graph.Cycle(5), 3},
+		{graph.Complete(4), 4},
+		{graph.Petersen(), 3},
+		{graph.Mycielski(4), 5},
+		{graph.Queens(5, 5), 5},
+	}
+	for _, tc := range cases {
+		chi, proven := SequentialChromaticIncremental(tc.g, 7, time.Time{})
+		if !proven || chi != tc.chi {
+			t.Errorf("%s: incremental χ = %d (proven=%v), want %d",
+				tc.g.Name(), chi, proven, tc.chi)
+		}
+	}
+}
+
+func TestSequentialVariantsAgree(t *testing.T) {
+	g := graph.Mycielski(3)
+	a, ap := SequentialChromatic(g, 6, time.Time{})
+	b, bp := SequentialChromaticIncremental(g, 6, time.Time{})
+	if !ap || !bp || a != b {
+		t.Fatalf("variants disagree: %d/%v vs %d/%v", a, ap, b, bp)
+	}
+}
+
+func TestDecisionCNF(t *testing.T) {
+	g := graph.Cycle(5)
+	f := DecisionCNF(g, 3)
+	// n*K vars; clauses: n at-least-one + n*C(K,2) AMO + m*K conflicts.
+	if f.NumVars != 15 {
+		t.Fatalf("vars = %d", f.NumVars)
+	}
+	want := 5 + 5*3 + 5*3
+	if f.NumClauses() != want {
+		t.Fatalf("clauses = %d, want %d", f.NumClauses(), want)
+	}
+}
+
+func TestOutcomeSolvedSemantics(t *testing.T) {
+	o := Outcome{}
+	o.Result.Status = pbsolver.StatusOptimal
+	if !o.Solved() {
+		t.Fatal("optimal is solved")
+	}
+	o.Result.Status = pbsolver.StatusUnsat
+	if !o.Solved() {
+		t.Fatal("unsat (χ>K proven) counts as solved")
+	}
+	o.Result.Status = pbsolver.StatusSat
+	if o.Solved() {
+		t.Fatal("feasible-but-unproven is not solved")
+	}
+}

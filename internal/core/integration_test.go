@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/encode"
+	"repro/internal/graph"
+	"repro/internal/heuristic"
+	"repro/internal/pbsolver"
+)
+
+// TestChromaticCrossValidation pits three independent exact methods against
+// each other on random graphs: the 0-1 ILP flow (with and without SBPs),
+// the DSATUR branch-and-bound, and the incremental SAT probe loop. All must
+// agree on the chromatic number.
+func TestChromaticCrossValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for iter := 0; iter < 25; iter++ {
+		n := 5 + rng.Intn(5)
+		m := rng.Intn(n * (n - 1) / 2)
+		g := graph.Random("r", n, m, rng.Int63())
+		exact := heuristic.ExactChromatic(g, time.Time{})
+		if !exact.Complete {
+			t.Fatalf("iter %d: exact did not complete", iter)
+		}
+		want := exact.Chi
+
+		satChi, proven := SequentialChromaticIncremental(g, n, time.Time{})
+		if !proven || satChi != want {
+			t.Fatalf("iter %d: incremental SAT χ=%d, exact %d", iter, satChi, want)
+		}
+
+		for _, kind := range []encode.SBPKind{encode.SBPNone, encode.SBPNU, encode.SBPLI} {
+			out := Solve(g, Config{K: n, SBP: kind, Engine: pbsolver.EnginePueblo})
+			if !out.Solved() || out.Chi != want {
+				t.Fatalf("iter %d: ILP(%v) χ=%d status=%v, exact %d",
+					iter, kind, out.Chi, out.Result.Status, want)
+			}
+		}
+		out := Solve(g, Config{K: n, SBP: encode.SBPNUSC, InstanceDependent: true,
+			Engine: pbsolver.EnginePBS})
+		if !out.Solved() || out.Chi != want {
+			t.Fatalf("iter %d: ILP+instdep χ=%d, exact %d", iter, out.Chi, want)
+		}
+	}
+}
+
+// TestSymmetryBreakingReducesConflictsOnMyciel4 reproduces the dramatic
+// single-instance effect measured during development: myciel4 without SBPs
+// needs >100k conflicts, with NU a few thousand.
+func TestSymmetryBreakingReducesConflictsOnMyciel4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow no-SBP baseline")
+	}
+	g := graph.Mycielski(4)
+	withNU := Solve(g, Config{K: 7, SBP: encode.SBPNU, Engine: pbsolver.EnginePBS,
+		Timeout: 2 * time.Minute})
+	if withNU.Chi != 5 {
+		t.Fatalf("NU: χ=%d", withNU.Chi)
+	}
+	base := Solve(g, Config{K: 7, SBP: encode.SBPNone, Engine: pbsolver.EnginePBS,
+		Timeout: 5 * time.Minute})
+	if base.Chi != 5 {
+		t.Fatalf("base: χ=%d (%v)", base.Chi, base.Result.Status)
+	}
+	if base.Result.Stats.Conflicts < 4*withNU.Result.Stats.Conflicts {
+		t.Fatalf("expected large conflict reduction: base %d, NU %d",
+			base.Result.Stats.Conflicts, withNU.Result.Stats.Conflicts)
+	}
+}

@@ -1,0 +1,281 @@
+package encode
+
+import (
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/graph"
+	"repro/internal/pbsolver"
+)
+
+func solveOpt(t *testing.T, e *Encoding) pbsolver.Result {
+	t.Helper()
+	res := pbsolver.Optimize(e.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
+	if res.Status != pbsolver.StatusOptimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	return res
+}
+
+func TestEncodingSizes(t *testing.T) {
+	// Paper §2.5: nK+K variables, K(m+n+1) CNF clauses, n PB rows (our EQ
+	// rows normalize to one clause + one cardinality constraint each, so
+	// clauses = K(m+n+1) + n and PB constraints = n).
+	g := graph.Cycle(5)
+	K := 4
+	e := Build(g, K, SBPNone)
+	n, m := 5, 5
+	if e.F.NumVars != n*K+K {
+		t.Fatalf("vars = %d, want %d", e.F.NumVars, n*K+K)
+	}
+	wantCNF := K*(m+n+1) + n
+	if len(e.F.Clauses) != wantCNF {
+		t.Fatalf("clauses = %d, want %d", len(e.F.Clauses), wantCNF)
+	}
+	if len(e.F.Constraints) != n {
+		t.Fatalf("PB rows = %d, want %d", len(e.F.Constraints), n)
+	}
+	if len(e.F.Objective) != K {
+		t.Fatalf("objective terms = %d, want %d", len(e.F.Objective), K)
+	}
+}
+
+func TestOptimalColoringSmallGraphs(t *testing.T) {
+	cases := []struct {
+		g   *graph.Graph
+		chi int
+	}{
+		{graph.Cycle(4), 2},
+		{graph.Cycle(5), 3},
+		{graph.Complete(4), 4},
+		{graph.Petersen(), 3},
+		{graph.Mycielski(3), 4},
+	}
+	for _, c := range cases {
+		for _, kind := range Kinds {
+			e := Build(c.g, c.chi+2, kind)
+			res := solveOpt(t, e)
+			if res.Objective != c.chi {
+				t.Errorf("%s with %v: χ=%d, want %d", c.g.Name(), kind, res.Objective, c.chi)
+			}
+			colors := e.ColoringFromModel(res.Model)
+			if !c.g.IsProperColoring(colors) {
+				t.Errorf("%s with %v: improper coloring", c.g.Name(), kind)
+			}
+			if UsedColors(colors) != c.chi {
+				t.Errorf("%s with %v: witness uses %d colors", c.g.Name(), kind, UsedColors(colors))
+			}
+		}
+	}
+}
+
+func TestUnsatWhenKTooSmall(t *testing.T) {
+	for _, kind := range Kinds {
+		e := Build(graph.Complete(4), 3, kind)
+		res := pbsolver.Optimize(e.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
+		if res.Status != pbsolver.StatusUnsat {
+			t.Errorf("K4 with K=3 and %v: %v, want UNSAT", kind, res.Status)
+		}
+	}
+}
+
+func TestNUForcesLeadingColors(t *testing.T) {
+	// With NU, any optimal model uses colors 0..χ-1 exactly.
+	g := graph.Cycle(5) // χ=3
+	e := Build(g, 6, SBPNU)
+	res := solveOpt(t, e)
+	sizes := e.ClassSizes(res.Model)
+	for j := 0; j < 3; j++ {
+		if sizes[j] == 0 {
+			t.Fatalf("NU violated: color %d empty in %v", j, sizes)
+		}
+	}
+	for j := 3; j < 6; j++ {
+		if sizes[j] != 0 {
+			t.Fatalf("NU violated: trailing color %d used in %v", j, sizes)
+		}
+	}
+}
+
+func TestCAForcesDescendingCardinalities(t *testing.T) {
+	g := graph.PartitePlanted("p", 12, 30, 3, 5)
+	e := Build(g, 5, SBPCA)
+	res := solveOpt(t, e)
+	sizes := e.ClassSizes(res.Model)
+	for j := 0; j+1 < len(sizes); j++ {
+		if sizes[j] < sizes[j+1] {
+			t.Fatalf("CA violated: %v", sizes)
+		}
+	}
+}
+
+func TestLIUniqueOptimalAssignmentPerPartition(t *testing.T) {
+	// LI breaks all color symmetries: for K4 (unique partition into 4
+	// singleton classes) exactly one optimal x-assignment survives.
+	g := graph.Complete(4)
+	e := Build(g, 5, SBPLI)
+	models, res := pbsolver.EnumerateOptimal(e.F, pbsolver.Options{Engine: pbsolver.EnginePBS}, e.XVars(), 0)
+	if res.Status != pbsolver.StatusOptimal || res.Objective != 4 {
+		t.Fatalf("optimize: %v obj=%d", res.Status, res.Objective)
+	}
+	if len(models) != 1 {
+		t.Fatalf("LI left %d optimal assignments for K4, want 1", len(models))
+	}
+	// Without any SBP all 5!/(5-4)! = 120 color injections survive.
+	e2 := Build(g, 5, SBPNone)
+	models2, _ := pbsolver.EnumerateOptimal(e2.F, pbsolver.Options{Engine: pbsolver.EnginePBS}, e2.XVars(), 0)
+	if len(models2) != 120 {
+		t.Fatalf("no-SBP K4 should have 120 optimal assignments, got %d", len(models2))
+	}
+}
+
+func TestLIOrderingMatchesPaperExample(t *testing.T) {
+	// Paper §3.3 example semantics: lowest indices strictly decrease with
+	// the color number. Verify on every optimal model of a small graph.
+	g := graph.Cycle(5)
+	e := Build(g, 4, SBPLI)
+	models, res := pbsolver.EnumerateOptimal(e.F, pbsolver.Options{Engine: pbsolver.EnginePBS}, e.XVars(), 0)
+	if res.Status != pbsolver.StatusOptimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	for _, m := range models {
+		colors := e.ColoringFromModel(m)
+		lowest := map[int]int{}
+		for v := len(colors) - 1; v >= 0; v-- {
+			lowest[colors[v]] = v
+		}
+		for c := 1; c < res.Objective; c++ {
+			if lowest[c] >= lowest[c-1] {
+				t.Fatalf("LI ordering violated: lowest[%d]=%d lowest[%d]=%d colors=%v",
+					c, lowest[c], c-1, lowest[c-1], colors)
+			}
+		}
+	}
+}
+
+func TestSCPinsTwoVertices(t *testing.T) {
+	g := graph.Queens(4, 4)
+	e := Build(g, 6, SBPSC)
+	res := solveOpt(t, e)
+	vl := g.MaxDegreeVertex()
+	vn := g.MaxDegreeNeighbor(vl)
+	if !res.Model.Lit(cnf.PosLit(e.X(vl, 0))) {
+		t.Fatal("SC: max-degree vertex not pinned to color 1")
+	}
+	if !res.Model.Lit(cnf.PosLit(e.X(vn, 1))) {
+		t.Fatal("SC: neighbor not pinned to color 2")
+	}
+}
+
+func TestNUSCCombinesBoth(t *testing.T) {
+	g := graph.Cycle(5)
+	e := Build(g, 5, SBPNUSC)
+	res := solveOpt(t, e)
+	sizes := e.ClassSizes(res.Model)
+	for j := 3; j < 5; j++ {
+		if sizes[j] != 0 {
+			t.Fatalf("NU half violated: %v", sizes)
+		}
+	}
+	vl := g.MaxDegreeVertex()
+	if !res.Model.Lit(cnf.PosLit(e.X(vl, 0))) {
+		t.Fatal("SC half violated")
+	}
+}
+
+// TestSBPsPreserveChromaticNumber: all constructions are satisfiability-
+// and optimum-preserving (paper's correctness proofs in §3).
+func TestSBPsPreserveChromaticNumber(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Cycle(7),
+		graph.Queens(4, 4),
+		graph.Mycielski(3), // myciel4 without SBPs alone takes ~161k conflicts
+		graph.PartitePlanted("p", 14, 40, 4, 3),
+	}
+	for _, g := range graphs {
+		base := Build(g, 7, SBPNone)
+		want := pbsolver.Optimize(base.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
+		if want.Status != pbsolver.StatusOptimal {
+			t.Fatalf("%s base: %v", g.Name(), want.Status)
+		}
+		for _, kind := range Kinds[1:] {
+			e := Build(g, 7, kind)
+			res := pbsolver.Optimize(e.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
+			if res.Status != pbsolver.StatusOptimal || res.Objective != want.Objective {
+				t.Errorf("%s with %v: %v/%d, want OPTIMAL/%d",
+					g.Name(), kind, res.Status, res.Objective, want.Objective)
+			}
+		}
+	}
+}
+
+func TestSBPKindStrings(t *testing.T) {
+	want := map[SBPKind]string{
+		SBPNone: "none", SBPNU: "NU", SBPCA: "CA",
+		SBPLI: "LI", SBPSC: "SC", SBPNUSC: "NU+SC",
+	}
+	for k, w := range want {
+		if k.String() != w {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), w)
+		}
+	}
+}
+
+func TestFigure1Example(t *testing.T) {
+	// The paper's Figure 1: V1V2V3 form a triangle, V4 adjacent to V3 (and
+	// not to V1, V2): χ=3 with two independent-set partitions.
+	g := figure1Graph()
+	for _, kind := range Kinds {
+		e := Build(g, 4, kind)
+		res := solveOpt(t, e)
+		if res.Objective != 3 {
+			t.Fatalf("figure 1 graph χ=%d with %v, want 3", res.Objective, kind)
+		}
+	}
+	// Optimal-assignment counts: no SBP admits every injection of 3 classes
+	// into 4 colors for both partitions; NU collapses null-color placement;
+	// LI leaves exactly one assignment per partition (2 total).
+	counts := map[SBPKind]int{}
+	for _, kind := range Kinds {
+		e := Build(g, 4, kind)
+		models, _ := pbsolver.EnumerateOptimal(e.F, pbsolver.Options{Engine: pbsolver.EnginePBS}, e.XVars(), 0)
+		counts[kind] = len(models)
+	}
+	// Two partitions × 4·3·2 color injections = 48 without SBPs.
+	if counts[SBPNone] != 48 {
+		t.Errorf("none: %d optimal assignments, want 48", counts[SBPNone])
+	}
+	// NU: null color must trail → colors {1,2,3} in some order: 2×3! = 12.
+	if counts[SBPNU] != 12 {
+		t.Errorf("NU: %d, want 12", counts[SBPNU])
+	}
+	// LI: unique assignment per partition.
+	if counts[SBPLI] != 2 {
+		t.Errorf("LI: %d, want 2", counts[SBPLI])
+	}
+	// CA: largest class (the 2-set) gets color 1, two singletons may swap
+	// within colors 2,3 → 2 partitions × 2 = 4.
+	if counts[SBPCA] != 4 {
+		t.Errorf("CA: %d, want 4", counts[SBPCA])
+	}
+	// SC pins V3 (max degree) to color 1 and V1 to color 2: V2 may take
+	// color 3 or 4, V4 may join V1's or V2's class → 4.
+	if counts[SBPSC] != 4 {
+		t.Errorf("SC: %d, want 4", counts[SBPSC])
+	}
+	// NU+SC: SC pins plus NU forbidding color 4 → V2 on color 3, V4 in
+	// either 2-class → 2.
+	if counts[SBPNUSC] != 2 {
+		t.Errorf("NU+SC: %d, want 2", counts[SBPNUSC])
+	}
+}
+
+// figure1Graph builds the worked example of the paper's Figure 1(a).
+func figure1Graph() *graph.Graph {
+	g := graph.New("figure1", 4)
+	g.AddEdge(0, 1) // V1-V2
+	g.AddEdge(0, 2) // V1-V3
+	g.AddEdge(1, 2) // V2-V3
+	g.AddEdge(2, 3) // V3-V4
+	return g
+}

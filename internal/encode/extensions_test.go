@@ -1,0 +1,135 @@
+package encode
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/pbsolver"
+)
+
+func TestLIQuadraticMatchesLI(t *testing.T) {
+	// The paper-literal quadratic LI variant must agree with the prefix
+	// encoding on optimum and on the surviving assignment count.
+	graphs := []*graph.Graph{
+		graph.Cycle(5),
+		graph.Complete(4),
+		graph.Queens(3, 3),
+	}
+	for _, g := range graphs {
+		lin := Build(g, 5, SBPLI)
+		quad := Build(g, 5, SBPLIQuad)
+		if quad.F.NumVars >= lin.F.NumVars {
+			// Quadratic variant has no prefix vars: fewer variables...
+			t.Logf("%s: quad vars %d, linear vars %d", g.Name(), quad.F.NumVars, lin.F.NumVars)
+		}
+		mLin, rLin := pbsolver.EnumerateOptimal(lin.F, pbsolver.Options{Engine: pbsolver.EnginePBS}, lin.XVars(), 0)
+		mQuad, rQuad := pbsolver.EnumerateOptimal(quad.F, pbsolver.Options{Engine: pbsolver.EnginePBS}, quad.XVars(), 0)
+		if rLin.Status != pbsolver.StatusOptimal || rQuad.Status != pbsolver.StatusOptimal {
+			t.Fatalf("%s: %v / %v", g.Name(), rLin.Status, rQuad.Status)
+		}
+		if rLin.Objective != rQuad.Objective {
+			t.Errorf("%s: optimum differs %d vs %d", g.Name(), rLin.Objective, rQuad.Objective)
+		}
+		if len(mLin) != len(mQuad) {
+			t.Errorf("%s: survivor count differs: linear %d vs quadratic %d",
+				g.Name(), len(mLin), len(mQuad))
+		}
+	}
+}
+
+func TestLIQuadraticClauseGrowth(t *testing.T) {
+	// The quadratic variant's clause count must grow ~n² per color while the
+	// prefix encoding stays linear.
+	small := graph.Cycle(8)
+	big := graph.Cycle(32)
+	K := 4
+	linGrowth := float64(Build(big, K, SBPLI).F.Stats().CNF-Build(big, K, SBPNone).F.Stats().CNF) /
+		float64(Build(small, K, SBPLI).F.Stats().CNF-Build(small, K, SBPNone).F.Stats().CNF)
+	quadGrowth := float64(Build(big, K, SBPLIQuad).F.Stats().CNF-Build(big, K, SBPNone).F.Stats().CNF) /
+		float64(Build(small, K, SBPLIQuad).F.Stats().CNF-Build(small, K, SBPNone).F.Stats().CNF)
+	// 4x vertices: linear ≈ 4x, quadratic ≈ 16x.
+	if linGrowth > 6 {
+		t.Errorf("prefix LI growth %.1f not linear", linGrowth)
+	}
+	if quadGrowth < 8 {
+		t.Errorf("quadratic LI growth %.1f not quadratic", quadGrowth)
+	}
+}
+
+func TestCliqueSBPPreservesChiAndPins(t *testing.T) {
+	cases := []struct {
+		g   *graph.Graph
+		chi int
+	}{
+		{graph.Queens(4, 4), 5},
+		{graph.Complete(5), 5},
+		{graph.PartitePlanted("p", 15, 45, 4, 6), 4},
+	}
+	for _, tc := range cases {
+		e := Build(tc.g, 7, SBPClique)
+		res := pbsolver.Optimize(e.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
+		if res.Status != pbsolver.StatusOptimal || res.Objective != tc.chi {
+			t.Errorf("%s: %v χ=%d, want %d", tc.g.Name(), res.Status, res.Objective, tc.chi)
+			continue
+		}
+		colors := e.ColoringFromModel(res.Model)
+		if !tc.g.IsProperColoring(colors) {
+			t.Errorf("%s: improper coloring", tc.g.Name())
+		}
+	}
+}
+
+func TestCliqueSBPStrongerThanSC(t *testing.T) {
+	// On the Figure-1 example the clique {V1,V2,V3} is pinned entirely:
+	// only V4's class choice remains → 2 survivors (vs 4 for SC).
+	g := figure1Graph()
+	g.Clique = []int{0, 1, 2}
+	e := Build(g, 4, SBPClique)
+	models, res := pbsolver.EnumerateOptimal(e.F, pbsolver.Options{Engine: pbsolver.EnginePBS}, e.XVars(), 0)
+	if res.Status != pbsolver.StatusOptimal || res.Objective != 3 {
+		t.Fatalf("%v obj=%d", res.Status, res.Objective)
+	}
+	if len(models) != 2 {
+		t.Fatalf("clique SBP survivors = %d, want 2", len(models))
+	}
+}
+
+func TestCliqueSBPFallsBackToGreedy(t *testing.T) {
+	// Without a recorded certificate the greedy clique is used.
+	g := graph.Queens(4, 4)
+	g.Clique = nil
+	e := Build(g, 7, SBPClique)
+	res := pbsolver.Optimize(e.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
+	if res.Status != pbsolver.StatusOptimal || res.Objective != 5 {
+		t.Fatalf("%v obj=%d", res.Status, res.Objective)
+	}
+}
+
+func TestCliqueSBPCapsAtK(t *testing.T) {
+	// A clique larger than K must not make a feasible instance infeasible
+	// beyond the true χ>K outcome: K6 with K=4 is UNSAT either way.
+	e := Build(graph.Complete(6), 4, SBPClique)
+	res := pbsolver.Optimize(e.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
+	if res.Status != pbsolver.StatusUnsat {
+		t.Fatalf("K6/K=4 with clique pins: %v, want UNSAT", res.Status)
+	}
+}
+
+func TestPairwiseExactlyOneEquivalent(t *testing.T) {
+	// The CNF-pairwise encoding must give the same optimum with zero PB
+	// rows.
+	g := graph.Cycle(5)
+	pbEnc := BuildWithOptions(g, 4, SBPNU, Options{})
+	cnfEnc := BuildWithOptions(g, 4, SBPNU, Options{PairwiseExactlyOne: true})
+	if len(cnfEnc.F.Constraints) != 0 {
+		t.Fatalf("pairwise encoding has %d PB rows", len(cnfEnc.F.Constraints))
+	}
+	if len(pbEnc.F.Constraints) != g.N() {
+		t.Fatalf("PB encoding has %d rows, want %d", len(pbEnc.F.Constraints), g.N())
+	}
+	a := pbsolver.Optimize(pbEnc.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
+	b := pbsolver.Optimize(cnfEnc.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
+	if a.Status != b.Status || a.Objective != b.Objective {
+		t.Fatalf("encodings disagree: %v/%d vs %v/%d", a.Status, a.Objective, b.Status, b.Objective)
+	}
+}

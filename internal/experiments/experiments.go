@@ -1,0 +1,137 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4 and the appendix): Table 1 (benchmark statistics), Table 2
+// (encoding sizes and symmetry statistics per SBP construction), Tables 3/4
+// (solver runtime matrices at K=20/K=30), Table 5 (queens detail), and
+// Figure 1 (surviving optimal assignments of the worked example under each
+// SBP). The harness is shared by cmd/experiments and the bench_test.go
+// benchmarks; budgets are scaled down from the paper's 1000 s SunBlade
+// timeouts and are fully configurable.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"time"
+
+	"repro/internal/encode"
+	"repro/internal/graph"
+	"repro/internal/pbsolver"
+)
+
+// Config selects instances and budgets for the solver-matrix tables.
+type Config struct {
+	// K is the color bound (20 for Table 3, 30 for Table 4).
+	K int
+	// Timeout is the per-configuration solve budget (paper: 1000 s).
+	Timeout time.Duration
+	// SymMaxNodes / SymTimeout bound each symmetry detection run.
+	SymMaxNodes int64
+	SymTimeout  time.Duration
+	// Instances restricts the benchmark set (nil = all 20 of Table 1).
+	Instances []string
+	// Engines restricts the solver columns (nil = all four).
+	Engines []pbsolver.Engine
+	// SBPs restricts the construction rows (nil = all six of the paper).
+	SBPs []encode.SBPKind
+	// Verbose streams per-instance progress lines to Out.
+	Verbose bool
+	Out     io.Writer
+}
+
+func (c Config) instances() ([]*graph.Graph, error) {
+	names := c.Instances
+	if len(names) == 0 {
+		names = make([]string, len(graph.BenchmarkTable))
+		for i, info := range graph.BenchmarkTable {
+			names[i] = info.Name
+		}
+	}
+	out := make([]*graph.Graph, 0, len(names))
+	for _, n := range names {
+		g, err := graph.Benchmark(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+func (c Config) engines() []pbsolver.Engine {
+	if len(c.Engines) > 0 {
+		return c.Engines
+	}
+	return []pbsolver.Engine{pbsolver.EnginePBS, pbsolver.EngineBnB, pbsolver.EngineGalena, pbsolver.EnginePueblo}
+}
+
+func (c Config) sbps() []encode.SBPKind {
+	if len(c.SBPs) > 0 {
+		return c.SBPs
+	}
+	return encode.Kinds
+}
+
+func (c Config) k() int {
+	if c.K == 0 {
+		return 20
+	}
+	return c.K
+}
+
+// KOrDefault returns the effective color bound.
+func (c Config) KOrDefault() int { return c.k() }
+
+// NumInstances returns the effective benchmark count.
+func (c Config) NumInstances() int {
+	if len(c.Instances) > 0 {
+		return len(c.Instances)
+	}
+	return len(graph.BenchmarkTable)
+}
+
+// EngineList returns the effective solver columns.
+func (c Config) EngineList() []pbsolver.Engine { return c.engines() }
+
+func (c Config) logf(format string, args ...any) {
+	if c.Verbose && c.Out != nil {
+		fmt.Fprintf(c.Out, format, args...)
+	}
+}
+
+// engineLabel maps our engine names to the paper's solver columns.
+func engineLabel(e pbsolver.Engine) string {
+	switch e {
+	case pbsolver.EnginePBS:
+		return "PBS II"
+	case pbsolver.EngineBnB:
+		return "CPLEX*"
+	case pbsolver.EngineGalena:
+		return "Galena"
+	case pbsolver.EnginePueblo:
+		return "Pueblo"
+	}
+	return e.String()
+}
+
+// formatBig renders a big integer the way the paper prints group orders
+// (e.g. "1.1e+168"); small values print exactly.
+func formatBig(x *big.Int) string {
+	if x.IsInt64() && x.Int64() < 1e6 {
+		return x.String()
+	}
+	f := new(big.Float).SetInt(x)
+	return fmt.Sprintf("%.1e", f)
+}
+
+// formatDur renders durations compactly for table cells.
+func formatDur(d time.Duration) string {
+	switch {
+	case d >= time.Minute:
+		return fmt.Sprintf("%.0fs", d.Seconds())
+	case d >= time.Second:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	default:
+		return fmt.Sprintf("%.0fms", float64(d.Microseconds())/1000)
+	}
+}

@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"bytes"
+	"math/big"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/encode"
+	"repro/internal/pbsolver"
+)
+
+func TestTable1MatchesPaperShape(t *testing.T) {
+	rows, err := Table1(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 20 {
+		t.Fatalf("rows = %d, want 20", len(rows))
+	}
+	for _, r := range rows {
+		if r.V != r.PaperV {
+			t.Errorf("%s: V=%d vs paper %d", r.Name, r.V, r.PaperV)
+		}
+		if r.E != r.PaperE && 2*r.E != r.PaperE {
+			t.Errorf("%s: E=%d does not match paper %d under either convention", r.Name, r.E, r.PaperE)
+		}
+		if r.PaperChi > 0 && r.Chi != r.PaperChi {
+			t.Errorf("%s: χ=%d vs paper %d", r.Name, r.Chi, r.PaperChi)
+		}
+		if r.PaperChi == 0 && r.Chi <= 20 {
+			t.Errorf("%s: χ=%d should exceed 20", r.Name, r.Chi)
+		}
+		if r.CliqueLB > r.Chi || r.DsaturUB < r.Chi {
+			t.Errorf("%s: bounds [%d,%d] exclude χ=%d", r.Name, r.CliqueLB, r.DsaturUB, r.Chi)
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "queen8_12") || !strings.Contains(buf.String(), ">20") {
+		t.Fatalf("rendering missing content:\n%s", buf.String())
+	}
+}
+
+func TestTable2SmallConfig(t *testing.T) {
+	cfg := Config{
+		K:           6,
+		Instances:   []string{"myciel3", "queen5_5"},
+		SBPs:        []encode.SBPKind{encode.SBPNone, encode.SBPNU, encode.SBPLI},
+		SymMaxNodes: 200000,
+	}
+	rows, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byKind := map[encode.SBPKind]Table2Row{}
+	for _, r := range rows {
+		byKind[r.Kind] = r
+	}
+	none, nu, li := byKind[encode.SBPNone], byKind[encode.SBPNU], byKind[encode.SBPLI]
+	// NU adds K-1 clauses per instance and no variables.
+	if nu.Vars != none.Vars {
+		t.Errorf("NU changed variable count: %d vs %d", nu.Vars, none.Vars)
+	}
+	if nu.CNF != none.CNF+2*(6-1) {
+		t.Errorf("NU clauses: %d, want %d", nu.CNF, none.CNF+10)
+	}
+	// Symmetry counts must drop monotonically none > NU > LI when exact.
+	if none.Exact && nu.Exact && none.Symmetries.Cmp(nu.Symmetries) <= 0 {
+		t.Errorf("NU did not reduce symmetries: %v -> %v", none.Symmetries, nu.Symmetries)
+	}
+	if li.Exact && li.Symmetries.Int64() != 2 { // identity per instance
+		t.Errorf("LI residual symmetries = %v, want 2 (one identity each)", li.Symmetries)
+	}
+	var buf bytes.Buffer
+	PrintTable2(&buf, rows, 6, 2)
+	if !strings.Contains(buf.String(), "NU") {
+		t.Fatal("rendering missing NU row")
+	}
+}
+
+func TestMatrixTinyConfig(t *testing.T) {
+	cfg := Config{
+		K:         6,
+		Timeout:   10 * time.Second,
+		Instances: []string{"myciel3"},
+		Engines:   []pbsolver.Engine{pbsolver.EnginePBS, pbsolver.EngineBnB},
+		SBPs:      []encode.SBPKind{encode.SBPNone, encode.SBPNU},
+	}
+	rows, err := Matrix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		for _, eng := range cfg.Engines {
+			pair := r.Cells[eng]
+			if pair[0].Solved != 1 || pair[1].Solved != 1 {
+				t.Errorf("%v/%v: myciel3 should solve in both columns: %+v", r.Kind, eng, pair)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	PrintMatrix(&buf, rows, cfg.Engines, 6, 1, cfg.Timeout)
+	out := buf.String()
+	if !strings.Contains(out, "PBS II") || !strings.Contains(out, "CPLEX*") {
+		t.Fatalf("rendering missing solver columns:\n%s", out)
+	}
+	// BestCells picks a row.
+	orig, instdep := BestCells(rows, pbsolver.EnginePBS)
+	_ = orig
+	_ = instdep
+}
+
+func TestTable5Queen5Only(t *testing.T) {
+	cfg := Config{
+		K:         7,
+		Timeout:   20 * time.Second,
+		Instances: []string{"queen5_5"},
+		Engines:   []pbsolver.Engine{pbsolver.EnginePueblo},
+		SBPs:      []encode.SBPKind{encode.SBPNone, encode.SBPSC},
+	}
+	entries, err := Table5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 instance × 2 SBPs × 1 engine × 2 (±instdep) = 4 entries.
+	if len(entries) != 4 {
+		t.Fatalf("entries = %d, want 4", len(entries))
+	}
+	for _, e := range entries {
+		if e.Solved && e.Chi != 5 && e.Status == pbsolver.StatusOptimal {
+			t.Errorf("queen5_5 χ=%d, want 5", e.Chi)
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable5(&buf, entries, cfg.Engines, 7, cfg.Timeout)
+	if !strings.Contains(buf.String(), "queen5_5") {
+		t.Fatal("rendering missing instance block")
+	}
+}
+
+func TestFigure1MatchesPaper(t *testing.T) {
+	rows, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Chi != 3 {
+			t.Errorf("%v: χ=%d, want 3", r.Kind, r.Chi)
+		}
+		if r.Survivors != r.PaperExpect {
+			t.Errorf("%v: %d survivors, paper implies %d", r.Kind, r.Survivors, r.PaperExpect)
+		}
+	}
+	var buf bytes.Buffer
+	PrintFigure1(&buf, rows)
+	if !strings.Contains(buf.String(), "NU+SC") {
+		t.Fatal("rendering incomplete")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}
+	gs, err := cfg.instances()
+	if err != nil || len(gs) != 20 {
+		t.Fatalf("default instances: %d, %v", len(gs), err)
+	}
+	if len(cfg.engines()) != 4 {
+		t.Fatalf("default engines: %d", len(cfg.engines()))
+	}
+	if len(cfg.sbps()) != 6 {
+		t.Fatalf("default sbps: %d", len(cfg.sbps()))
+	}
+	if cfg.k() != 20 {
+		t.Fatalf("default K: %d", cfg.k())
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if s := formatDur(1500 * time.Millisecond); s != "1.5s" {
+		t.Errorf("formatDur = %q", s)
+	}
+	if s := formatDur(90 * time.Second); s != "90s" {
+		t.Errorf("formatDur = %q", s)
+	}
+	if s := formatDur(2500 * time.Microsecond); s != "3ms" && s != "2ms" {
+		t.Errorf("formatDur = %q", s)
+	}
+}
+
+func TestFormatBig(t *testing.T) {
+	if s := formatBig(big.NewInt(120)); s != "120" {
+		t.Errorf("formatBig small = %q", s)
+	}
+	huge := new(big.Int).Exp(big.NewInt(10), big.NewInt(30), nil)
+	if s := formatBig(huge); s != "1.0e+30" {
+		t.Errorf("formatBig huge = %q", s)
+	}
+}
+
+func TestEngineLabels(t *testing.T) {
+	want := map[pbsolver.Engine]string{
+		pbsolver.EnginePBS:    "PBS II",
+		pbsolver.EngineBnB:    "CPLEX*",
+		pbsolver.EngineGalena: "Galena",
+		pbsolver.EnginePueblo: "Pueblo",
+	}
+	for e, label := range want {
+		if engineLabel(e) != label {
+			t.Errorf("engineLabel(%v) = %q, want %q", e, engineLabel(e), label)
+		}
+	}
+}
+
+func TestMatrixInstDepAccountsDetectTime(t *testing.T) {
+	cfg := Config{
+		K:           5,
+		Timeout:     10 * time.Second,
+		Instances:   []string{"myciel3"},
+		Engines:     []pbsolver.Engine{pbsolver.EnginePBS},
+		SBPs:        []encode.SBPKind{encode.SBPNone},
+		SymMaxNodes: 100000,
+	}
+	rows, err := Matrix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := rows[0].Cells[pbsolver.EnginePBS]
+	if pair[0].DetectTime != 0 {
+		t.Error("orig column should have no detection time")
+	}
+	if pair[1].DetectTime == 0 {
+		t.Error("instance-dependent column should account detection time")
+	}
+	if pair[1].Runtime < pair[1].DetectTime {
+		t.Error("runtime must include detection time")
+	}
+}

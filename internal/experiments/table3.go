@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/encode"
+	"repro/internal/pbsolver"
+)
+
+// Cell is one (construction, solver, ±instance-dependent-SBPs) cell of the
+// paper's Tables 3/4: total runtime and number of instances solved.
+type Cell struct {
+	Runtime time.Duration
+	Solved  int
+	// DetectTime is the symmetry-detection share of Runtime (instance-
+	// dependent columns only).
+	DetectTime time.Duration
+}
+
+// MatrixRow is one construction row across all solver columns.
+type MatrixRow struct {
+	Kind encode.SBPKind
+	// Cells[engine][0] = without instance-dependent SBPs ("Orig."),
+	// Cells[engine][1] = with ("w/ i.-d. SBPs").
+	Cells map[pbsolver.Engine][2]Cell
+}
+
+// Matrix runs the full solver matrix of Table 3 (K=20) or Table 4 (K=30).
+func Matrix(cfg Config) ([]MatrixRow, error) {
+	gs, err := cfg.instances()
+	if err != nil {
+		return nil, err
+	}
+	K := cfg.k()
+	rows := make([]MatrixRow, 0, len(cfg.sbps()))
+	for _, kind := range cfg.sbps() {
+		row := MatrixRow{Kind: kind, Cells: map[pbsolver.Engine][2]Cell{}}
+		for _, eng := range cfg.engines() {
+			var pair [2]Cell
+			for idx, instDep := range []bool{false, true} {
+				cell := Cell{}
+				for _, g := range gs {
+					out := core.Solve(g, core.Config{
+						K: K, SBP: kind, InstanceDependent: instDep,
+						Engine: eng, Timeout: cfg.Timeout,
+						SymMaxNodes: cfg.SymMaxNodes, SymTimeout: cfg.SymTimeout,
+					})
+					cell.Runtime += out.Result.Runtime
+					if out.Sym != nil {
+						cell.Runtime += out.Sym.DetectTime
+						cell.DetectTime += out.Sym.DetectTime
+					}
+					if out.Solved() {
+						cell.Solved++
+					}
+					cfg.logf("table%d %-6s %-7s instdep=%-5v %-12s %-8v %s\n",
+						map[int]int{20: 3, 30: 4}[K], kind, eng, instDep,
+						g.Name(), out.Result.Status, formatDur(out.Result.Runtime))
+				}
+				pair[idx] = cell
+			}
+			row.Cells[eng] = pair
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintMatrix renders the matrix in the paper's Table 3/4 layout.
+func PrintMatrix(w io.Writer, rows []MatrixRow, engines []pbsolver.Engine, K, nInstances int, timeout time.Duration) {
+	tableNo := 3
+	if K != 20 {
+		tableNo = 4
+	}
+	fmt.Fprintf(w, "Table %d: runtime and #solved of %d instances, K=%d, timeout %s per solve\n",
+		tableNo, nInstances, K, timeout)
+	fmt.Fprintf(w, "%-8s", "SBP")
+	for _, e := range engines {
+		fmt.Fprintf(w, " | %-21s", engineLabel(e))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-8s", "")
+	for range engines {
+		fmt.Fprintf(w, " | %-10s %-10s", "Orig.", "w/i.-d.")
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s", r.Kind)
+		for _, e := range engines {
+			pair := r.Cells[e]
+			fmt.Fprintf(w, " | %6s %2d  %6s %2d",
+				formatDur(pair[0].Runtime), pair[0].Solved,
+				formatDur(pair[1].Runtime), pair[1].Solved)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// BestCells returns, per engine, the row kind with the most instances
+// solved (runtime as tiebreak) for the orig and instance-dependent columns;
+// used by trend assertions in tests and EXPERIMENTS.md.
+func BestCells(rows []MatrixRow, eng pbsolver.Engine) (origBest, instDepBest encode.SBPKind) {
+	bestIdx := func(col int) encode.SBPKind {
+		best := rows[0].Kind
+		bestCell := rows[0].Cells[eng][col]
+		for _, r := range rows[1:] {
+			c := r.Cells[eng][col]
+			if c.Solved > bestCell.Solved ||
+				(c.Solved == bestCell.Solved && c.Runtime < bestCell.Runtime) {
+				best, bestCell = r.Kind, c
+			}
+		}
+		return best
+	}
+	return bestIdx(0), bestIdx(1)
+}

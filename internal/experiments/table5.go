@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/encode"
+	"repro/internal/graph"
+	"repro/internal/pbsolver"
+)
+
+// Table5Entry is one solve of the appendix's per-instance queens study.
+type Table5Entry struct {
+	Instance string
+	Kind     encode.SBPKind
+	Engine   pbsolver.Engine
+	InstDep  bool
+	Runtime  time.Duration
+	Solved   bool
+	Status   pbsolver.Status
+	Chi      int
+}
+
+// Table5 runs the queens family (queen5_5, 6_6, 7_7, 8_12) through every
+// configuration, as in the paper's appendix.
+func Table5(cfg Config) ([]Table5Entry, error) {
+	K := cfg.k()
+	var out []Table5Entry
+	for _, g := range graph.QueensBenchmarks() {
+		if len(cfg.Instances) > 0 && !contains(cfg.Instances, g.Name()) {
+			continue
+		}
+		for _, kind := range cfg.sbps() {
+			for _, eng := range cfg.engines() {
+				for _, instDep := range []bool{false, true} {
+					res := core.Solve(g, core.Config{
+						K: K, SBP: kind, InstanceDependent: instDep,
+						Engine: eng, Timeout: cfg.Timeout,
+						SymMaxNodes: cfg.SymMaxNodes, SymTimeout: cfg.SymTimeout,
+					})
+					rt := res.Result.Runtime
+					if res.Sym != nil {
+						rt += res.Sym.DetectTime
+					}
+					out = append(out, Table5Entry{
+						Instance: g.Name(), Kind: kind, Engine: eng,
+						InstDep: instDep, Runtime: rt,
+						Solved: res.Solved(), Status: res.Result.Status,
+						Chi: res.Chi,
+					})
+					cfg.logf("table5 %-10s %-6s %-7s instdep=%-5v %-8v %s\n",
+						g.Name(), kind, eng, instDep, res.Result.Status, formatDur(rt))
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// PrintTable5 renders the queens detail in the appendix layout: one block
+// per instance, rows per construction, solver columns split into
+// (no inst.-dep., with inst.-dep.).
+func PrintTable5(w io.Writer, entries []Table5Entry, engines []pbsolver.Engine, K int, timeout time.Duration) {
+	fmt.Fprintf(w, "Table 5: queens family detail, K=%d, timeout %s (T/O = not solved in time)\n", K, timeout)
+	byInstance := map[string][]Table5Entry{}
+	var order []string
+	for _, e := range entries {
+		if _, ok := byInstance[e.Instance]; !ok {
+			order = append(order, e.Instance)
+		}
+		byInstance[e.Instance] = append(byInstance[e.Instance], e)
+	}
+	for _, inst := range order {
+		fmt.Fprintf(w, "\n%s\n", inst)
+		fmt.Fprintf(w, "%-8s", "SBP")
+		for _, e := range engines {
+			fmt.Fprintf(w, " | %-19s", engineLabel(e))
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "%-8s", "")
+		for range engines {
+			fmt.Fprintf(w, " | %-9s %-9s", "No", "Yes")
+		}
+		fmt.Fprintln(w)
+		kinds := []encode.SBPKind{}
+		seen := map[encode.SBPKind]bool{}
+		for _, e := range byInstance[inst] {
+			if !seen[e.Kind] {
+				seen[e.Kind] = true
+				kinds = append(kinds, e.Kind)
+			}
+		}
+		for _, kind := range kinds {
+			fmt.Fprintf(w, "%-8s", kind)
+			for _, eng := range engines {
+				var no, yes string
+				for _, e := range byInstance[inst] {
+					if e.Kind != kind || e.Engine != eng {
+						continue
+					}
+					cell := "T/O"
+					if e.Solved {
+						cell = formatDur(e.Runtime)
+					}
+					if e.InstDep {
+						yes = cell
+					} else {
+						no = cell
+					}
+				}
+				fmt.Fprintf(w, " | %-9s %-9s", no, yes)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/encode"
+	"repro/internal/pbsolver"
+)
+
+// Trend is one of the paper's §4.2 empirical observations checked against a
+// measured matrix.
+type Trend struct {
+	ID          int
+	Description string
+	Holds       bool
+	Detail      string
+}
+
+// cell lookup helpers.
+func findRow(rows []MatrixRow, kind encode.SBPKind) *MatrixRow {
+	for i := range rows {
+		if rows[i].Kind == kind {
+			return &rows[i]
+		}
+	}
+	return nil
+}
+
+// AnalyzeTrends evaluates the paper's key claims (observations 2-8 of
+// §4.2, restated) on a measured Table 3/4 matrix. CDCL engines are all
+// engines except EngineBnB (the CPLEX stand-in).
+func AnalyzeTrends(rows []MatrixRow, engines []pbsolver.Engine) []Trend {
+	var cdcl []pbsolver.Engine
+	hasBnB := false
+	for _, e := range engines {
+		if e == pbsolver.EngineBnB {
+			hasBnB = true
+		} else {
+			cdcl = append(cdcl, e)
+		}
+	}
+	var trends []Trend
+	none := findRow(rows, encode.SBPNone)
+	nu := findRow(rows, encode.SBPNU)
+	nusc := findRow(rows, encode.SBPNUSC)
+	ca := findRow(rows, encode.SBPCA)
+	li := findRow(rows, encode.SBPLI)
+	sc := findRow(rows, encode.SBPSC)
+
+	// Trend A (paper obs. 3): CDCL solvers benefit considerably from
+	// instance-dependent SBPs (more instances solved on the no-SBP row).
+	if none != nil {
+		holds, detail := true, ""
+		for _, e := range cdcl {
+			p := none.Cells[e]
+			detail += fmt.Sprintf("%s %d→%d ", engineLabel(e), p[0].Solved, p[1].Solved)
+			if p[1].Solved < p[0].Solved {
+				holds = false
+			}
+		}
+		better := false
+		for _, e := range cdcl {
+			if none.Cells[e][1].Solved > none.Cells[e][0].Solved {
+				better = true
+			}
+		}
+		trends = append(trends, Trend{1,
+			"instance-dependent SBPs increase #solved for CDCL solvers (no-SBP row)",
+			holds && better, detail})
+	}
+
+	// Trend B (obs. 4): among instance-independent-only rows, NU or NU+SC
+	// is the best for every CDCL engine; CA and LI are never best.
+	if none != nil && nu != nil && nusc != nil {
+		holds, detail := true, ""
+		for _, e := range cdcl {
+			best, _ := BestCells(rows, e)
+			detail += fmt.Sprintf("%s best=%v ", engineLabel(e), best)
+			if best == encode.SBPCA || best == encode.SBPLI {
+				holds = false
+			}
+		}
+		trends = append(trends, Trend{2,
+			"simple constructions (never CA/LI) are the best instance-independent-only rows",
+			holds, detail})
+	}
+
+	// Trend C (obs. 4): complex constructions underperform — LI solves no
+	// more than NU for each CDCL engine (orig column).
+	if nu != nil && li != nil {
+		holds, detail := true, ""
+		for _, e := range cdcl {
+			nuS, liS := nu.Cells[e][0].Solved, li.Cells[e][0].Solved
+			detail += fmt.Sprintf("%s NU=%d LI=%d ", engineLabel(e), nuS, liS)
+			if liS > nuS {
+				holds = false
+			}
+		}
+		trends = append(trends, Trend{3,
+			"LI never beats NU for CDCL engines (instance-independent only)",
+			holds, detail})
+	}
+
+	// Trend D (obs. 5/6): the best overall cell uses instance-dependent
+	// SBPs (typically with SC or NU+SC).
+	{
+		holds, detail := true, ""
+		for _, e := range cdcl {
+			bestSolved, bestInstDep := -1, false
+			for _, r := range rows {
+				for idx, c := range r.Cells[e] {
+					if c.Solved > bestSolved {
+						bestSolved, bestInstDep = c.Solved, idx == 1
+					}
+				}
+			}
+			detail += fmt.Sprintf("%s best(instdep=%v,#%d) ", engineLabel(e), bestInstDep, bestSolved)
+			if !bestInstDep {
+				holds = false
+			}
+		}
+		trends = append(trends, Trend{4,
+			"best overall configuration uses instance-dependent SBPs (CDCL engines)",
+			holds, detail})
+	}
+
+	// Trend E (obs. 5): CA and LI leave (almost) nothing for instance-
+	// dependent SBPs to add: solved counts barely move between columns.
+	if ca != nil && li != nil {
+		holds, detail := true, ""
+		for _, e := range cdcl {
+			dCA := ca.Cells[e][1].Solved - ca.Cells[e][0].Solved
+			dLI := li.Cells[e][1].Solved - li.Cells[e][0].Solved
+			detail += fmt.Sprintf("%s ΔCA=%+d ΔLI=%+d ", engineLabel(e), dCA, dLI)
+			if dLI > 1 || dLI < -1 {
+				holds = false
+			}
+		}
+		trends = append(trends, Trend{5,
+			"LI leaves nothing for instance-dependent SBPs (Δ#solved within ±1)",
+			holds, detail})
+	}
+
+	// Trend F (obs. 7): the CDCL engines move together — for each pair of
+	// engines, the per-row solved counts correlate (same sign of change
+	// across rows more often than not).
+	if len(cdcl) >= 2 {
+		agree, total := 0, 0
+		for _, r := range rows {
+			for i := 0; i < len(cdcl); i++ {
+				for j := i + 1; j < len(cdcl); j++ {
+					a := r.Cells[cdcl[i]][0].Solved
+					b := r.Cells[cdcl[j]][0].Solved
+					total++
+					if abs(a-b) <= 3 {
+						agree++
+					}
+				}
+			}
+		}
+		trends = append(trends, Trend{6,
+			"CDCL engines exhibit the same per-row behaviour (solved counts within 3)",
+			agree*2 >= total, fmt.Sprintf("%d/%d row-pairs agree", agree, total)})
+	}
+
+	// Trend G (obs. 8): the generic B&B solver (CPLEX stand-in) is not
+	// helped — and is often hurt — by adding instance-dependent SBPs.
+	if hasBnB && none != nil && sc != nil {
+		gains := 0
+		for _, r := range rows {
+			p := r.Cells[pbsolver.EngineBnB]
+			gains += p[1].Solved - p[0].Solved
+		}
+		trends = append(trends, Trend{7,
+			"BnB (CPLEX stand-in) gains nothing from instance-dependent SBPs (Σ Δ#solved ≤ 0)",
+			gains <= 0, fmt.Sprintf("total Δsolved=%+d", gains)})
+	}
+	return trends
+}
+
+// PrintTrends renders the trend report.
+func PrintTrends(w io.Writer, trends []Trend) {
+	fmt.Fprintln(w, "Trend checks against the paper's §4.2 observations:")
+	for _, t := range trends {
+		status := "HOLDS"
+		if !t.Holds {
+			status = "DIVERGES"
+		}
+		fmt.Fprintf(w, "  [%d] %-8s %s\n        %s\n", t.ID, status, t.Description, t.Detail)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// SpeedupSummary reports, per engine, the total-runtime ratio between the
+// no-SBP column and the best configuration — the "how much does symmetry
+// breaking buy" headline.
+func SpeedupSummary(rows []MatrixRow, engines []pbsolver.Engine) string {
+	none := findRow(rows, encode.SBPNone)
+	if none == nil {
+		return ""
+	}
+	out := ""
+	for _, e := range engines {
+		base := none.Cells[e][0]
+		best := base
+		bestKind, bestInstDep := encode.SBPNone, false
+		for _, r := range rows {
+			for idx, c := range r.Cells[e] {
+				if c.Solved > best.Solved ||
+					(c.Solved == best.Solved && c.Runtime < best.Runtime) {
+					best = c
+					bestKind, bestInstDep = r.Kind, idx == 1
+				}
+			}
+		}
+		out += fmt.Sprintf("%s: %d→%d solved, %s→%s (best: %v instdep=%v)\n",
+			engineLabel(e), base.Solved, best.Solved,
+			formatDur(base.Runtime.Round(time.Millisecond)),
+			formatDur(best.Runtime.Round(time.Millisecond)),
+			bestKind, bestInstDep)
+	}
+	return out
+}

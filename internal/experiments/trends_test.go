@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/encode"
+	"repro/internal/pbsolver"
+)
+
+// syntheticMatrix builds a matrix embodying the paper's reported shape.
+func syntheticMatrix() []MatrixRow {
+	engines := []pbsolver.Engine{pbsolver.EnginePBS, pbsolver.EngineBnB,
+		pbsolver.EngineGalena, pbsolver.EnginePueblo}
+	// solved[kind][engine] = {orig, instdep} — digest of the paper's
+	// Table 3.
+	data := map[encode.SBPKind]map[pbsolver.Engine][2]int{
+		encode.SBPNone: {pbsolver.EnginePBS: {3, 16}, pbsolver.EngineBnB: {14, 7},
+			pbsolver.EngineGalena: {2, 17}, pbsolver.EnginePueblo: {3, 19}},
+		encode.SBPNU: {pbsolver.EnginePBS: {13, 13}, pbsolver.EngineBnB: {15, 15},
+			pbsolver.EngineGalena: {11, 11}, pbsolver.EnginePueblo: {12, 13}},
+		encode.SBPCA: {pbsolver.EnginePBS: {6, 8}, pbsolver.EngineBnB: {11, 10},
+			pbsolver.EngineGalena: {1, 3}, pbsolver.EnginePueblo: {12, 12}},
+		encode.SBPLI: {pbsolver.EnginePBS: {6, 6}, pbsolver.EngineBnB: {4, 4},
+			pbsolver.EngineGalena: {5, 5}, pbsolver.EnginePueblo: {5, 5}},
+		encode.SBPSC: {pbsolver.EnginePBS: {6, 20}, pbsolver.EngineBnB: {15, 8},
+			pbsolver.EngineGalena: {4, 20}, pbsolver.EnginePueblo: {5, 18}},
+		encode.SBPNUSC: {pbsolver.EnginePBS: {14, 14}, pbsolver.EngineBnB: {16, 14},
+			pbsolver.EngineGalena: {14, 14}, pbsolver.EnginePueblo: {13, 13}},
+	}
+	var rows []MatrixRow
+	for _, kind := range encode.Kinds {
+		row := MatrixRow{Kind: kind, Cells: map[pbsolver.Engine][2]Cell{}}
+		for _, e := range engines {
+			pair := data[kind][e]
+			row.Cells[e] = [2]Cell{
+				{Runtime: time.Duration(20-pair[0]) * time.Second, Solved: pair[0]},
+				{Runtime: time.Duration(20-pair[1]) * time.Second, Solved: pair[1]},
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func TestAnalyzeTrendsOnPaperShape(t *testing.T) {
+	engines := []pbsolver.Engine{pbsolver.EnginePBS, pbsolver.EngineBnB,
+		pbsolver.EngineGalena, pbsolver.EnginePueblo}
+	rows := syntheticMatrix()
+	trends := AnalyzeTrends(rows, engines)
+	if len(trends) < 6 {
+		t.Fatalf("expected >= 6 trend checks, got %d", len(trends))
+	}
+	for _, tr := range trends {
+		if !tr.Holds {
+			t.Errorf("trend %d should hold on the paper-shaped matrix: %s (%s)",
+				tr.ID, tr.Description, tr.Detail)
+		}
+	}
+	var buf bytes.Buffer
+	PrintTrends(&buf, trends)
+	if !strings.Contains(buf.String(), "HOLDS") {
+		t.Fatal("rendering missing")
+	}
+}
+
+func TestAnalyzeTrendsDetectsInvertedShape(t *testing.T) {
+	// Flip the no-SBP row so instance-dependent SBPs hurt the CDCL solvers:
+	// trend 1 must report divergence.
+	rows := syntheticMatrix()
+	for i := range rows {
+		if rows[i].Kind != encode.SBPNone {
+			continue
+		}
+		for _, e := range []pbsolver.Engine{pbsolver.EnginePBS, pbsolver.EngineGalena, pbsolver.EnginePueblo} {
+			p := rows[i].Cells[e]
+			p[0], p[1] = Cell{Solved: 18}, Cell{Solved: 2}
+			rows[i].Cells[e] = p
+		}
+	}
+	trends := AnalyzeTrends(rows, []pbsolver.Engine{pbsolver.EnginePBS, pbsolver.EngineBnB,
+		pbsolver.EngineGalena, pbsolver.EnginePueblo})
+	found := false
+	for _, tr := range trends {
+		if tr.ID == 1 && !tr.Holds {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("inverted shape not detected")
+	}
+}
+
+func TestSpeedupSummary(t *testing.T) {
+	rows := syntheticMatrix()
+	s := SpeedupSummary(rows, []pbsolver.Engine{pbsolver.EnginePBS})
+	if !strings.Contains(s, "PBS II") || !strings.Contains(s, "3→20") {
+		t.Fatalf("summary = %q", s)
+	}
+}

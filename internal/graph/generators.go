@@ -1,0 +1,359 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Queens returns the n×m queen graph: one vertex per board square, edges
+// between squares that share a row, column, or diagonal. These are the exact
+// graphs behind the paper's queen5_5 .. queen8_12 instances. The chromatic
+// number is not set here except for cases with known values recorded by the
+// benchmark registry.
+func Queens(rows, cols int) *Graph {
+	g := New(fmt.Sprintf("queen%d_%d", rows, cols), rows*cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r1 := 0; r1 < rows; r1++ {
+		for c1 := 0; c1 < cols; c1++ {
+			for r2 := r1; r2 < rows; r2++ {
+				for c2 := 0; c2 < cols; c2++ {
+					if r2 == r1 && c2 <= c1 {
+						continue
+					}
+					sameRow := r1 == r2
+					sameCol := c1 == c2
+					sameDiag := r1-c1 == r2-c2 || r1+c1 == r2+c2
+					if sameRow || sameCol || sameDiag {
+						g.AddEdge(id(r1, c1), id(r2, c2))
+					}
+				}
+			}
+		}
+	}
+	// A row is an n-clique (m-clique): record the larger as a lower bound
+	// witness.
+	k := cols
+	cl := make([]int, 0, k)
+	for c := 0; c < cols; c++ {
+		cl = append(cl, id(0, c))
+	}
+	if rows > cols {
+		cl = cl[:0]
+		for r := 0; r < rows; r++ {
+			cl = append(cl, id(r, 0))
+		}
+	}
+	g.Clique = cl
+	return g
+}
+
+// Mycielski returns the DIMACS mycielN graph: starting from K2, the
+// Mycielski transformation is applied level−1 times. Vertex/edge counts and
+// chromatic numbers follow the classical recurrences:
+//
+//	level 3: 11 vertices,  20 edges, χ=4 (the Grötzsch graph)
+//	level 4: 23 vertices,  71 edges, χ=5
+//	level 5: 47 vertices, 236 edges, χ=6
+func Mycielski(level int) *Graph {
+	if level < 2 {
+		panic("graph: Mycielski level must be >= 2")
+	}
+	// Start from K2 and apply level−1 transformations: K2 → C5 → Grötzsch
+	// (= myciel3) → myciel4 → ...
+	n := 2
+	edges := [][2]int{{0, 1}}
+	for s := 0; s < level-1; s++ {
+		n, edges = mycielskiStep(n, edges)
+	}
+	g := New(fmt.Sprintf("myciel%d", level), n)
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+	g.Chi = level + 1
+	return g
+}
+
+// mycielskiStep applies one Mycielski transformation: for G(V,E) with
+// vertices 0..n-1, add shadow vertices n..2n-1 (shadow of v is n+v) and apex
+// 2n. Shadow u' is adjacent to the original neighbors of u; the apex is
+// adjacent to every shadow.
+func mycielskiStep(n int, edges [][2]int) (int, [][2]int) {
+	out := make([][2]int, 0, 3*len(edges)+n)
+	out = append(out, edges...)
+	for _, e := range edges {
+		a, b := e[0], e[1]
+		out = append(out, [2]int{a, n + b}, [2]int{b, n + a})
+	}
+	apex := 2 * n
+	for v := 0; v < n; v++ {
+		out = append(out, [2]int{n + v, apex})
+	}
+	return 2*n + 1, out
+}
+
+// partition splits n vertices into k near-equal parts and returns the part
+// index of each vertex plus one representative per part (the first vertex).
+func partition(n, k int) (parts []int, reps []int) {
+	parts = make([]int, n)
+	reps = make([]int, k)
+	base, extra := n/k, n%k
+	v := 0
+	for p := 0; p < k; p++ {
+		size := base
+		if p < extra {
+			size++
+		}
+		reps[p] = v
+		for i := 0; i < size; i++ {
+			parts[v] = p
+			v++
+		}
+	}
+	return parts, reps
+}
+
+// plantChi installs the χ=k certificates on a partite graph: the planted
+// clique (one representative per part, fully connected by the caller) and
+// the partition witness.
+func plantChi(g *Graph, parts, reps []int, k int) {
+	g.Chi = k
+	g.Clique = append([]int(nil), reps...)
+	g.Parts = append([]int(nil), parts...)
+}
+
+// PartitePlanted returns a random k-partite graph on n vertices with exactly
+// e edges, a planted k-clique (one vertex per part), and hence chromatic
+// number exactly k: the partition is a proper k-coloring (χ ≤ k) and the
+// clique forces k colors (χ ≥ k). It is the generic stand-in for DIMACS
+// instances whose data files are not available offline (DESIGN.md
+// "Substitutions"). Generation is deterministic in seed.
+func PartitePlanted(name string, n, e, k int, seed int64) *Graph {
+	g, parts, reps := partiteBase(name, n, e, k)
+	rng := rand.New(rand.NewSource(seed))
+	for g.M() < e {
+		a := rng.Intn(n)
+		b := rng.Intn(n)
+		if parts[a] != parts[b] {
+			g.AddEdge(a, b)
+		}
+	}
+	plantChi(g, parts, reps, k)
+	return g
+}
+
+// PartiteGeometric is the locality-flavored stand-in for mileage graphs
+// (miles250): vertices get deterministic pseudo-random positions in the unit
+// square and the e−C(k,2) non-clique edges are the shortest cross-part pairs,
+// mimicking a distance-threshold graph while keeping χ exactly k.
+func PartiteGeometric(name string, n, e, k int, seed int64) *Graph {
+	g, parts, reps := partiteBase(name, n, e, k)
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	type cand struct {
+		a, b int
+		d2   float64
+	}
+	cands := make([]cand, 0, n*(n-1)/2)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if parts[a] == parts[b] {
+				continue
+			}
+			dx, dy := xs[a]-xs[b], ys[a]-ys[b]
+			cands = append(cands, cand{a, b, dx*dx + dy*dy})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].d2 < cands[j].d2 })
+	for _, c := range cands {
+		if g.M() >= e {
+			break
+		}
+		g.AddEdge(c.a, c.b)
+	}
+	if g.M() < e {
+		panic(fmt.Sprintf("graph %s: cannot reach %d edges (max cross-part %d)", name, e, g.M()))
+	}
+	plantChi(g, parts, reps, k)
+	return g
+}
+
+// PartiteScenes is the co-occurrence-flavored stand-in for the book graphs
+// (anna, david, huck, jean): edges arrive in small "scenes" — cliques over
+// 2..5 vertices drawn from distinct parts — so the graph is a union of
+// overlapping cliques like a character-interaction network, with χ exactly k.
+func PartiteScenes(name string, n, e, k int, seed int64) *Graph {
+	g, parts, reps := partiteBase(name, n, e, k)
+	rng := rand.New(rand.NewSource(seed))
+	for g.M() < e {
+		size := 2 + rng.Intn(4)
+		if size > k {
+			size = k
+		}
+		// Draw `size` vertices from distinct parts.
+		scene := make([]int, 0, size)
+		used := make(map[int]bool, size)
+		for tries := 0; len(scene) < size && tries < 8*size; tries++ {
+			v := rng.Intn(n)
+			if !used[parts[v]] {
+				used[parts[v]] = true
+				scene = append(scene, v)
+			}
+		}
+		for i := 0; i < len(scene) && g.M() < e; i++ {
+			for j := i + 1; j < len(scene) && g.M() < e; j++ {
+				g.AddEdge(scene[i], scene[j])
+			}
+		}
+	}
+	plantChi(g, parts, reps, k)
+	return g
+}
+
+// partiteBase builds the skeleton shared by the partite generators: n
+// vertices in k parts with the planted k-clique over part representatives.
+func partiteBase(name string, n, e, k int) (*Graph, []int, []int) {
+	if k < 2 || k > n {
+		panic(fmt.Sprintf("graph %s: need 2 <= k <= n, got k=%d n=%d", name, k, n))
+	}
+	if minE := k * (k - 1) / 2; e < minE {
+		panic(fmt.Sprintf("graph %s: e=%d below planted clique size %d", name, e, minE))
+	}
+	g := New(name, n)
+	parts, reps := partition(n, k)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			g.AddEdge(reps[i], reps[j])
+		}
+	}
+	return g, parts, reps
+}
+
+// Interval is a live range [Start, End) used by IntervalInterference.
+type Interval struct {
+	Start, End int
+}
+
+// IntervalInterference generates a register-allocation-style interference
+// graph: n live ranges over a linear program with maximum simultaneous
+// overlap exactly k. Interval graphs are perfect, so χ equals the max
+// overlap, i.e. exactly k. Used by the registeralloc example and tests;
+// the mulsol/zeroin table stand-ins use PartitePlanted for exact edge
+// counts.
+func IntervalInterference(name string, n, k int, seed int64) (*Graph, []Interval) {
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("graph %s: need 1 <= k <= n", name))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	horizon := 4 * n
+	intervals := make([]Interval, 0, n)
+	// Sweep-based generation: keep at most k ranges live; force the overlap
+	// to reach exactly k at least once by opening k ranges at time 0.
+	type open struct{ idx, end int }
+	live := []open{}
+	expire := func(t int) {
+		keep := live[:0]
+		for _, o := range live {
+			if o.end > t {
+				keep = append(keep, o)
+			}
+		}
+		live = keep
+	}
+	for i := 0; i < k; i++ {
+		end := 1 + rng.Intn(horizon/2)
+		intervals = append(intervals, Interval{0, end})
+		live = append(live, open{i, end})
+	}
+	t := 1
+	for len(intervals) < n {
+		t += 1 + rng.Intn(3)
+		expire(t)
+		if len(live) >= k {
+			continue
+		}
+		end := t + 1 + rng.Intn(horizon/4)
+		intervals = append(intervals, Interval{t, end})
+		live = append(live, open{len(intervals) - 1, end})
+	}
+	g := New(name, n)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if intervals[a].Start < intervals[b].End && intervals[b].Start < intervals[a].End {
+				g.AddEdge(a, b)
+			}
+		}
+	}
+	g.Chi = k
+	// The first k intervals all contain time 0: they form the witness clique.
+	g.Clique = make([]int, k)
+	for i := 0; i < k; i++ {
+		g.Clique[i] = i
+	}
+	return g, intervals
+}
+
+// Random returns an Erdős–Rényi G(n,m) graph with exactly m edges,
+// deterministic in seed. χ is unknown (left 0).
+func Random(name string, n, m int, seed int64) *Graph {
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		panic(fmt.Sprintf("graph %s: m=%d exceeds max %d", name, m, maxM))
+	}
+	g := New(name, n)
+	rng := rand.New(rand.NewSource(seed))
+	for g.M() < m {
+		a, b := rng.Intn(n), rng.Intn(n)
+		g.AddEdge(a, b)
+	}
+	return g
+}
+
+// Cycle returns the n-cycle C_n.
+func Cycle(n int) *Graph {
+	g := New(fmt.Sprintf("cycle%d", n), n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	if n%2 == 0 {
+		g.Chi = 2
+	} else if n >= 3 {
+		g.Chi = 3
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	g := New(fmt.Sprintf("k%d", n), n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	g.Chi = n
+	cl := make([]int, n)
+	for i := range cl {
+		cl[i] = i
+	}
+	g.Clique = cl
+	return g
+}
+
+// Petersen returns the Petersen graph (χ=3), useful in automorphism tests
+// (its automorphism group has order 120).
+func Petersen() *Graph {
+	g := New("petersen", 10)
+	for i := 0; i < 5; i++ {
+		g.AddEdge(i, (i+1)%5) // outer cycle
+		g.AddEdge(5+i, 5+(i+2)%5)
+		g.AddEdge(i, 5+i)
+	}
+	g.Chi = 3
+	return g
+}

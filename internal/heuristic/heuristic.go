@@ -1,0 +1,213 @@
+// Package heuristic provides the classical graph-coloring algorithms the
+// paper positions its reduction-based approach against (§2.1): the DSATUR
+// greedy heuristic of Brélaz 1979 and an exact DSATUR-based branch-and-
+// bound colorer in the implicit-enumeration lineage of Brown 1972 and
+// Kubale & Jackowski 1985. These provide upper bounds for choosing K
+// (paper §4.1's two-step procedure) and a problem-specific comparator for
+// the §4.3 discussion.
+package heuristic
+
+import (
+	"time"
+
+	"repro/internal/clique"
+	"repro/internal/graph"
+)
+
+// Dsatur colors the graph greedily by saturation degree: repeatedly pick
+// the uncolored vertex adjacent to the most distinct colors (ties by
+// degree, then index) and give it the lowest feasible color. Returns the
+// coloring (0-based) — optimal for bipartite graphs, an upper bound in
+// general.
+func Dsatur(g *graph.Graph) []int {
+	n := g.N()
+	colors := make([]int, n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	satSets := make([]map[int]bool, n)
+	for i := range satSets {
+		satSets[i] = map[int]bool{}
+	}
+	for done := 0; done < n; done++ {
+		best, bestSat, bestDeg := -1, -1, -1
+		for v := 0; v < n; v++ {
+			if colors[v] >= 0 {
+				continue
+			}
+			sat, deg := len(satSets[v]), g.Degree(v)
+			if sat > bestSat || (sat == bestSat && deg > bestDeg) {
+				best, bestSat, bestDeg = v, sat, deg
+			}
+		}
+		c := 0
+		for satSets[best][c] {
+			c++
+		}
+		colors[best] = c
+		for _, u := range g.Neighbors(best) {
+			if colors[u] < 0 {
+				satSets[u][c] = true
+			}
+		}
+	}
+	return colors
+}
+
+// DsaturCount returns the number of colors DSATUR uses.
+func DsaturCount(g *graph.Graph) int {
+	colors := Dsatur(g)
+	mx := -1
+	for _, c := range colors {
+		if c > mx {
+			mx = c
+		}
+	}
+	return mx + 1
+}
+
+// ExactResult reports an exact-coloring search outcome.
+type ExactResult struct {
+	Chi      int   // best (smallest) color count found
+	Colors   []int // a coloring with Chi colors
+	Complete bool  // true when optimality was proven within the budget
+	Nodes    int64
+}
+
+// ExactChromatic computes the chromatic number by DSATUR-ordered branch and
+// bound with a clique lower bound, the problem-specific exact baseline. A
+// zero deadline means no time limit.
+func ExactChromatic(g *graph.Graph, deadline time.Time) ExactResult {
+	n := g.N()
+	if n == 0 {
+		return ExactResult{Chi: 0, Colors: []int{}, Complete: true}
+	}
+	ub := Dsatur(g)
+	best := 0
+	for _, c := range ub {
+		if c+1 > best {
+			best = c + 1
+		}
+	}
+	lbClique := clique.Greedy(g)
+	lb := len(lbClique)
+
+	s := &bbState{
+		g:        g,
+		colors:   make([]int, n),
+		best:     best,
+		bestCols: append([]int(nil), ub...),
+		lb:       lb,
+		deadline: deadline,
+	}
+	for i := range s.colors {
+		s.colors[i] = -1
+	}
+	// Pre-color the clique: its vertices need distinct colors in some
+	// order, which is symmetric — fixing them prunes color permutations
+	// (the same idea the paper's SC predicate approximates).
+	for i, v := range lbClique {
+		s.colors[v] = i
+	}
+	s.used = lb
+	s.search(len(lbClique))
+	return ExactResult{Chi: s.best, Colors: s.bestCols, Complete: !s.timedOut, Nodes: s.nodes}
+}
+
+type bbState struct {
+	g        *graph.Graph
+	colors   []int
+	used     int // number of colors in the current partial assignment
+	best     int
+	bestCols []int
+	lb       int
+	deadline time.Time
+	timedOut bool
+	nodes    int64
+}
+
+func (s *bbState) expired() bool {
+	if s.timedOut {
+		return true
+	}
+	if !s.deadline.IsZero() && s.nodes%256 == 0 && time.Now().After(s.deadline) {
+		s.timedOut = true
+	}
+	return s.timedOut
+}
+
+// pickVertex selects the uncolored vertex with maximum saturation.
+func (s *bbState) pickVertex() int {
+	bestV, bestSat, bestDeg := -1, -1, -1
+	for v := 0; v < s.g.N(); v++ {
+		if s.colors[v] >= 0 {
+			continue
+		}
+		seen := map[int]bool{}
+		for _, u := range s.g.Neighbors(v) {
+			if s.colors[u] >= 0 {
+				seen[s.colors[u]] = true
+			}
+		}
+		sat, deg := len(seen), s.g.Degree(v)
+		if sat > bestSat || (sat == bestSat && deg > bestDeg) {
+			bestV, bestSat, bestDeg = v, sat, deg
+		}
+	}
+	return bestV
+}
+
+func (s *bbState) search(depth int) {
+	s.nodes++
+	if s.expired() || s.used >= s.best {
+		return
+	}
+	if depth == s.g.N() {
+		// Complete coloring better than the incumbent.
+		s.best = s.used
+		copy(s.bestCols, s.colors)
+		return
+	}
+	v := s.pickVertex()
+	if v < 0 {
+		// All colored (pre-colored clique may cover everything).
+		if s.used < s.best {
+			s.best = s.used
+			copy(s.bestCols, s.colors)
+		}
+		return
+	}
+	forbidden := map[int]bool{}
+	for _, u := range s.g.Neighbors(v) {
+		if s.colors[u] >= 0 {
+			forbidden[s.colors[u]] = true
+		}
+	}
+	// Existing colors first, then (at most) one fresh color: trying more
+	// than one new color is symmetric.
+	limit := s.used
+	if limit < s.best-1 {
+		limit = s.used + 1
+	}
+	for c := 0; c < limit && c < s.best-0; c++ {
+		if forbidden[c] {
+			continue
+		}
+		if c >= s.best-1 && s.used+1 >= s.best && c >= s.used {
+			break // a fresh color would reach the incumbent bound
+		}
+		prevUsed := s.used
+		s.colors[v] = c
+		if c >= s.used {
+			s.used = c + 1
+		}
+		if s.used < s.best {
+			s.search(depth + 1)
+		}
+		s.colors[v] = -1
+		s.used = prevUsed
+		if s.best == s.lb {
+			return // matched the clique bound: provably optimal
+		}
+	}
+}

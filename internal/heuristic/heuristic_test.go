@@ -1,0 +1,126 @@
+package heuristic
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+func TestDsaturProperAndBounded(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Cycle(6),
+		graph.Cycle(7),
+		graph.Complete(5),
+		graph.Petersen(),
+		graph.Queens(5, 5),
+		graph.Mycielski(4),
+		graph.PartitePlanted("p", 30, 90, 5, 2),
+	}
+	for _, g := range graphs {
+		colors := Dsatur(g)
+		if !g.IsProperColoring(colors) {
+			t.Errorf("%s: DSATUR coloring improper", g.Name())
+		}
+		cnt := DsaturCount(g)
+		maxDeg := 0
+		for v := 0; v < g.N(); v++ {
+			if d := g.Degree(v); d > maxDeg {
+				maxDeg = d
+			}
+		}
+		if cnt > maxDeg+1 {
+			t.Errorf("%s: DSATUR used %d > Δ+1 = %d", g.Name(), cnt, maxDeg+1)
+		}
+		if g.Chi > 0 && cnt < g.Chi {
+			t.Errorf("%s: DSATUR used %d < χ = %d", g.Name(), cnt, g.Chi)
+		}
+	}
+}
+
+func TestDsaturOptimalOnBipartite(t *testing.T) {
+	// DSATUR is optimal for bipartite graphs (Brélaz): even cycles and
+	// complete bipartite graphs take exactly 2 colors.
+	for _, n := range []int{4, 6, 10, 16} {
+		if cnt := DsaturCount(graph.Cycle(n)); cnt != 2 {
+			t.Errorf("C%d: DSATUR = %d, want 2", n, cnt)
+		}
+	}
+	kb := graph.New("k33", 6)
+	for a := 0; a < 3; a++ {
+		for b := 3; b < 6; b++ {
+			kb.AddEdge(a, b)
+		}
+	}
+	if cnt := DsaturCount(kb); cnt != 2 {
+		t.Errorf("K33: DSATUR = %d, want 2", cnt)
+	}
+}
+
+func TestExactChromaticKnownValues(t *testing.T) {
+	cases := []struct {
+		g   *graph.Graph
+		chi int
+	}{
+		{graph.Cycle(4), 2},
+		{graph.Cycle(5), 3},
+		{graph.Complete(6), 6},
+		{graph.Petersen(), 3},
+		{graph.Mycielski(3), 4},
+		{graph.Mycielski(4), 5},
+		{graph.Queens(5, 5), 5},
+		{graph.Queens(6, 6), 7},
+		{graph.PartitePlanted("p", 25, 70, 4, 9), 4},
+	}
+	for _, c := range cases {
+		res := ExactChromatic(c.g, time.Time{})
+		if !res.Complete {
+			t.Errorf("%s: did not complete", c.g.Name())
+		}
+		if res.Chi != c.chi {
+			t.Errorf("%s: χ = %d, want %d", c.g.Name(), res.Chi, c.chi)
+		}
+		if !c.g.IsProperColoring(res.Colors) {
+			t.Errorf("%s: witness improper", c.g.Name())
+		}
+	}
+}
+
+func TestExactChromaticEmptyAndTrivial(t *testing.T) {
+	res := ExactChromatic(graph.New("empty", 0), time.Time{})
+	if res.Chi != 0 || !res.Complete {
+		t.Fatalf("empty graph: %+v", res)
+	}
+	res = ExactChromatic(graph.New("isolated", 3), time.Time{})
+	if res.Chi != 1 {
+		t.Fatalf("isolated vertices: χ = %d, want 1", res.Chi)
+	}
+}
+
+func TestExactChromaticDeadline(t *testing.T) {
+	// A harder instance with an immediate deadline must still return a
+	// valid (possibly unproven) coloring.
+	g := graph.Queens(7, 7)
+	res := ExactChromatic(g, time.Now().Add(time.Millisecond))
+	if !g.IsProperColoring(res.Colors) {
+		t.Fatal("budgeted result must still be a proper coloring")
+	}
+	if res.Chi < 7 {
+		t.Fatalf("χ bound %d below clique bound", res.Chi)
+	}
+}
+
+func TestExactMatchesBenchmarkChi(t *testing.T) {
+	// The generated stand-ins carry structural χ certificates; the exact
+	// solver must agree on the small ones.
+	for _, name := range []string{"myciel3", "myciel4", "queen5_5"} {
+		g, err := graph.Benchmark(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := ExactChromatic(g, time.Time{})
+		if !res.Complete || res.Chi != g.Chi {
+			t.Errorf("%s: exact χ = %d (complete=%v), want %d", name, res.Chi, res.Complete, g.Chi)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package pb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/cnf"
+)
+
+// ParseOPB reads a pseudo-Boolean instance in the OPB text format produced
+// by Formula.OPB (and by the standard PB-competition tools):
+//
+//   - #variable= 4 #constraint= 2        (comment lines start with '*')
+//     min: +1 x1 +2 x2;                    (optional objective)
+//     +1 x1 +1 x2 >= 1;
+//     +2 x1 -3 ~x2 <= 5;
+//     +1 x3 = 1;
+//
+// Variables are written x<N>; "~" negates. Constraints are normalized on
+// input, so a round trip through OPB/ParseOPB preserves semantics (not
+// necessarily the literal text).
+func ParseOPB(r io.Reader) (*Formula, error) {
+	f := NewFormula(0)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "*") {
+			continue
+		}
+		line = strings.TrimSuffix(line, ";")
+		if strings.HasPrefix(line, "min:") {
+			terms, rest, err := parseTerms(strings.TrimPrefix(line, "min:"))
+			if err != nil {
+				return nil, fmt.Errorf("opb line %d: %v", lineNo, err)
+			}
+			if strings.TrimSpace(rest) != "" {
+				return nil, fmt.Errorf("opb line %d: trailing %q in objective", lineNo, rest)
+			}
+			f.SetObjective(terms)
+			continue
+		}
+		terms, rest, err := parseTerms(line)
+		if err != nil {
+			return nil, fmt.Errorf("opb line %d: %v", lineNo, err)
+		}
+		cmp, bound, err := parseRelation(rest)
+		if err != nil {
+			return nil, fmt.Errorf("opb line %d: %v", lineNo, err)
+		}
+		f.AddPB(terms, cmp, bound)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// parseTerms consumes "+2 x1 -1 ~x3 ..." pairs and returns the remainder
+// (the relation part) unconsumed.
+func parseTerms(s string) ([]Term, string, error) {
+	fields := strings.Fields(s)
+	var terms []Term
+	i := 0
+	for i+1 < len(fields)+1 {
+		if i >= len(fields) {
+			break
+		}
+		tok := fields[i]
+		if tok == ">=" || tok == "<=" || tok == "=" {
+			break
+		}
+		coef, err := strconv.Atoi(strings.TrimPrefix(tok, "+"))
+		if err != nil {
+			return nil, "", fmt.Errorf("bad coefficient %q", tok)
+		}
+		if i+1 >= len(fields) {
+			return nil, "", fmt.Errorf("coefficient %q without variable", tok)
+		}
+		lit, err := parseOPBLit(fields[i+1])
+		if err != nil {
+			return nil, "", err
+		}
+		terms = append(terms, Term{Coef: coef, Lit: lit})
+		i += 2
+	}
+	return terms, strings.Join(fields[i:], " "), nil
+}
+
+func parseOPBLit(tok string) (cnf.Lit, error) {
+	neg := false
+	if strings.HasPrefix(tok, "~") {
+		neg = true
+		tok = tok[1:]
+	}
+	if !strings.HasPrefix(tok, "x") {
+		return 0, fmt.Errorf("bad variable %q", tok)
+	}
+	v, err := strconv.Atoi(tok[1:])
+	if err != nil || v < 1 {
+		return 0, fmt.Errorf("bad variable %q", tok)
+	}
+	if neg {
+		return cnf.NegLit(v), nil
+	}
+	return cnf.PosLit(v), nil
+}
+
+func parseRelation(s string) (Comparator, int, error) {
+	fields := strings.Fields(s)
+	if len(fields) != 2 {
+		return 0, 0, fmt.Errorf("bad relation %q", s)
+	}
+	var cmp Comparator
+	switch fields[0] {
+	case ">=":
+		cmp = GE
+	case "<=":
+		cmp = LE
+	case "=":
+		cmp = EQ
+	default:
+		return 0, 0, fmt.Errorf("bad comparator %q", fields[0])
+	}
+	bound, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad bound %q", fields[1])
+	}
+	return cmp, bound, nil
+}

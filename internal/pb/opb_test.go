@@ -1,0 +1,98 @@
+package pb
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+func TestParseOPBBasic(t *testing.T) {
+	in := `* #variable= 3 #constraint= 2
+min: +1 x1 +2 x2;
++1 x1 +1 x2 >= 1;
++2 x1 -3 ~x2 <= 5;
++1 x3 = 1;
+`
+	f, err := ParseOPB(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Objective) != 2 {
+		t.Fatalf("objective terms = %d", len(f.Objective))
+	}
+	// Constraint rows: >=1 over units becomes a clause; <= becomes a PB
+	// constraint (or clause); = splits.
+	if f.NumVars != 3 {
+		t.Fatalf("vars = %d", f.NumVars)
+	}
+	// Semantics spot check: x1=1,x2=0,x3=1 is feasible.
+	a := cnf.Assignment{false, true, false, true}
+	if !f.Satisfies(a) {
+		t.Fatal("expected satisfying assignment rejected")
+	}
+	// x3=0 violates the equality.
+	if f.Satisfies(cnf.Assignment{false, true, false, false}) {
+		t.Fatal("x3=0 should violate = 1")
+	}
+}
+
+func TestParseOPBErrors(t *testing.T) {
+	cases := []string{
+		"+1 y1 >= 1;",     // bad variable name
+		"+1 x0 >= 1;",     // variable index 0
+		"+q x1 >= 1;",     // bad coefficient
+		"+1 x1 >> 1;",     // bad comparator
+		"+1 x1 >= one;",   // bad bound
+		"+1 >= 1;",        // coefficient without variable
+		"min: +1 x1 x2;",  // objective trailing garbage
+		"+1 x1 >= 1 2 3;", // malformed relation
+	}
+	for _, in := range cases {
+		if _, err := ParseOPB(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseOPB(%q) should fail", in)
+		}
+	}
+}
+
+// TestOPBRoundTripSemantics: Formula -> OPB text -> Formula preserves the
+// satisfying set and objective values over all assignments.
+func TestOPBRoundTripSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for iter := 0; iter < 100; iter++ {
+		nVars := 2 + rng.Intn(5)
+		f := NewFormula(nVars)
+		for c := 0; c < 1+rng.Intn(3); c++ {
+			w := 1 + rng.Intn(3)
+			terms := make([]Term, 0, w)
+			for j := 0; j < w; j++ {
+				l := cnf.PosLit(1 + rng.Intn(nVars))
+				if rng.Intn(2) == 0 {
+					l = l.Neg()
+				}
+				terms = append(terms, Term{Coef: 1 + rng.Intn(3), Lit: l})
+			}
+			f.AddPB(terms, Comparator(rng.Intn(3)), rng.Intn(5))
+		}
+		if rng.Intn(2) == 0 {
+			f.SetObjective([]Term{{Coef: 1 + rng.Intn(2), Lit: cnf.PosLit(1 + rng.Intn(nVars))}})
+		}
+		back, err := ParseOPB(strings.NewReader(f.OPB()))
+		if err != nil {
+			t.Fatalf("iter %d: %v\n%s", iter, err, f.OPB())
+		}
+		for mask := 0; mask < 1<<nVars; mask++ {
+			a := make(cnf.Assignment, nVars+1)
+			for v := 1; v <= nVars; v++ {
+				a[v] = mask&(1<<(v-1)) != 0
+			}
+			if f.Satisfies(a) != back.Satisfies(a) {
+				t.Fatalf("iter %d mask %b: satisfaction differs\n%s", iter, mask, f.OPB())
+			}
+			if f.Satisfies(a) && f.ObjectiveValue(a) != back.ObjectiveValue(a) {
+				t.Fatalf("iter %d: objective differs", iter)
+			}
+		}
+	}
+}

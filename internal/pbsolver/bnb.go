@@ -1,0 +1,233 @@
+package pbsolver
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/pb"
+)
+
+// The EngineBnB configuration is the generic-ILP (CPLEX 7.0) stand-in: a
+// depth-first branch-and-bound search with chronological backtracking and
+// no learning of any kind. It reuses the propagation machinery (watched
+// clauses + PB counters) but none of the CDCL apparatus: conflicts flip the
+// most recent unflipped decision, the variable order is static
+// (most-constrained first), and optimization prunes on an incumbent bound.
+//
+// The paper observes that CPLEX, unlike the CDCL solvers, is *slowed down*
+// by added SBPs; the mechanism this stand-in reproduces is that extra
+// constraint rows add propagation work at every node while chronological
+// search cannot convert them into reusable pruning (no learnt clauses).
+// Where the stand-in diverges from CPLEX (no LP relaxation bounding) is
+// documented in EXPERIMENTS.md.
+
+type bnbDecision struct {
+	v       int
+	phase   bool // phase assigned (true = positive literal)
+	flipped bool
+}
+
+type bnbSearcher struct {
+	e         *cdclEngine
+	order     []int // static decision order, most-constrained first
+	decisions []bnbDecision
+	obj       []pb.Term
+	best      cnf.Assignment
+	bestZ     int
+	hasBest   bool
+}
+
+func newBnBSearcher(f *pb.Formula, opts Options) *bnbSearcher {
+	e := buildCDCL(f, opts)
+	if e == nil {
+		return nil
+	}
+	s := &bnbSearcher{e: e, obj: f.Objective}
+	// Static most-constrained-first order: weight by clause occurrences and
+	// PB coefficients.
+	score := make([]int, e.nVars+1)
+	for _, c := range e.clauses {
+		for _, l := range c.lits {
+			score[l.Var()]++
+		}
+	}
+	for _, p := range e.pbcs {
+		for _, t := range p.terms {
+			score[t.Lit.Var()] += t.Coef
+		}
+	}
+	s.order = make([]int, e.nVars)
+	for v := 1; v <= e.nVars; v++ {
+		s.order[v-1] = v
+	}
+	sort.SliceStable(s.order, func(i, j int) bool {
+		return score[s.order[i]] > score[s.order[j]]
+	})
+	return s
+}
+
+// objLB is the incumbent-pruning lower bound: the objective mass already
+// committed by true literals (coefficients are positive by normalization).
+func (s *bnbSearcher) objLB() int {
+	lb := 0
+	for _, t := range s.obj {
+		if s.e.value(t.Lit) == lTrue {
+			lb += t.Coef
+		}
+	}
+	return lb
+}
+
+func (s *bnbSearcher) nextVar() int {
+	for _, v := range s.order {
+		if s.e.assign[v] == lUndef {
+			return v
+		}
+	}
+	return 0
+}
+
+// backtrack performs chronological backtracking with decision flipping.
+// Returns false when the tree is exhausted.
+func (s *bnbSearcher) backtrack() bool {
+	for {
+		if len(s.decisions) == 0 {
+			return false
+		}
+		d := &s.decisions[len(s.decisions)-1]
+		if d.flipped {
+			s.decisions = s.decisions[:len(s.decisions)-1]
+			continue
+		}
+		// Flip: undo this level, re-decide with the opposite phase.
+		s.e.cancelUntil(len(s.decisions) - 1)
+		d.flipped = true
+		d.phase = !d.phase
+		s.e.trailAt = append(s.e.trailAt, len(s.e.trail))
+		var l cnf.Lit
+		if d.phase {
+			l = cnf.PosLit(d.v)
+		} else {
+			l = cnf.NegLit(d.v)
+		}
+		if !s.e.enqueue(l, reasonRef{}) {
+			panic("pbsolver: flip enqueue failed")
+		}
+		return true
+	}
+}
+
+// search runs the DFS. In decision mode (optimize=false) it stops at the
+// first full assignment. In optimize mode it exhausts the tree with
+// incumbent pruning and reports the final status.
+func (s *bnbSearcher) search(bgt *budget, optimize bool) Status {
+	e := s.e
+	checkCounter := 0
+	for {
+		checkCounter++
+		if checkCounter >= 256 {
+			checkCounter = 0
+			if bgt.expired() {
+				return StatusUnknown
+			}
+		}
+		if bgt.conflictsExceeded() {
+			return StatusUnknown
+		}
+		confCl, confPc := e.propagate()
+		conflict := confCl != nil || confPc != nil
+		if !conflict && optimize && s.hasBest && s.objLB() >= s.bestZ {
+			conflict = true // incumbent bound pruning
+		}
+		if conflict {
+			e.stats.Conflicts++
+			bgt.conflicts++
+			if !s.backtrack() {
+				if s.hasBest {
+					return StatusOptimal
+				}
+				return StatusUnsat
+			}
+			continue
+		}
+		v := s.nextVar()
+		if v == 0 {
+			// Full assignment: a feasible solution.
+			if !optimize {
+				return StatusSat
+			}
+			m := e.model()
+			z := 0
+			for _, t := range s.obj {
+				if m.Lit(t.Lit) {
+					z += t.Coef
+				}
+			}
+			if !s.hasBest || z < s.bestZ {
+				s.best, s.bestZ, s.hasBest = m, z, true
+			}
+			if z == 0 {
+				return StatusOptimal
+			}
+			e.stats.Conflicts++ // count the forced retreat as a backtrack
+			bgt.conflicts++
+			if !s.backtrack() {
+				return StatusOptimal
+			}
+			continue
+		}
+		e.stats.Decisions++
+		e.stats.Nodes++
+		s.decisions = append(s.decisions, bnbDecision{v: v, phase: false})
+		e.trailAt = append(e.trailAt, len(e.trail))
+		e.enqueue(cnf.NegLit(v), reasonRef{})
+	}
+}
+
+func bnbDecide(f *pb.Formula, opts Options, bgt *budget, start time.Time) Result {
+	s := newBnBSearcher(f, opts)
+	if s == nil {
+		return Result{Status: StatusUnsat, Runtime: time.Since(start)}
+	}
+	st := s.search(bgt, false)
+	res := Result{Stats: s.e.stats, Runtime: time.Since(start)}
+	res.Stats.SolverCalls = 1
+	switch st {
+	case StatusSat:
+		res.Status = StatusOptimal
+		res.Model = s.e.model()
+	case StatusUnsat:
+		res.Status = StatusUnsat
+	default:
+		res.Status = StatusUnknown
+	}
+	return res
+}
+
+func bnbOptimize(f *pb.Formula, opts Options, bgt *budget, start time.Time) Result {
+	s := newBnBSearcher(f, opts)
+	if s == nil {
+		return Result{Status: StatusUnsat, Runtime: time.Since(start)}
+	}
+	st := s.search(bgt, true)
+	res := Result{Stats: s.e.stats, Runtime: time.Since(start)}
+	res.Stats.SolverCalls = 1
+	switch st {
+	case StatusOptimal:
+		res.Status = StatusOptimal
+		res.Model = s.best
+		res.Objective = s.bestZ
+	case StatusUnsat:
+		res.Status = StatusUnsat
+	default:
+		if s.hasBest {
+			res.Status = StatusSat
+			res.Model = s.best
+			res.Objective = s.bestZ
+		} else {
+			res.Status = StatusUnknown
+		}
+	}
+	return res
+}

@@ -1,0 +1,781 @@
+package pbsolver
+
+import (
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/pb"
+)
+
+// cdclEngine is the CDCL-based 0-1 ILP core shared by the PBS II, Galena,
+// and Pueblo configurations: watched-literal clause propagation plus
+// counter-based pseudo-Boolean propagation, first-UIP clause learning with
+// PB reasons expanded to clauses, VSIDS decisions, Luby restarts. The
+// EngineGalena configuration additionally learns cardinality reductions of
+// conflicting PB constraints (CARD learning, Chai & Kuehlmann 2003).
+type cdclEngine struct {
+	opts Options
+
+	nVars   int
+	clauses []*clause
+	learnts []*clause
+	watches [][]*clause
+
+	pbcs []*pbc
+	// occ[litIdx(l)] lists PB constraints containing literal l together
+	// with its coefficient: when l becomes false their slack drops.
+	occ [][]occRef
+
+	assign   []lbool
+	level    []int
+	reason   []reasonRef
+	trailPos []int
+	trail    []cnf.Lit
+	trailAt  []int
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	order    varHeap
+	phase    []bool
+
+	claInc   float64
+	seen     []bool
+	unsatNow bool
+
+	stats Stats
+}
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+type clause struct {
+	lits     []cnf.Lit
+	learnt   bool
+	activity float64
+}
+
+// pbc is a PB constraint with counter-based propagation state: slack is
+// Σ coefficients of non-false literals − bound, maintained incrementally on
+// every assignment.
+type pbc struct {
+	terms   []pb.Term // sorted by descending coefficient
+	bound   int
+	slack   int
+	learnt  bool
+	reduced bool // cardinality reduction already derived (Galena)
+}
+
+type occRef struct {
+	c    *pbc
+	coef int
+}
+
+// reasonRef is either a clause or a PB constraint that implied a literal.
+type reasonRef struct {
+	cl *clause
+	pc *pbc
+}
+
+func (r reasonRef) isNil() bool { return r.cl == nil && r.pc == nil }
+
+func litIdx(l cnf.Lit) int {
+	v := l.Var()
+	if l.Sign() {
+		return 2 * v
+	}
+	return 2*v + 1
+}
+
+func newCDCL(opts Options) *cdclEngine {
+	e := &cdclEngine{opts: opts, varInc: 1, claInc: 1}
+	e.assign = []lbool{lUndef}
+	e.level = []int{0}
+	e.reason = []reasonRef{{}}
+	e.trailPos = []int{0}
+	e.activity = []float64{0}
+	e.phase = []bool{false}
+	e.seen = []bool{false}
+	e.watches = [][]*clause{nil, nil}
+	e.occ = [][]occRef{nil, nil}
+	return e
+}
+
+func (e *cdclEngine) growTo(n int) {
+	for e.nVars < n {
+		e.nVars++
+		e.assign = append(e.assign, lUndef)
+		e.level = append(e.level, 0)
+		e.reason = append(e.reason, reasonRef{})
+		e.trailPos = append(e.trailPos, 0)
+		e.activity = append(e.activity, 0)
+		e.phase = append(e.phase, false)
+		e.seen = append(e.seen, false)
+		e.watches = append(e.watches, nil, nil)
+		e.occ = append(e.occ, nil, nil)
+	}
+	e.order.ensure(e.nVars, e.activity)
+}
+
+func (e *cdclEngine) value(l cnf.Lit) lbool {
+	a := e.assign[l.Var()]
+	if a == lUndef {
+		return lUndef
+	}
+	if l.Sign() == (a == lTrue) {
+		return lTrue
+	}
+	return lFalse
+}
+
+func (e *cdclEngine) decisionLevel() int { return len(e.trailAt) }
+
+// addClause installs a clause at decision level 0.
+func (e *cdclEngine) addClause(lits []cnf.Lit) bool {
+	e.cancelUntil(0)
+	norm, taut := cnf.Clause(lits).Normalize()
+	if taut {
+		return true
+	}
+	for _, l := range norm {
+		if l.Var() > e.nVars {
+			e.growTo(l.Var())
+		}
+	}
+	kept := make([]cnf.Lit, 0, len(norm))
+	for _, l := range norm {
+		switch e.value(l) {
+		case lTrue:
+			return true
+		case lUndef:
+			kept = append(kept, l)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		e.unsatNow = true
+		return false
+	case 1:
+		if !e.enqueue(kept[0], reasonRef{}) || !e.propagateToFixpoint() {
+			e.unsatNow = true
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: kept}
+	e.clauses = append(e.clauses, c)
+	e.watch(c)
+	return true
+}
+
+// addConstraint installs a normalized PB constraint at decision level 0,
+// initializing its slack against the current root assignment.
+func (e *cdclEngine) addConstraint(c pb.Constraint) bool {
+	e.cancelUntil(0)
+	for _, t := range c.Terms {
+		if t.Lit.Var() > e.nVars {
+			e.growTo(t.Lit.Var())
+		}
+	}
+	p := &pbc{terms: append([]pb.Term(nil), c.Terms...), bound: c.Bound}
+	sortTermsDesc(p.terms)
+	return e.installPBC(p)
+}
+
+// installPBC wires a PB constraint into the occurrence lists and propagates
+// its immediate consequences. Must be called at decision level 0 for
+// original constraints; learnt constraints may be installed at any level as
+// long as they are implied by the database.
+func (e *cdclEngine) installPBC(p *pbc) bool {
+	p.slack = -p.bound
+	for _, t := range p.terms {
+		if e.value(t.Lit) != lFalse {
+			p.slack += t.Coef
+		}
+		e.occ[litIdx(t.Lit)] = append(e.occ[litIdx(t.Lit)], occRef{p, t.Coef})
+	}
+	e.pbcs = append(e.pbcs, p)
+	if p.slack < 0 {
+		e.unsatNow = true
+		return false
+	}
+	// Propagate forced literals (coef > slack).
+	for _, t := range p.terms {
+		if t.Coef <= p.slack {
+			break
+		}
+		if e.value(t.Lit) == lUndef {
+			if !e.enqueue(t.Lit, reasonRef{pc: p}) {
+				e.unsatNow = true
+				return false
+			}
+		}
+	}
+	if e.decisionLevel() == 0 && !e.propagateToFixpoint() {
+		e.unsatNow = true
+		return false
+	}
+	return true
+}
+
+func sortTermsDesc(terms []pb.Term) {
+	// Insertion sort: constraint arity is small and mostly sorted inputs.
+	for i := 1; i < len(terms); i++ {
+		t := terms[i]
+		j := i - 1
+		for j >= 0 && terms[j].Coef < t.Coef {
+			terms[j+1] = terms[j]
+			j--
+		}
+		terms[j+1] = t
+	}
+}
+
+func (e *cdclEngine) watch(c *clause) {
+	i0, i1 := litIdx(c.lits[0].Neg()), litIdx(c.lits[1].Neg())
+	e.watches[i0] = append(e.watches[i0], c)
+	e.watches[i1] = append(e.watches[i1], c)
+}
+
+// enqueue assigns l true. PB slacks are updated here (and restored in
+// cancelUntil) so that they reflect the assignment exactly at all times.
+func (e *cdclEngine) enqueue(l cnf.Lit, from reasonRef) bool {
+	switch e.value(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var()
+	if l.Sign() {
+		e.assign[v] = lTrue
+	} else {
+		e.assign[v] = lFalse
+	}
+	e.phase[v] = l.Sign()
+	e.level[v] = e.decisionLevel()
+	e.reason[v] = from
+	e.trailPos[v] = len(e.trail)
+	e.trail = append(e.trail, l)
+	for _, o := range e.occ[litIdx(l.Neg())] {
+		o.c.slack -= o.coef
+	}
+	return true
+}
+
+func (e *cdclEngine) cancelUntil(level int) {
+	if e.decisionLevel() <= level {
+		return
+	}
+	bound := e.trailAt[level]
+	for i := len(e.trail) - 1; i >= bound; i-- {
+		l := e.trail[i]
+		v := l.Var()
+		e.assign[v] = lUndef
+		e.reason[v] = reasonRef{}
+		for _, o := range e.occ[litIdx(l.Neg())] {
+			o.c.slack += o.coef
+		}
+		e.order.push(v, e.activity)
+	}
+	e.trail = e.trail[:bound]
+	e.trailAt = e.trailAt[:level]
+	e.qhead = len(e.trail)
+}
+
+// propagate processes the trail to fixpoint. It returns the conflicting
+// clause or PB constraint (both nil when no conflict).
+func (e *cdclEngine) propagate() (*clause, *pbc) {
+	for e.qhead < len(e.trail) {
+		p := e.trail[e.qhead]
+		e.qhead++
+		e.stats.Propagations++
+
+		// Clause propagation (two watched literals).
+		wl := litIdx(p)
+		ws := e.watches[wl]
+		kept := ws[:0]
+		var confl *clause
+		for wi := 0; wi < len(ws); wi++ {
+			c := ws[wi]
+			if confl != nil {
+				kept = append(kept, c)
+				continue
+			}
+			falsified := p.Neg()
+			if c.lits[0] == falsified {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			if e.value(c.lits[0]) == lTrue {
+				kept = append(kept, c)
+				continue
+			}
+			moved := false
+			for k := 2; k < len(c.lits); k++ {
+				if e.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					ni := litIdx(c.lits[1].Neg())
+					e.watches[ni] = append(e.watches[ni], c)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			kept = append(kept, c)
+			if !e.enqueue(c.lits[0], reasonRef{cl: c}) {
+				confl = c
+			}
+		}
+		e.watches[wl] = kept
+		if confl != nil {
+			return confl, nil
+		}
+
+		// PB propagation: constraints containing ¬p lost slack when p was
+		// enqueued; check for violation and newly forced literals.
+		for _, o := range e.occ[litIdx(p.Neg())] {
+			c := o.c
+			if c.slack < 0 {
+				return nil, c
+			}
+			for _, t := range c.terms {
+				if t.Coef <= c.slack {
+					break
+				}
+				if e.value(t.Lit) == lUndef {
+					if !e.enqueue(t.Lit, reasonRef{pc: c}) {
+						// Cannot happen: an undef literal can always be set.
+						panic("pbsolver: enqueue of undef literal failed")
+					}
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+func (e *cdclEngine) propagateToFixpoint() bool {
+	c, p := e.propagate()
+	return c == nil && p == nil
+}
+
+// reasonLits expands a reason into the literals to resolve on (excluding
+// the implied literal). For a PB reason of literal l, these are the
+// literals of the constraint that were false before l was assigned.
+func (e *cdclEngine) reasonLits(r reasonRef, implied cnf.Lit, out []cnf.Lit) []cnf.Lit {
+	if r.cl != nil {
+		if r.cl.lits[0].Var() != implied.Var() {
+			panic("pbsolver: reason clause invariant violated")
+		}
+		return append(out, r.cl.lits[1:]...)
+	}
+	pos := e.trailPos[implied.Var()]
+	for _, t := range r.pc.terms {
+		if t.Lit.Var() == implied.Var() {
+			continue
+		}
+		if e.value(t.Lit) == lFalse && e.trailPos[t.Lit.Var()] < pos {
+			out = append(out, t.Lit)
+		}
+	}
+	return out
+}
+
+// conflictLits expands a conflict into a clause-shaped set of false
+// literals: for a clause conflict the clause itself; for a PB conflict all
+// currently false literals of the constraint (at least one of them must be
+// true in any satisfying assignment, since together they drove the slack
+// negative).
+func (e *cdclEngine) conflictLits(cl *clause, pc *pbc, out []cnf.Lit) []cnf.Lit {
+	if cl != nil {
+		return append(out, cl.lits...)
+	}
+	for _, t := range pc.terms {
+		if e.value(t.Lit) == lFalse {
+			out = append(out, t.Lit)
+		}
+	}
+	return out
+}
+
+// analyze performs first-UIP conflict analysis over mixed clause/PB
+// reasons; it returns the learnt clause (asserting literal first) and the
+// backtrack level.
+func (e *cdclEngine) analyze(confCl *clause, confPc *pbc) ([]cnf.Lit, int) {
+	learnt := []cnf.Lit{0}
+	counter := 0
+	var p cnf.Lit
+	idx := len(e.trail) - 1
+	cleanup := []int{}
+	var scratch []cnf.Lit
+
+	lits := e.conflictLits(confCl, confPc, scratch[:0])
+	if confCl != nil && confCl.learnt {
+		e.bumpClause(confCl)
+	}
+	for {
+		for _, q := range lits {
+			v := q.Var()
+			if e.seen[v] || e.level[v] == 0 {
+				continue
+			}
+			e.seen[v] = true
+			cleanup = append(cleanup, v)
+			e.bumpVar(v)
+			if e.level[v] == e.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		for !e.seen[e.trail[idx].Var()] {
+			idx--
+		}
+		p = e.trail[idx]
+		idx--
+		e.seen[p.Var()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		r := e.reason[p.Var()]
+		if r.isNil() {
+			panic("pbsolver: missing reason during analysis")
+		}
+		if r.cl != nil && r.cl.learnt {
+			e.bumpClause(r.cl)
+		}
+		lits = e.reasonLits(r, p, scratch[:0])
+	}
+	learnt[0] = p.Neg()
+
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if e.level[learnt[i].Var()] > e.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = e.level[learnt[1].Var()]
+	}
+	for _, v := range cleanup {
+		e.seen[v] = false
+	}
+	return learnt, btLevel
+}
+
+func (e *cdclEngine) bumpVar(v int) {
+	e.activity[v] += e.varInc
+	if e.activity[v] > 1e100 {
+		for i := 1; i <= e.nVars; i++ {
+			e.activity[i] *= 1e-100
+		}
+		e.varInc *= 1e-100
+	}
+	e.order.update(v, e.activity)
+}
+
+func (e *cdclEngine) bumpClause(c *clause) {
+	c.activity += e.claInc
+	if c.activity > 1e20 {
+		for _, lc := range e.learnts {
+			lc.activity *= 1e-20
+		}
+		e.claInc *= 1e-20
+	}
+}
+
+func (e *cdclEngine) decayActivities() {
+	e.varInc /= e.opts.varDecay()
+	e.claInc /= 0.999
+}
+
+func (e *cdclEngine) record(lits []cnf.Lit) {
+	c := &clause{lits: append([]cnf.Lit(nil), lits...), learnt: true}
+	if len(lits) > 1 {
+		e.learnts = append(e.learnts, c)
+		e.watch(c)
+		e.bumpClause(c)
+		e.stats.Learnts++
+	}
+	e.enqueue(lits[0], reasonRef{cl: c})
+}
+
+// learnCardinality derives and installs the cardinality reduction of a
+// conflicting PB constraint (Galena's CARD learning): Σ lits ≥ r where r is
+// the minimum number of true literals any satisfying assignment needs.
+func (e *cdclEngine) learnCardinality(src *pbc) {
+	if src.reduced || src.learnt {
+		return
+	}
+	src.reduced = true
+	if isCardinality(src) {
+		return // reduction would be the constraint itself
+	}
+	r := cardinalityBound(src)
+	if r <= 1 {
+		return // degenerates to a clause; clause learning already covers it
+	}
+	terms := make([]pb.Term, len(src.terms))
+	for i, t := range src.terms {
+		terms[i] = pb.Term{Coef: 1, Lit: t.Lit}
+	}
+	p := &pbc{terms: terms, bound: r, learnt: true, reduced: true}
+	// Install only when consistent with the current assignment; the
+	// reduction is implied, so skipping is sound (pure heuristic).
+	slack := -r
+	for _, t := range terms {
+		if e.value(t.Lit) != lFalse {
+			slack++
+		}
+	}
+	if slack < 0 {
+		return
+	}
+	forced := false
+	if slack == 0 {
+		for _, t := range terms {
+			if e.value(t.Lit) == lUndef {
+				forced = true
+				break
+			}
+		}
+	}
+	if forced {
+		return // avoid out-of-band propagation; keep installation simple
+	}
+	e.installPBC(p)
+	e.stats.LearntCards++
+}
+
+func isCardinality(c *pbc) bool {
+	for _, t := range c.terms {
+		if t.Coef != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// cardinalityBound returns the smallest r such that the r largest
+// coefficients reach the bound (terms are sorted descending).
+func cardinalityBound(c *pbc) int {
+	sum := 0
+	for i, t := range c.terms {
+		sum += t.Coef
+		if sum >= c.bound {
+			return i + 1
+		}
+	}
+	return len(c.terms) + 1 // unsatisfiable constraint
+}
+
+func (e *cdclEngine) pickBranchVar() int {
+	for {
+		v := e.order.pop(e.activity)
+		if v == 0 {
+			return 0
+		}
+		if e.assign[v] == lUndef {
+			return v
+		}
+	}
+}
+
+func (e *cdclEngine) reduceDB() {
+	if len(e.learnts) < 100 {
+		return
+	}
+	acts := make([]float64, len(e.learnts))
+	for i, c := range e.learnts {
+		acts[i] = c.activity
+	}
+	med := quickMedian(acts)
+	inUse := make(map[*clause]bool)
+	for _, r := range e.reason {
+		if r.cl != nil {
+			inUse[r.cl] = true
+		}
+	}
+	kept := e.learnts[:0]
+	for _, c := range e.learnts {
+		if len(c.lits) <= 2 || inUse[c] || c.activity >= med {
+			kept = append(kept, c)
+			continue
+		}
+		e.unwatch(c)
+	}
+	e.learnts = kept
+}
+
+func (e *cdclEngine) unwatch(c *clause) {
+	for _, l := range []cnf.Lit{c.lits[0], c.lits[1]} {
+		wl := litIdx(l.Neg())
+		ws := e.watches[wl]
+		for i, wc := range ws {
+			if wc == c {
+				ws[i] = ws[len(ws)-1]
+				e.watches[wl] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+}
+
+// solveDecision runs CDCL search until SAT/UNSAT or budget exhaustion.
+func (e *cdclEngine) solveDecision(budget *budget) Status {
+	if e.unsatNow {
+		return StatusUnsat
+	}
+	e.cancelUntil(0)
+	if !e.propagateToFixpoint() {
+		e.unsatNow = true
+		return StatusUnsat
+	}
+	e.order.rebuild(e.nVars, e.activity)
+
+	restartNum := int64(1)
+	conflictsAtRestart := e.stats.Conflicts
+	restartLimit := luby(restartNum) * e.opts.restartBase()
+	checkCounter := 0
+
+	for {
+		checkCounter++
+		if checkCounter >= 256 {
+			checkCounter = 0
+			if budget.expired() {
+				e.cancelUntil(0)
+				return StatusUnknown
+			}
+		}
+		confCl, confPc := e.propagate()
+		if confCl != nil || confPc != nil {
+			e.stats.Conflicts++
+			budget.conflicts++
+			if e.decisionLevel() == 0 {
+				e.unsatNow = true
+				return StatusUnsat
+			}
+			learnt, btLevel := e.analyze(confCl, confPc)
+			e.cancelUntil(btLevel)
+			e.record(learnt)
+			if e.opts.Engine == EngineGalena && confPc != nil {
+				e.learnCardinality(confPc)
+			}
+			e.decayActivities()
+			if budget.conflictsExceeded() {
+				e.cancelUntil(0)
+				return StatusUnknown
+			}
+			if e.stats.Conflicts-conflictsAtRestart >= restartLimit {
+				e.stats.Restarts++
+				restartNum++
+				conflictsAtRestart = e.stats.Conflicts
+				restartLimit = luby(restartNum) * e.opts.restartBase()
+				e.cancelUntil(0)
+				if len(e.learnts) > 4000+int(e.stats.Conflicts/10) {
+					e.reduceDB()
+				}
+			}
+			continue
+		}
+		v := e.pickBranchVar()
+		if v == 0 {
+			return StatusSat
+		}
+		e.stats.Decisions++
+		e.trailAt = append(e.trailAt, len(e.trail))
+		var l cnf.Lit
+		if e.opts.phaseSaving() && e.phase[v] {
+			l = cnf.PosLit(v)
+		} else {
+			l = cnf.NegLit(v)
+		}
+		e.enqueue(l, reasonRef{})
+	}
+}
+
+func (e *cdclEngine) model() cnf.Assignment {
+	m := make(cnf.Assignment, e.nVars+1)
+	for v := 1; v <= e.nVars; v++ {
+		m[v] = e.assign[v] == lTrue
+	}
+	return m
+}
+
+// budget tracks shared limits across the optimization loop's solver calls.
+type budget struct {
+	deadline     time.Time
+	maxConflicts int64
+	conflicts    int64
+	cancel       <-chan struct{}
+}
+
+func (b *budget) expired() bool {
+	if b.cancel != nil {
+		select {
+		case <-b.cancel:
+			return true
+		default:
+		}
+	}
+	return !b.deadline.IsZero() && time.Now().After(b.deadline)
+}
+
+func (b *budget) conflictsExceeded() bool {
+	return b.maxConflicts > 0 && b.conflicts >= b.maxConflicts
+}
+
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (int64(1)<<uint(k))-1 {
+			return int64(1) << uint(k-1)
+		}
+		if i >= int64(1)<<uint(k-1) && i < (int64(1)<<uint(k))-1 {
+			return luby(i - (int64(1) << uint(k-1)) + 1)
+		}
+	}
+}
+
+func quickMedian(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	k := len(cp) / 2
+	lo, hi := 0, len(cp)-1
+	for lo < hi {
+		pivot := cp[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for cp[i] < pivot {
+				i++
+			}
+			for cp[j] > pivot {
+				j--
+			}
+			if i <= j {
+				cp[i], cp[j] = cp[j], cp[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return cp[k]
+}

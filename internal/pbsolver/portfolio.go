@@ -1,0 +1,96 @@
+package pbsolver
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/pb"
+)
+
+// PortfolioOptions configure a portfolio run.
+type PortfolioOptions struct {
+	// Base is the options template; the Engine and Cancel fields are
+	// managed per worker.
+	Base Options
+	// Engines lists the configurations to race (default: all four).
+	Engines []Engine
+}
+
+// PortfolioResult is the merged outcome of a portfolio run.
+type PortfolioResult struct {
+	Result
+	// Winner is the engine that produced the returned result (meaningful
+	// when Status is not StatusUnknown).
+	Winner Engine
+	// PerEngine reports each engine's own outcome, in Engines order.
+	PerEngine []Result
+}
+
+// PortfolioSolve runs several engine configurations on the same formula
+// concurrently and returns the first definitive answer (Optimal or Unsat),
+// cancelling the laggards. The paper's methodology — treating solvers as
+// interchangeable black boxes over one problem reduction (§1, §2.3) —
+// makes this composition natural: different engines win on different
+// instances, and the portfolio takes the per-instance minimum at the cost
+// of parallel hardware.
+//
+// The formula is shared read-only across workers (engines keep all mutable
+// state internal). When no engine finishes definitively within the budget,
+// the best feasible incumbent (lowest objective) is returned.
+func PortfolioSolve(f *pb.Formula, opts PortfolioOptions) PortfolioResult {
+	engines := opts.Engines
+	if len(engines) == 0 {
+		engines = append([]Engine(nil), Engines...)
+	}
+	cancel := make(chan struct{})
+	var once sync.Once
+	type tagged struct {
+		idx int
+		res Result
+	}
+	results := make(chan tagged, len(engines))
+	for i, eng := range engines {
+		go func(i int, eng Engine) {
+			o := opts.Base
+			o.Engine = eng
+			o.Cancel = cancel
+			// Pin the shared deadline now so a worker scheduled late does
+			// not restart the clock.
+			if o.Deadline.IsZero() && o.Timeout > 0 {
+				o.Deadline = time.Now().Add(o.Timeout)
+				o.Timeout = 0
+			}
+			res := Optimize(f, o)
+			if res.Status == StatusOptimal || res.Status == StatusUnsat {
+				once.Do(func() { close(cancel) })
+			}
+			results <- tagged{i, res}
+		}(i, eng)
+	}
+	out := PortfolioResult{PerEngine: make([]Result, len(engines))}
+	out.Status = StatusUnknown
+	winner := -1
+	for range engines {
+		t := <-results
+		out.PerEngine[t.idx] = t.res
+		better := false
+		switch t.res.Status {
+		case StatusOptimal, StatusUnsat:
+			// The first definitive answer wins (later ones were cancelled
+			// or tied).
+			better = out.Status != StatusOptimal && out.Status != StatusUnsat
+		case StatusSat:
+			better = out.Status == StatusUnknown ||
+				(out.Status == StatusSat && t.res.Objective < out.Objective)
+		}
+		if better {
+			out.Result = t.res
+			winner = t.idx
+		}
+		out.Stats.add(t.res.Stats)
+	}
+	if winner >= 0 {
+		out.Winner = engines[winner]
+	}
+	return out
+}

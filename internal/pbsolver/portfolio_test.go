@@ -1,0 +1,92 @@
+package pbsolver
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestPortfolioMatchesSingleEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for iter := 0; iter < 40; iter++ {
+		f := randomPBFormula(rng, 3+rng.Intn(5))
+		withObjective(rng, f)
+		wantSat, wantZ := bruteOptimum(f)
+		res := PortfolioSolve(f, PortfolioOptions{})
+		if !wantSat {
+			if res.Status != StatusUnsat {
+				t.Fatalf("iter %d: %v, want UNSAT", iter, res.Status)
+			}
+			continue
+		}
+		if res.Status != StatusOptimal || res.Objective != wantZ {
+			t.Fatalf("iter %d: %v obj=%d, want OPTIMAL %d", iter, res.Status, res.Objective, wantZ)
+		}
+		if !f.Satisfies(res.Model) {
+			t.Fatalf("iter %d: invalid model", iter)
+		}
+		if len(res.PerEngine) != 4 {
+			t.Fatalf("iter %d: PerEngine %d", iter, len(res.PerEngine))
+		}
+	}
+}
+
+func TestPortfolioSubsetEngines(t *testing.T) {
+	f := pigeonPB(5, 4) // UNSAT
+	res := PortfolioSolve(f, PortfolioOptions{
+		Engines: []Engine{EnginePBS, EngineBnB},
+	})
+	if res.Status != StatusUnsat {
+		t.Fatalf("%v", res.Status)
+	}
+	if res.Winner != EnginePBS && res.Winner != EngineBnB {
+		t.Fatalf("winner %v not in subset", res.Winner)
+	}
+}
+
+func TestPortfolioCancelsLaggards(t *testing.T) {
+	// A formula trivial for CDCL (immediate UNSAT at root) but with a huge
+	// search space for a cancelled laggard: the portfolio must return
+	// quickly even though one engine alone would run much longer.
+	f := pigeonPB(9, 8) // hard UNSAT for the learning-free BnB
+	start := time.Now()
+	res := PortfolioSolve(f, PortfolioOptions{
+		Base:    Options{Timeout: 30 * time.Second},
+		Engines: []Engine{EngineBnB, EnginePBS, EngineGalena},
+	})
+	elapsed := time.Since(start)
+	if res.Status != StatusUnsat {
+		t.Fatalf("%v", res.Status)
+	}
+	// CDCL proves PHP(9,8) in well under a second; BnB alone would churn
+	// far longer but must get cancelled.
+	if elapsed > 20*time.Second {
+		t.Fatalf("laggards not cancelled: took %v", elapsed)
+	}
+}
+
+func TestPortfolioTimeoutKeepsIncumbent(t *testing.T) {
+	// With an infeasible budget the portfolio still reports the best
+	// feasible incumbent across engines.
+	rng := rand.New(rand.NewSource(60))
+	for iter := 0; iter < 20; iter++ {
+		f := randomPBFormula(rng, 8)
+		withObjective(rng, f)
+		wantSat, wantZ := bruteOptimum(f)
+		res := PortfolioSolve(f, PortfolioOptions{Base: Options{MaxConflicts: 2}})
+		switch res.Status {
+		case StatusOptimal:
+			if !wantSat || res.Objective != wantZ {
+				t.Fatalf("iter %d: false optimal", iter)
+			}
+		case StatusSat:
+			if !wantSat || res.Objective < wantZ {
+				t.Fatalf("iter %d: impossible incumbent", iter)
+			}
+		case StatusUnsat:
+			if wantSat {
+				t.Fatalf("iter %d: false UNSAT", iter)
+			}
+		}
+	}
+}

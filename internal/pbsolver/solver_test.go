@@ -1,0 +1,476 @@
+package pbsolver
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/pb"
+)
+
+func lit(v int) cnf.Lit  { return cnf.PosLit(v) }
+func nlit(v int) cnf.Lit { return cnf.NegLit(v) }
+
+var allEngines = []Engine{EnginePBS, EngineGalena, EnginePueblo, EngineBnB}
+
+// bruteOptimum exhaustively computes (feasible?, minimum objective).
+func bruteOptimum(f *pb.Formula) (bool, int) {
+	n := f.NumVars
+	best := -1
+	for mask := 0; mask < 1<<n; mask++ {
+		a := make(cnf.Assignment, n+1)
+		for v := 1; v <= n; v++ {
+			a[v] = mask&(1<<(v-1)) != 0
+		}
+		if !f.Satisfies(a) {
+			continue
+		}
+		z := f.ObjectiveValue(a)
+		if best < 0 || z < best {
+			best = z
+		}
+	}
+	return best >= 0, best
+}
+
+func randomPBFormula(rng *rand.Rand, nVars int) *pb.Formula {
+	f := pb.NewFormula(nVars)
+	nClauses := rng.Intn(3 * nVars)
+	for i := 0; i < nClauses; i++ {
+		w := 1 + rng.Intn(3)
+		cl := make([]cnf.Lit, 0, w)
+		for j := 0; j < w; j++ {
+			v := 1 + rng.Intn(nVars)
+			l := cnf.PosLit(v)
+			if rng.Intn(2) == 0 {
+				l = l.Neg()
+			}
+			cl = append(cl, l)
+		}
+		f.AddClause(cl...)
+	}
+	nPB := 1 + rng.Intn(4)
+	for i := 0; i < nPB; i++ {
+		w := 2 + rng.Intn(4)
+		terms := make([]pb.Term, 0, w)
+		for j := 0; j < w; j++ {
+			v := 1 + rng.Intn(nVars)
+			l := cnf.PosLit(v)
+			if rng.Intn(2) == 0 {
+				l = l.Neg()
+			}
+			terms = append(terms, pb.Term{Coef: 1 + rng.Intn(4), Lit: l})
+		}
+		f.AddPB(terms, pb.Comparator(rng.Intn(3)), rng.Intn(8))
+	}
+	return f
+}
+
+func withObjective(rng *rand.Rand, f *pb.Formula) {
+	nObj := 1 + rng.Intn(f.NumVars)
+	terms := make([]pb.Term, 0, nObj)
+	seen := map[int]bool{}
+	for j := 0; j < nObj; j++ {
+		v := 1 + rng.Intn(f.NumVars)
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		terms = append(terms, pb.Term{Coef: 1 + rng.Intn(3), Lit: cnf.PosLit(v)})
+	}
+	f.SetObjective(terms)
+}
+
+// TestDecideAgainstBruteForce cross-checks satisfiability for every engine
+// on hundreds of random mixed CNF+PB formulas.
+func TestDecideAgainstBruteForce(t *testing.T) {
+	for _, eng := range allEngines {
+		eng := eng
+		t.Run(eng.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(3))
+			for iter := 0; iter < 250; iter++ {
+				f := randomPBFormula(rng, 3+rng.Intn(6))
+				wantSat, _ := bruteOptimum(f)
+				res := Decide(f, Options{Engine: eng})
+				if res.Status == StatusUnknown {
+					t.Fatalf("iter %d: unexpected UNKNOWN", iter)
+				}
+				gotSat := res.Status == StatusOptimal
+				if gotSat != wantSat {
+					t.Fatalf("iter %d: got %v, want sat=%v\n%s", iter, res.Status, wantSat, f.OPB())
+				}
+				if gotSat && !f.Satisfies(res.Model) {
+					t.Fatalf("iter %d: invalid model", iter)
+				}
+			}
+		})
+	}
+}
+
+// TestOptimizeAgainstBruteForce cross-checks the proven optimum for every
+// engine on random objectives.
+func TestOptimizeAgainstBruteForce(t *testing.T) {
+	for _, eng := range allEngines {
+		eng := eng
+		t.Run(eng.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(17))
+			for iter := 0; iter < 200; iter++ {
+				f := randomPBFormula(rng, 3+rng.Intn(5))
+				withObjective(rng, f)
+				wantSat, wantZ := bruteOptimum(f)
+				res := Optimize(f, Options{Engine: eng})
+				if !wantSat {
+					if res.Status != StatusUnsat {
+						t.Fatalf("iter %d: got %v, want UNSAT", iter, res.Status)
+					}
+					continue
+				}
+				if res.Status != StatusOptimal {
+					t.Fatalf("iter %d: got %v, want OPTIMAL", iter, res.Status)
+				}
+				if res.Objective != wantZ {
+					t.Fatalf("iter %d: objective %d, want %d\n%s", iter, res.Objective, wantZ, f.OPB())
+				}
+				if !f.Satisfies(res.Model) || f.ObjectiveValue(res.Model) != wantZ {
+					t.Fatalf("iter %d: model inconsistent with objective", iter)
+				}
+			}
+		})
+	}
+}
+
+// TestBinarySearchMatchesLinear cross-checks the two optimization
+// strategies against each other (ablation soundness).
+func TestBinarySearchMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 100; iter++ {
+		f := randomPBFormula(rng, 4+rng.Intn(4))
+		withObjective(rng, f)
+		lin := Optimize(f, Options{Engine: EnginePBS, Strategy: LinearSearch})
+		bin := Optimize(f, Options{Engine: EnginePBS, Strategy: BinarySearch})
+		if lin.Status != bin.Status {
+			t.Fatalf("iter %d: linear %v vs binary %v", iter, lin.Status, bin.Status)
+		}
+		if lin.Status == StatusOptimal && lin.Objective != bin.Objective {
+			t.Fatalf("iter %d: linear %d vs binary %d", iter, lin.Objective, bin.Objective)
+		}
+	}
+}
+
+func TestExactlyOneConstraint(t *testing.T) {
+	// Σ x_i = 1 over 4 vars, minimize x1+x2+x3+x4: optimum 1.
+	f := pb.NewFormula(4)
+	terms := []pb.Term{{Coef: 1, Lit: lit(1)}, {Coef: 1, Lit: lit(2)}, {Coef: 1, Lit: lit(3)}, {Coef: 1, Lit: lit(4)}}
+	f.AddPB(terms, pb.EQ, 1)
+	f.SetObjective(terms)
+	for _, eng := range allEngines {
+		res := Optimize(f, Options{Engine: eng})
+		if res.Status != StatusOptimal || res.Objective != 1 {
+			t.Fatalf("%v: %v obj=%d", eng, res.Status, res.Objective)
+		}
+		cnt := 0
+		for v := 1; v <= 4; v++ {
+			if res.Model[v] {
+				cnt++
+			}
+		}
+		if cnt != 1 {
+			t.Fatalf("%v: model sets %d vars", eng, cnt)
+		}
+	}
+}
+
+func TestInfeasibleBound(t *testing.T) {
+	// x1+x2 >= 3 is impossible with 2 vars.
+	f := pb.NewFormula(2)
+	f.AddPB([]pb.Term{{Coef: 1, Lit: lit(1)}, {Coef: 1, Lit: lit(2)}}, pb.GE, 3)
+	for _, eng := range allEngines {
+		if res := Decide(f, Options{Engine: eng}); res.Status != StatusUnsat {
+			t.Fatalf("%v: %v, want UNSAT", eng, res.Status)
+		}
+	}
+}
+
+func TestWeightedConstraintPropagation(t *testing.T) {
+	// 5x1 + 2x2 + 1x3 >= 5 forces x1 after x2,x3 are false.
+	f := pb.NewFormula(3)
+	f.AddPB([]pb.Term{{Coef: 5, Lit: lit(1)}, {Coef: 2, Lit: lit(2)}, {Coef: 1, Lit: lit(3)}}, pb.GE, 5)
+	f.AddClause(nlit(2))
+	f.AddClause(nlit(3))
+	res := Decide(f, Options{Engine: EnginePBS})
+	if res.Status != StatusOptimal || !res.Model[1] {
+		t.Fatalf("x1 should be forced true: %v %v", res.Status, res.Model)
+	}
+}
+
+func TestObjectiveZeroShortCircuit(t *testing.T) {
+	f := pb.NewFormula(2)
+	f.AddClause(lit(1), lit(2))
+	f.SetObjective([]pb.Term{{Coef: 1, Lit: nlit(1)}})
+	// Optimal 0 when x1 true.
+	res := Optimize(f, Options{Engine: EnginePBS})
+	if res.Status != StatusOptimal || res.Objective != 0 {
+		t.Fatalf("%v obj=%d", res.Status, res.Objective)
+	}
+}
+
+func TestMaxConflictsBudget(t *testing.T) {
+	// A hard pigeonhole-flavored PB instance: 8 pigeons, 7 holes.
+	f := pigeonPB(8, 7)
+	res := Decide(f, Options{Engine: EnginePBS, MaxConflicts: 3})
+	if res.Status != StatusUnknown {
+		t.Fatalf("got %v, want UNKNOWN under 3-conflict budget", res.Status)
+	}
+}
+
+func TestDeadlineBudget(t *testing.T) {
+	f := pigeonPB(12, 11)
+	res := Decide(f, Options{Engine: EngineBnB, Deadline: time.Now().Add(20 * time.Millisecond)})
+	if res.Status == StatusOptimal {
+		t.Fatal("PHP(12,11) cannot be SAT")
+	}
+	if res.Runtime > 5*time.Second {
+		t.Fatalf("deadline ignored: %v", res.Runtime)
+	}
+}
+
+// pigeonPB expresses the pigeonhole principle with PB rows: each pigeon in
+// exactly one hole, each hole holds at most one pigeon.
+func pigeonPB(pigeons, holes int) *pb.Formula {
+	f := pb.NewFormula(pigeons * holes)
+	v := func(p, h int) cnf.Lit { return cnf.PosLit(p*holes + h + 1) }
+	for p := 0; p < pigeons; p++ {
+		terms := make([]pb.Term, holes)
+		for h := 0; h < holes; h++ {
+			terms[h] = pb.Term{Coef: 1, Lit: v(p, h)}
+		}
+		f.AddPB(terms, pb.EQ, 1)
+	}
+	for h := 0; h < holes; h++ {
+		terms := make([]pb.Term, pigeons)
+		for p := 0; p < pigeons; p++ {
+			terms[p] = pb.Term{Coef: 1, Lit: v(p, h)}
+		}
+		f.AddPB(terms, pb.LE, 1)
+	}
+	return f
+}
+
+func TestPigeonholePBUnsat(t *testing.T) {
+	for _, eng := range allEngines {
+		f := pigeonPB(5, 4)
+		res := Decide(f, Options{Engine: eng})
+		if res.Status != StatusUnsat {
+			t.Fatalf("%v: PHP(5,4) gave %v", eng, res.Status)
+		}
+	}
+}
+
+func TestPigeonholePBSatWhenSquare(t *testing.T) {
+	for _, eng := range allEngines {
+		f := pigeonPB(4, 4)
+		res := Decide(f, Options{Engine: eng})
+		if res.Status != StatusOptimal {
+			t.Fatalf("%v: PHP(4,4) gave %v", eng, res.Status)
+		}
+		if !f.Satisfies(res.Model) {
+			t.Fatalf("%v: invalid model", eng)
+		}
+	}
+}
+
+// TestGalenaLearnsCardinalities drives the engine through a PB conflict by
+// hand (white-box) and checks that the cardinality reduction of the
+// conflicting constraint is learnt: from 2q+2r+x ≥ 3 the engine derives
+// q+r+x ≥ 2.
+func TestGalenaLearnsCardinalities(t *testing.T) {
+	e := newCDCL(Options{Engine: EngineGalena})
+	e.growTo(4)
+	// vars: q=1 r=2 x=3 d=4
+	cs := pb.Normalize([]pb.Term{
+		{Coef: 2, Lit: lit(1)}, {Coef: 2, Lit: lit(2)}, {Coef: 1, Lit: lit(3)},
+	}, pb.GE, 3)
+	if len(cs) != 1 || !e.addConstraint(cs[0]) {
+		t.Fatal("setup failed")
+	}
+	if !e.addClause([]cnf.Lit{nlit(4), nlit(1)}) || !e.addClause([]cnf.Lit{nlit(4), nlit(2)}) {
+		t.Fatal("setup failed")
+	}
+	// Decide d := true; propagation falsifies q and r, driving the PB
+	// constraint's slack to −2 before its own occurrence walk runs.
+	e.trailAt = append(e.trailAt, len(e.trail))
+	e.enqueue(lit(4), reasonRef{})
+	confCl, confPc := e.propagate()
+	if confPc == nil {
+		t.Fatalf("expected a PB conflict, got clause=%v", confCl)
+	}
+	learnt, bt := e.analyze(confCl, confPc)
+	e.cancelUntil(bt)
+	e.record(learnt)
+	e.learnCardinality(confPc)
+	if e.stats.LearntCards != 1 {
+		t.Fatalf("LearntCards = %d, want 1", e.stats.LearntCards)
+	}
+	// The learnt constraint is the cardinality reduction with bound 2.
+	last := e.pbcs[len(e.pbcs)-1]
+	if !last.learnt || last.bound != 2 || !isCardinality(last) {
+		t.Fatalf("unexpected learnt constraint: %+v", last)
+	}
+}
+
+func TestCardinalityBound(t *testing.T) {
+	c := &pbc{terms: []pb.Term{
+		{Coef: 3, Lit: lit(1)}, {Coef: 2, Lit: lit(2)}, {Coef: 2, Lit: lit(3)},
+	}, bound: 4}
+	if r := cardinalityBound(c); r != 2 {
+		t.Fatalf("cardinalityBound = %d, want 2", r)
+	}
+	c.bound = 8 // unreachable: 3+2+2 = 7 < 8
+	if r := cardinalityBound(c); r != 4 {
+		t.Fatalf("cardinalityBound (infeasible) = %d, want len+1 = 4", r)
+	}
+	c.bound = 3
+	if r := cardinalityBound(c); r != 1 {
+		t.Fatalf("cardinalityBound = %d, want 1", r)
+	}
+}
+
+func TestLubyAndMedianHelpers(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Fatalf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+	if m := quickMedian([]float64{5, 1, 4, 2, 3}); m != 3 {
+		t.Fatalf("median = %v", m)
+	}
+	if m := quickMedian(nil); m != 0 {
+		t.Fatalf("median of empty = %v", m)
+	}
+}
+
+func TestEnumerateOptimal(t *testing.T) {
+	// x1+x2+x3 >= 2, minimize total: optimum 2, three distinct projections.
+	f := pb.NewFormula(3)
+	terms := []pb.Term{{Coef: 1, Lit: lit(1)}, {Coef: 1, Lit: lit(2)}, {Coef: 1, Lit: lit(3)}}
+	f.AddPB(terms, pb.GE, 2)
+	f.SetObjective(terms)
+	models, res := EnumerateOptimal(f, Options{Engine: EnginePBS}, []int{1, 2, 3}, 0)
+	if res.Status != StatusOptimal || res.Objective != 2 {
+		t.Fatalf("optimize: %v obj=%d", res.Status, res.Objective)
+	}
+	if len(models) != 3 {
+		t.Fatalf("enumerated %d optimal projections, want 3", len(models))
+	}
+	seen := map[[3]bool]bool{}
+	for _, m := range models {
+		key := [3]bool{m[1], m[2], m[3]}
+		if seen[key] {
+			t.Fatal("duplicate projection enumerated")
+		}
+		seen[key] = true
+		if !f.Satisfies(m) || f.ObjectiveValue(m) != 2 {
+			t.Fatal("enumerated model not optimal")
+		}
+	}
+}
+
+func TestEnumerateLimit(t *testing.T) {
+	f := pb.NewFormula(4)
+	terms := []pb.Term{{Coef: 1, Lit: lit(1)}, {Coef: 1, Lit: lit(2)}, {Coef: 1, Lit: lit(3)}, {Coef: 1, Lit: lit(4)}}
+	f.AddPB(terms, pb.GE, 2)
+	f.SetObjective(terms)
+	models, _ := EnumerateOptimal(f, Options{Engine: EnginePBS}, []int{1, 2, 3, 4}, 2)
+	if len(models) != 2 {
+		t.Fatalf("limit ignored: got %d models", len(models))
+	}
+}
+
+func TestUnsatEnumerate(t *testing.T) {
+	f := pb.NewFormula(1)
+	f.AddClause(lit(1))
+	f.AddClause(nlit(1))
+	f.SetObjective([]pb.Term{{Coef: 1, Lit: lit(1)}})
+	models, res := EnumerateOptimal(f, Options{Engine: EnginePBS}, []int{1}, 0)
+	if models != nil || res.Status != StatusUnsat {
+		t.Fatalf("got %d models, %v", len(models), res.Status)
+	}
+}
+
+func TestEngineString(t *testing.T) {
+	names := map[Engine]string{
+		EnginePBS: "pbs2", EngineGalena: "galena",
+		EnginePueblo: "pueblo", EngineBnB: "bnb",
+	}
+	for e, want := range names {
+		if e.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", e, e.String(), want)
+		}
+	}
+	if Engine(99).String() == "" {
+		t.Fatal("unknown engine should still render")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if StatusOptimal.String() != "OPTIMAL" || StatusUnsat.String() != "UNSAT" ||
+		StatusSat.String() != "SAT" || StatusUnknown.String() != "UNKNOWN" {
+		t.Fatal("status strings wrong")
+	}
+}
+
+func TestTimeoutOption(t *testing.T) {
+	f := pigeonPB(12, 11)
+	res := Decide(f, Options{Engine: EnginePBS, Timeout: 20 * time.Millisecond})
+	if res.Status == StatusOptimal {
+		t.Fatal("cannot be SAT")
+	}
+	if res.Runtime > 5*time.Second {
+		t.Fatalf("timeout ignored: %v", res.Runtime)
+	}
+}
+
+// TestOptimizeFeasibleUnderBudget: with a tiny budget the solver should
+// normally return the incumbent it found as StatusSat (or Unknown if it
+// found nothing), never a wrong Optimal.
+func TestOptimizeFeasibleUnderBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 50; iter++ {
+		f := randomPBFormula(rng, 8)
+		withObjective(rng, f)
+		wantSat, wantZ := bruteOptimum(f)
+		res := Optimize(f, Options{Engine: EnginePBS, MaxConflicts: 2})
+		switch res.Status {
+		case StatusOptimal:
+			if !wantSat || res.Objective != wantZ {
+				t.Fatalf("iter %d: false optimal claim", iter)
+			}
+		case StatusSat:
+			if !wantSat || res.Objective < wantZ {
+				t.Fatalf("iter %d: infeasible or super-optimal incumbent", iter)
+			}
+		case StatusUnsat:
+			if wantSat {
+				t.Fatalf("iter %d: false UNSAT claim", iter)
+			}
+		}
+	}
+}
+
+// TestIncrementalModelValidAfterBoundTightening exercises the incremental
+// constraint-addition path used by the linear optimization loop.
+func TestIncrementalModelValidAfterBoundTightening(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 80; iter++ {
+		f := randomPBFormula(rng, 6)
+		withObjective(rng, f)
+		res := Optimize(f, Options{Engine: EnginePueblo})
+		if res.Status == StatusOptimal && res.Model != nil {
+			if !f.Satisfies(res.Model) {
+				t.Fatalf("iter %d: optimal model does not satisfy formula", iter)
+			}
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+func TestSolveAssumingBasic(t *testing.T) {
+	f := cnf.NewFormula(2)
+	f.AddClause(lit(1), lit(2))
+	s := New(f, Options{})
+	if st := s.SolveAssuming([]cnf.Lit{nlit(1)}); st != Sat {
+		t.Fatalf("¬x1: %v", st)
+	}
+	if m := s.Model(); m[1] || !m[2] {
+		t.Fatalf("model %v under ¬x1", m[1:])
+	}
+	if st := s.SolveAssuming([]cnf.Lit{nlit(1), nlit(2)}); st != Unsat {
+		t.Fatal("¬x1∧¬x2 should be UNSAT under assumptions")
+	}
+	// The solver must remain usable: without assumptions it is SAT again.
+	if st := s.Solve(); st != Sat {
+		t.Fatal("solver damaged by assumption UNSAT")
+	}
+}
+
+func TestSolveAssumingContradictoryAssumptions(t *testing.T) {
+	f := cnf.NewFormula(2)
+	f.AddClause(lit(1), lit(2))
+	s := New(f, Options{})
+	if st := s.SolveAssuming([]cnf.Lit{lit(1), nlit(1)}); st != Unsat {
+		t.Fatal("x1∧¬x1 assumptions must be UNSAT")
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatal("solver damaged")
+	}
+}
+
+func TestSolveAssumingImpliedAssumption(t *testing.T) {
+	// Assumption already implied at level 0: empty decision level path.
+	f := cnf.NewFormula(2)
+	f.AddClause(lit(1))
+	f.AddClause(nlit(1), lit(2))
+	s := New(f, Options{})
+	if st := s.SolveAssuming([]cnf.Lit{lit(1), lit(2)}); st != Sat {
+		t.Fatal("implied assumptions should be SAT")
+	}
+}
+
+// TestSolveAssumingAgainstBruteForce cross-checks assumption solving on
+// random formulas: SolveAssuming(A) must equal satisfiability of F ∧ A.
+func TestSolveAssumingAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 200; iter++ {
+		nVars := 3 + rng.Intn(6)
+		f := randomCNF(rng, nVars, 2+rng.Intn(4*nVars), 3)
+		s := New(f, Options{})
+		for probe := 0; probe < 4; probe++ {
+			var assumps []cnf.Lit
+			seen := map[int]bool{}
+			for len(assumps) < 1+rng.Intn(3) {
+				v := 1 + rng.Intn(nVars)
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+				l := cnf.PosLit(v)
+				if rng.Intn(2) == 0 {
+					l = l.Neg()
+				}
+				assumps = append(assumps, l)
+			}
+			fPlus := cnf.NewFormula(f.NumVars)
+			for _, c := range f.Clauses {
+				fPlus.AddClause(c...)
+			}
+			for _, a := range assumps {
+				fPlus.AddClause(a)
+			}
+			want := bruteForce(fPlus)
+			got := s.SolveAssuming(assumps)
+			if (got == Sat) != want {
+				t.Fatalf("iter %d probe %d: got %v want sat=%v assumps=%v\n%s",
+					iter, probe, got, want, assumps, f.Dimacs())
+			}
+			if got == Sat {
+				m := s.Model()
+				if !f.Satisfies(m) {
+					t.Fatal("model violates formula")
+				}
+				for _, a := range assumps {
+					if !m.Lit(a) {
+						t.Fatalf("model violates assumption %v", a)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalReuseAcrossAssumptionProbes: learnt clauses persist across
+// probes (conflict counters keep growing on one solver while answers stay
+// correct).
+func TestIncrementalReuseAcrossAssumptionProbes(t *testing.T) {
+	f := pigeonhole(6, 5)
+	s := New(f, Options{})
+	// UNSAT globally; also UNSAT under any assumptions.
+	if st := s.SolveAssuming([]cnf.Lit{lit(1)}); st != Unsat {
+		t.Fatalf("got %v", st)
+	}
+	after := s.Stats().Conflicts
+	if st := s.Solve(); st != Unsat {
+		t.Fatal("globally UNSAT")
+	}
+	// The second call should benefit from (at minimum not lose) learning.
+	if s.Stats().Conflicts < after {
+		t.Fatal("conflict counter went backwards")
+	}
+}

@@ -1,0 +1,711 @@
+// Package sat implements a conflict-driven clause-learning (CDCL) SAT
+// solver in the lineage the paper builds on (GRASP, Chaff/zChaff): watched
+// literal Boolean constraint propagation, first-UIP conflict analysis with
+// clause learning, VSIDS-style decision heuristics, phase saving, Luby
+// restarts, and activity-based learnt-clause deletion.
+//
+// The solver is used directly for the K-coloring decision variant and is
+// the algorithmic core that internal/pbsolver extends with pseudo-Boolean
+// constraints (paper §2.3).
+package sat
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cnf"
+)
+
+// Status is the outcome of a Solve call.
+type Status int
+
+// Solve outcomes.
+const (
+	Unknown Status = iota // budget exhausted before an answer
+	Sat
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	}
+	return "UNKNOWN"
+}
+
+// Options bound the search effort.
+type Options struct {
+	// MaxConflicts stops the search after this many conflicts (0 = no
+	// limit).
+	MaxConflicts int64
+	// Deadline stops the search when passed (zero value = no deadline).
+	Deadline time.Time
+	// PhaseSaving re-uses the last assigned polarity on decisions.
+	PhaseSaving bool
+	// VarDecay is the VSIDS activity decay factor in (0,1); 0 selects the
+	// default 0.95.
+	VarDecay float64
+	// RestartBase is the Luby restart unit in conflicts; 0 selects 100.
+	RestartBase int64
+}
+
+// Stats counts search work, mirroring the counters SAT papers report.
+type Stats struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Restarts     int64
+	Learnts      int64
+	MaxDepth     int
+}
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+type clause struct {
+	lits     []cnf.Lit
+	learnt   bool
+	activity float64
+}
+
+// Solver is a CDCL SAT solver over variables 1..NumVars.
+type Solver struct {
+	opts Options
+
+	nVars   int
+	clauses []*clause
+	learnts []*clause
+	watches [][]*clause // indexed by literal index (2 per var)
+
+	assign  []lbool // by variable
+	level   []int
+	reason  []*clause
+	trail   []cnf.Lit
+	trailAt []int // decision-level boundaries in trail
+	qhead   int
+
+	activity []float64
+	varInc   float64
+	varDecay float64
+	order    varHeap
+	phase    []bool
+
+	claInc   float64
+	seen     []bool
+	unsatNow bool // empty clause present
+
+	stats Stats
+}
+
+// litIdx maps a literal to the watch-list index: positive literal of v is
+// 2v, negative is 2v+1.
+func litIdx(l cnf.Lit) int {
+	v := l.Var()
+	if l.Sign() {
+		return 2 * v
+	}
+	return 2*v + 1
+}
+
+// New builds a solver from a CNF formula. The formula is not modified.
+func New(f *cnf.Formula, opts Options) *Solver {
+	s := NewEmpty(f.NumVars, opts)
+	for _, c := range f.Clauses {
+		s.AddClause(c...)
+	}
+	return s
+}
+
+// NewEmpty builds a solver over n variables with no clauses.
+func NewEmpty(n int, opts Options) *Solver {
+	if opts.VarDecay == 0 {
+		opts.VarDecay = 0.95
+	}
+	if opts.RestartBase == 0 {
+		opts.RestartBase = 100
+	}
+	s := &Solver{opts: opts, varInc: 1, varDecay: opts.VarDecay, claInc: 1}
+	// Index 0 is unused in all variable-indexed slices (variables are 1..n);
+	// watches use two slots per variable including the dummy pair.
+	s.assign = []lbool{lUndef}
+	s.level = []int{0}
+	s.reason = []*clause{nil}
+	s.activity = []float64{0}
+	s.phase = []bool{false}
+	s.seen = []bool{false}
+	s.watches = [][]*clause{nil, nil}
+	s.growTo(n)
+	return s
+}
+
+func (s *Solver) growTo(n int) {
+	for s.nVars < n {
+		s.nVars++
+		s.assign = append(s.assign, lUndef)
+		s.level = append(s.level, 0)
+		s.reason = append(s.reason, nil)
+		s.activity = append(s.activity, 0)
+		s.phase = append(s.phase, false)
+		s.seen = append(s.seen, false)
+		s.watches = append(s.watches, nil, nil)
+	}
+	// Rebuild the order heap lazily at Solve time; for incremental adds,
+	// push new vars now.
+	s.order.ensure(s.nVars, s.activity)
+}
+
+// NumVars returns the number of variables known to the solver.
+func (s *Solver) NumVars() int { return s.nVars }
+
+// Stats returns search counters accumulated so far.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// value returns the current truth value of a literal.
+func (s *Solver) value(l cnf.Lit) lbool {
+	a := s.assign[l.Var()]
+	if a == lUndef {
+		return lUndef
+	}
+	if l.Sign() == (a == lTrue) {
+		return lTrue
+	}
+	return lFalse
+}
+
+// AddClause adds a clause at decision level 0. May only be called before
+// Solve or between Solve calls (the solver backtracks to level 0 first).
+// Returns false if the formula became trivially unsatisfiable.
+func (s *Solver) AddClause(lits ...cnf.Lit) bool {
+	s.cancelUntil(0)
+	norm, taut := cnf.Clause(lits).Normalize()
+	if taut {
+		return true
+	}
+	// Track new variables.
+	for _, l := range norm {
+		if l.Var() > s.nVars {
+			s.growTo(l.Var())
+		}
+	}
+	// Drop satisfied clauses / false literals at level 0.
+	kept := norm[:0]
+	for _, l := range norm {
+		switch s.value(l) {
+		case lTrue:
+			return true
+		case lUndef:
+			kept = append(kept, l)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		s.unsatNow = true
+		return false
+	case 1:
+		if !s.enqueue(kept[0], nil) {
+			s.unsatNow = true
+			return false
+		}
+		if s.propagate() != nil {
+			s.unsatNow = true
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: append([]cnf.Lit(nil), kept...)}
+	s.clauses = append(s.clauses, c)
+	s.watch(c)
+	return true
+}
+
+func (s *Solver) watch(c *clause) {
+	// Watch the first two literals.
+	i0, i1 := litIdx(c.lits[0].Neg()), litIdx(c.lits[1].Neg())
+	s.watches[i0] = append(s.watches[i0], c)
+	s.watches[i1] = append(s.watches[i1], c)
+}
+
+// enqueue assigns literal l with the given reason clause. Returns false on
+// an immediate conflict with the existing assignment.
+func (s *Solver) enqueue(l cnf.Lit, from *clause) bool {
+	switch s.value(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var()
+	if l.Sign() {
+		s.assign[v] = lTrue
+	} else {
+		s.assign[v] = lFalse
+	}
+	s.phase[v] = l.Sign()
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	return true
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailAt) }
+
+// propagate performs watched-literal BCP. Returns the conflicting clause or
+// nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		l := s.trail[s.qhead]
+		s.qhead++
+		s.stats.Propagations++
+		wl := litIdx(l) // clauses watching ¬(assigned literal true) i.e. watching l's falsified side
+		ws := s.watches[wl]
+		kept := ws[:0]
+		var confl *clause
+		for wi := 0; wi < len(ws); wi++ {
+			c := ws[wi]
+			if confl != nil {
+				kept = append(kept, c)
+				continue
+			}
+			// Ensure the falsified literal is lits[1].
+			falsified := l.Neg()
+			if c.lits[0] == falsified {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			// If lits[0] is true, the clause is satisfied.
+			if s.value(c.lits[0]) == lTrue {
+				kept = append(kept, c)
+				continue
+			}
+			// Look for a new literal to watch.
+			moved := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					ni := litIdx(c.lits[1].Neg())
+					s.watches[ni] = append(s.watches[ni], c)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue // watch moved elsewhere; drop from this list
+			}
+			// Unit or conflicting.
+			kept = append(kept, c)
+			if !s.enqueue(c.lits[0], c) {
+				confl = c
+			}
+		}
+		s.watches[wl] = kept
+		if confl != nil {
+			return confl
+		}
+	}
+	return nil
+}
+
+// analyze performs first-UIP conflict analysis, returning the learnt clause
+// (with the asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]cnf.Lit, int) {
+	learnt := []cnf.Lit{0} // slot 0 reserved for the asserting literal
+	counter := 0
+	var p cnf.Lit
+	idx := len(s.trail) - 1
+	cleanup := []int{}
+
+	reasonLits := func(c *clause, skipFirst bool) []cnf.Lit {
+		if skipFirst {
+			return c.lits[1:]
+		}
+		return c.lits
+	}
+
+	first := true
+	for {
+		var lits []cnf.Lit
+		if first {
+			lits = reasonLits(confl, false)
+		} else {
+			lits = reasonLits(confl, true)
+		}
+		if confl.learnt {
+			s.bumpClause(confl)
+		}
+		for _, q := range lits {
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			cleanup = append(cleanup, v)
+			s.bumpVar(v)
+			if s.level[v] == s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Walk the trail backwards to the next marked literal.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.seen[p.Var()] = false
+		counter--
+		first = false
+		if counter == 0 {
+			break
+		}
+		confl = s.reason[p.Var()]
+		if confl == nil {
+			panic("sat: missing reason during analysis")
+		}
+		// The implied literal of a reason clause is always lits[0]: enqueue
+		// is only ever called with the unit/asserting literal in front, and
+		// propagation never reorders a clause whose lits[0] is true.
+		if confl.lits[0].Var() != p.Var() {
+			panic("sat: reason clause invariant violated")
+		}
+	}
+	learnt[0] = p.Neg()
+
+	// Conflict-clause minimization: drop literals implied by the rest.
+	learnt = s.minimize(learnt, cleanup)
+
+	// Compute backtrack level: the second-highest level in the clause.
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = s.level[learnt[1].Var()]
+	}
+	for _, v := range cleanup {
+		s.seen[v] = false
+	}
+	return learnt, btLevel
+}
+
+// minimize removes learnt-clause literals whose reason clauses are fully
+// subsumed by the remaining marked literals (local minimization).
+func (s *Solver) minimize(learnt []cnf.Lit, marked []int) []cnf.Lit {
+	markedSet := make(map[int]bool, len(marked))
+	for _, l := range learnt[1:] {
+		markedSet[l.Var()] = true
+	}
+	out := learnt[:1]
+	for _, l := range learnt[1:] {
+		r := s.reason[l.Var()]
+		if r == nil {
+			out = append(out, l)
+			continue
+		}
+		redundant := true
+		for _, q := range r.lits {
+			if q.Var() == l.Var() {
+				continue
+			}
+			if s.level[q.Var()] != 0 && !markedSet[q.Var()] {
+				redundant = false
+				break
+			}
+		}
+		if !redundant {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := 1; i <= s.nVars; i++ {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v, s.activity)
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	c.activity += s.claInc
+	if c.activity > 1e20 {
+		for _, lc := range s.learnts {
+			lc.activity *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+func (s *Solver) decayActivities() {
+	s.varInc /= s.varDecay
+	s.claInc /= 0.999
+}
+
+// cancelUntil backtracks to the given decision level.
+func (s *Solver) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	bound := s.trailAt[level]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.assign[v] = lUndef
+		s.reason[v] = nil
+		s.order.push(v, s.activity)
+	}
+	s.trail = s.trail[:bound]
+	s.trailAt = s.trailAt[:level]
+	s.qhead = len(s.trail)
+}
+
+// pickBranchVar selects the unassigned variable with the highest activity.
+func (s *Solver) pickBranchVar() int {
+	for {
+		v := s.order.pop(s.activity)
+		if v == 0 {
+			return 0
+		}
+		if s.assign[v] == lUndef {
+			return v
+		}
+	}
+}
+
+// record attaches a learnt clause and enqueues its asserting literal.
+func (s *Solver) record(lits []cnf.Lit) {
+	c := &clause{lits: append([]cnf.Lit(nil), lits...), learnt: true}
+	if len(lits) > 1 {
+		s.learnts = append(s.learnts, c)
+		s.watch(c)
+		s.bumpClause(c)
+		s.stats.Learnts++
+	}
+	s.enqueue(lits[0], c)
+}
+
+// reduceDB removes the lower half of learnt clauses by activity, keeping
+// binary clauses and current reasons.
+func (s *Solver) reduceDB() {
+	if len(s.learnts) < 100 {
+		return
+	}
+	// Partial selection: compute median activity cheaply.
+	acts := make([]float64, len(s.learnts))
+	for i, c := range s.learnts {
+		acts[i] = c.activity
+	}
+	med := quickMedian(acts)
+	inUse := make(map[*clause]bool)
+	for _, r := range s.reason {
+		if r != nil {
+			inUse[r] = true
+		}
+	}
+	kept := s.learnts[:0]
+	for _, c := range s.learnts {
+		if len(c.lits) <= 2 || inUse[c] || c.activity >= med {
+			kept = append(kept, c)
+			continue
+		}
+		s.unwatch(c)
+	}
+	s.learnts = kept
+}
+
+func (s *Solver) unwatch(c *clause) {
+	for _, l := range []cnf.Lit{c.lits[0], c.lits[1]} {
+		wl := litIdx(l.Neg())
+		ws := s.watches[wl]
+		for i, wc := range ws {
+			if wc == c {
+				ws[i] = ws[len(ws)-1]
+				s.watches[wl] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+}
+
+func quickMedian(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	// Insertion-free approximate median: average of min, max and mean is
+	// too crude; use nth_element-style partial sort on a copy.
+	cp := append([]float64(nil), xs...)
+	k := len(cp) / 2
+	lo, hi := 0, len(cp)-1
+	for lo < hi {
+		pivot := cp[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for cp[i] < pivot {
+				i++
+			}
+			for cp[j] > pivot {
+				j--
+			}
+			if i <= j {
+				cp[i], cp[j] = cp[j], cp[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return cp[k]
+}
+
+// luby returns the i-th element (1-based) of the Luby restart sequence.
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (int64(1)<<uint(k))-1 {
+			return int64(1) << uint(k-1)
+		}
+		if i >= int64(1)<<uint(k-1) && i < (int64(1)<<uint(k))-1 {
+			return luby(i - (int64(1) << uint(k-1)) + 1)
+		}
+	}
+}
+
+// Solve runs the CDCL search. It returns Sat, Unsat, or Unknown when the
+// conflict budget or deadline is exceeded.
+func (s *Solver) Solve() Status {
+	return s.SolveAssuming(nil)
+}
+
+// SolveAssuming solves under the given assumption literals, which are
+// enforced as the first decisions of every descent. Unsat then means
+// "unsatisfiable under the assumptions" — the solver remains usable and
+// learnt clauses remain valid, which is what makes incremental
+// chromatic-number search cheap (each K-colorability probe reuses all
+// learning from previous probes).
+func (s *Solver) SolveAssuming(assumptions []cnf.Lit) Status {
+	if s.unsatNow {
+		return Unsat
+	}
+	for _, a := range assumptions {
+		if a.Var() > s.nVars {
+			s.growTo(a.Var())
+		}
+	}
+	s.cancelUntil(0)
+	if s.propagate() != nil {
+		s.unsatNow = true
+		return Unsat
+	}
+	s.order.rebuild(s.nVars, s.activity)
+
+	restartNum := int64(1)
+	conflictsAtRestart := s.stats.Conflicts
+	restartLimit := luby(restartNum) * s.opts.RestartBase
+	checkBudget := 0
+
+	for {
+		// Deadline check, amortized over iterations (conflict- or
+		// decision-heavy alike).
+		checkBudget++
+		if checkBudget >= 256 {
+			checkBudget = 0
+			if !s.opts.Deadline.IsZero() && time.Now().After(s.opts.Deadline) {
+				s.cancelUntil(0)
+				return Unknown
+			}
+		}
+		confl := s.propagate()
+		if confl != nil {
+			s.stats.Conflicts++
+			if s.decisionLevel() == 0 {
+				s.unsatNow = true
+				return Unsat
+			}
+			learnt, btLevel := s.analyze(confl)
+			s.cancelUntil(btLevel)
+			s.record(learnt)
+			s.decayActivities()
+			if s.opts.MaxConflicts > 0 && s.stats.Conflicts >= s.opts.MaxConflicts {
+				s.cancelUntil(0)
+				return Unknown
+			}
+			if s.stats.Conflicts-conflictsAtRestart >= restartLimit {
+				s.stats.Restarts++
+				restartNum++
+				conflictsAtRestart = s.stats.Conflicts
+				restartLimit = luby(restartNum) * s.opts.RestartBase
+				s.cancelUntil(0)
+				if len(s.learnts) > 4000+int(s.stats.Conflicts/10) {
+					s.reduceDB()
+				}
+			}
+			continue
+		}
+		// Assumptions are installed as the first decision levels; after any
+		// backjump below them they are re-applied here.
+		if dl := s.decisionLevel(); dl < len(assumptions) {
+			a := assumptions[dl]
+			switch s.value(a) {
+			case lFalse:
+				s.cancelUntil(0)
+				return Unsat // conflicts with the assumptions
+			case lTrue:
+				s.trailAt = append(s.trailAt, len(s.trail)) // empty level
+			default:
+				s.trailAt = append(s.trailAt, len(s.trail))
+				s.enqueue(a, nil)
+			}
+			continue
+		}
+		v := s.pickBranchVar()
+		if v == 0 {
+			return Sat // all variables assigned
+		}
+		s.stats.Decisions++
+		s.trailAt = append(s.trailAt, len(s.trail))
+		if d := s.decisionLevel(); d > s.stats.MaxDepth {
+			s.stats.MaxDepth = d
+		}
+		var l cnf.Lit
+		if s.opts.PhaseSaving && s.phase[v] {
+			l = cnf.PosLit(v)
+		} else {
+			l = cnf.NegLit(v)
+		}
+		s.enqueue(l, nil)
+	}
+}
+
+// Model returns the satisfying assignment after Solve returned Sat. Index 0
+// is unused.
+func (s *Solver) Model() cnf.Assignment {
+	m := make(cnf.Assignment, s.nVars+1)
+	for v := 1; v <= s.nVars; v++ {
+		m[v] = s.assign[v] == lTrue
+	}
+	return m
+}
+
+func (s *Solver) String() string {
+	return fmt.Sprintf("sat.Solver{vars=%d clauses=%d learnts=%d conflicts=%d}",
+		s.nVars, len(s.clauses), len(s.learnts), s.stats.Conflicts)
+}

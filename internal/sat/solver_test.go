@@ -1,0 +1,382 @@
+package sat
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cnf"
+)
+
+func lit(v int) cnf.Lit  { return cnf.PosLit(v) }
+func nlit(v int) cnf.Lit { return cnf.NegLit(v) }
+
+func solveFormula(t *testing.T, f *cnf.Formula) (Status, cnf.Assignment) {
+	t.Helper()
+	s := New(f, Options{})
+	st := s.Solve()
+	if st == Sat {
+		m := s.Model()
+		if !f.Satisfies(m) {
+			t.Fatalf("solver returned SAT but model does not satisfy formula")
+		}
+		return st, m
+	}
+	return st, nil
+}
+
+func TestTrivialSat(t *testing.T) {
+	f := cnf.NewFormula(2)
+	f.AddClause(lit(1), lit(2))
+	if st, _ := solveFormula(t, f); st != Sat {
+		t.Fatalf("status = %v", st)
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	f := cnf.NewFormula(1)
+	f.AddClause(lit(1))
+	f.AddClause(nlit(1))
+	if st, _ := solveFormula(t, f); st != Unsat {
+		t.Fatalf("status = %v", st)
+	}
+}
+
+func TestEmptyFormulaIsSat(t *testing.T) {
+	f := cnf.NewFormula(3)
+	if st, _ := solveFormula(t, f); st != Sat {
+		t.Fatalf("status = %v", st)
+	}
+}
+
+func TestUnitPropagationChain(t *testing.T) {
+	f := cnf.NewFormula(5)
+	f.AddClause(lit(1))
+	f.AddImplication(lit(1), lit(2))
+	f.AddImplication(lit(2), lit(3))
+	f.AddImplication(lit(3), lit(4))
+	f.AddImplication(lit(4), lit(5))
+	st, m := solveFormula(t, f)
+	if st != Sat {
+		t.Fatalf("status = %v", st)
+	}
+	for v := 1; v <= 5; v++ {
+		if !m[v] {
+			t.Fatalf("var %d should be true", v)
+		}
+	}
+}
+
+func TestContradictoryChain(t *testing.T) {
+	f := cnf.NewFormula(3)
+	f.AddClause(lit(1))
+	f.AddImplication(lit(1), lit(2))
+	f.AddImplication(lit(2), lit(3))
+	f.AddImplication(lit(3), nlit(1))
+	if st, _ := solveFormula(t, f); st != Unsat {
+		t.Fatalf("status = %v", st)
+	}
+}
+
+// pigeonhole adds the classic PHP(n+1, n) instance: n+1 pigeons, n holes.
+// Variable p*(n)+h+1 means pigeon p sits in hole h. Unsatisfiable, and
+// historically the motivating family for symmetry breaking (Krishnamurthy).
+func pigeonhole(pigeons, holes int) *cnf.Formula {
+	f := cnf.NewFormula(pigeons * holes)
+	v := func(p, h int) cnf.Lit { return cnf.PosLit(p*holes + h + 1) }
+	for p := 0; p < pigeons; p++ {
+		cl := make([]cnf.Lit, holes)
+		for h := 0; h < holes; h++ {
+			cl[h] = v(p, h)
+		}
+		f.AddClause(cl...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				f.AddClause(v(p1, h).Neg(), v(p2, h).Neg())
+			}
+		}
+	}
+	return f
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		f := pigeonhole(n+1, n)
+		if st, _ := solveFormula(t, f); st != Unsat {
+			t.Fatalf("PHP(%d,%d) should be UNSAT", n+1, n)
+		}
+	}
+}
+
+func TestPigeonholeSatWhenEnoughHoles(t *testing.T) {
+	f := pigeonhole(4, 4)
+	if st, _ := solveFormula(t, f); st != Sat {
+		t.Fatal("PHP(4,4) should be SAT")
+	}
+}
+
+// bruteForce decides satisfiability by exhaustive enumeration (≤ 20 vars).
+func bruteForce(f *cnf.Formula) bool {
+	n := f.NumVars
+	for mask := 0; mask < 1<<n; mask++ {
+		a := make(cnf.Assignment, n+1)
+		for v := 1; v <= n; v++ {
+			a[v] = mask&(1<<(v-1)) != 0
+		}
+		if f.Satisfies(a) {
+			return true
+		}
+	}
+	return false
+}
+
+func randomCNF(rng *rand.Rand, nVars, nClauses, width int) *cnf.Formula {
+	f := cnf.NewFormula(nVars)
+	for i := 0; i < nClauses; i++ {
+		w := 1 + rng.Intn(width)
+		cl := make([]cnf.Lit, 0, w)
+		for j := 0; j < w; j++ {
+			v := 1 + rng.Intn(nVars)
+			l := cnf.PosLit(v)
+			if rng.Intn(2) == 0 {
+				l = l.Neg()
+			}
+			cl = append(cl, l)
+		}
+		f.AddClause(cl...)
+	}
+	return f
+}
+
+// TestRandomAgainstBruteForce cross-checks the CDCL answer against
+// exhaustive enumeration on hundreds of small random formulas, covering
+// both phases of the SAT/UNSAT transition.
+func TestRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 400; iter++ {
+		nVars := 3 + rng.Intn(8)
+		nClauses := 2 + rng.Intn(5*nVars)
+		f := randomCNF(rng, nVars, nClauses, 4)
+		want := bruteForce(f)
+		s := New(f, Options{})
+		got := s.Solve()
+		if (got == Sat) != want {
+			t.Fatalf("iter %d: solver %v, brute force sat=%v\n%s", iter, got, want, f.Dimacs())
+		}
+		if got == Sat && !f.Satisfies(s.Model()) {
+			t.Fatalf("iter %d: invalid model", iter)
+		}
+	}
+}
+
+// TestRandomWithPhaseSaving repeats the cross-check with phase saving and
+// a different restart cadence to exercise those paths.
+func TestRandomWithPhaseSaving(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		nVars := 4 + rng.Intn(7)
+		f := randomCNF(rng, nVars, 3+rng.Intn(4*nVars), 3)
+		want := bruteForce(f)
+		s := New(f, Options{PhaseSaving: true, RestartBase: 10, VarDecay: 0.8})
+		if got := s.Solve(); (got == Sat) != want {
+			t.Fatalf("iter %d: solver %v, want sat=%v", iter, got, want)
+		}
+	}
+}
+
+func TestIncrementalAddClause(t *testing.T) {
+	f := cnf.NewFormula(3)
+	f.AddClause(lit(1), lit(2), lit(3))
+	s := New(f, Options{})
+	if s.Solve() != Sat {
+		t.Fatal("initial solve should be SAT")
+	}
+	// Force each variable false one at a time.
+	s.AddClause(nlit(1))
+	s.AddClause(nlit(2))
+	if s.Solve() != Sat {
+		t.Fatal("still SAT with x3")
+	}
+	if m := s.Model(); !m[3] || m[1] || m[2] {
+		t.Fatalf("model should be 001, got %v", m[1:])
+	}
+	if !s.AddClause(nlit(3)) {
+		// AddClause may detect the conflict eagerly.
+		return
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("should be UNSAT after forcing all false")
+	}
+}
+
+func TestAddClauseAfterUnsatStaysUnsat(t *testing.T) {
+	s := NewEmpty(1, Options{})
+	s.AddClause(lit(1))
+	s.AddClause(nlit(1))
+	if s.Solve() != Unsat {
+		t.Fatal("want UNSAT")
+	}
+	s.AddClause(lit(1))
+	if s.Solve() != Unsat {
+		t.Fatal("UNSAT must be sticky")
+	}
+}
+
+func TestConflictBudget(t *testing.T) {
+	f := pigeonhole(9, 8) // hard enough to exceed a tiny budget
+	s := New(f, Options{MaxConflicts: 5})
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("status = %v, want Unknown under 5-conflict budget", st)
+	}
+	if s.Stats().Conflicts < 5 {
+		t.Fatalf("conflicts = %d, want >= 5", s.Stats().Conflicts)
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	f := pigeonhole(11, 10)
+	s := New(f, Options{Deadline: time.Now().Add(10 * time.Millisecond)})
+	start := time.Now()
+	st := s.Solve()
+	if st == Sat {
+		t.Fatal("PHP(11,10) cannot be SAT")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline ignored: ran %v", elapsed)
+	}
+}
+
+func TestTautologyIgnored(t *testing.T) {
+	s := NewEmpty(2, Options{})
+	s.AddClause(lit(1), nlit(1))
+	s.AddClause(lit(2))
+	if s.Solve() != Sat {
+		t.Fatal("want SAT")
+	}
+	if m := s.Model(); !m[2] {
+		t.Fatal("x2 should be true")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	f := pigeonhole(5, 4)
+	s := New(f, Options{})
+	s.Solve()
+	st := s.Stats()
+	if st.Conflicts == 0 || st.Decisions == 0 || st.Propagations == 0 {
+		t.Fatalf("expected nonzero stats, got %+v", st)
+	}
+}
+
+func TestGrowToNewVariables(t *testing.T) {
+	s := NewEmpty(0, Options{})
+	s.AddClause(lit(5))
+	if s.NumVars() != 5 {
+		t.Fatalf("NumVars = %d, want 5", s.NumVars())
+	}
+	if s.Solve() != Sat {
+		t.Fatal("want SAT")
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Fatalf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestQuickMedian(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if m := quickMedian(xs); m != 3 {
+		t.Fatalf("median = %v, want 3", m)
+	}
+	if m := quickMedian(nil); m != 0 {
+		t.Fatalf("median of empty = %v", m)
+	}
+}
+
+func TestVarHeapOrdering(t *testing.T) {
+	act := []float64{0, 5, 1, 9, 3}
+	var h varHeap
+	h.rebuild(4, act)
+	got := []int{}
+	for !h.empty() {
+		got = append(got, h.pop(act))
+	}
+	want := []int{3, 1, 4, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("heap order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestVarHeapUpdateAndPush(t *testing.T) {
+	act := []float64{0, 1, 2, 3}
+	var h varHeap
+	h.rebuild(3, act)
+	v := h.pop(act) // 3
+	if v != 3 {
+		t.Fatalf("pop = %d", v)
+	}
+	act[1] = 10
+	h.update(1, act)
+	if got := h.pop(act); got != 1 {
+		t.Fatalf("after update pop = %d, want 1", got)
+	}
+	h.push(3, act)
+	h.push(3, act) // duplicate push ignored
+	cnt := 0
+	for !h.empty() {
+		h.pop(act)
+		cnt++
+	}
+	if cnt != 2 { // vars 2 and 3
+		t.Fatalf("heap size = %d, want 2", cnt)
+	}
+}
+
+// Benchmark-ish regression: a moderately hard instance solved quickly.
+func TestGraphColoringAsCNFSmoke(t *testing.T) {
+	// 3-color an odd cycle C5 (χ=3): SAT with 3 colors, UNSAT with 2.
+	build := func(k int) *cnf.Formula {
+		n := 5
+		f := cnf.NewFormula(n * k)
+		v := func(i, c int) cnf.Lit { return cnf.PosLit(i*k + c + 1) }
+		for i := 0; i < n; i++ {
+			cl := make([]cnf.Lit, k)
+			for c := 0; c < k; c++ {
+				cl[c] = v(i, c)
+			}
+			f.AddClause(cl...)
+		}
+		for i := 0; i < n; i++ {
+			j := (i + 1) % n
+			for c := 0; c < k; c++ {
+				f.AddClause(v(i, c).Neg(), v(j, c).Neg())
+			}
+		}
+		return f
+	}
+	if st, _ := solveFormula(t, build(3)); st != Sat {
+		t.Fatal("C5 is 3-colorable")
+	}
+	if st, _ := solveFormula(t, build(2)); st != Unsat {
+		t.Fatal("C5 is not 2-colorable")
+	}
+}
+
+func ExampleSolver() {
+	f := cnf.NewFormula(2)
+	f.AddClause(cnf.PosLit(1), cnf.PosLit(2))
+	f.AddClause(cnf.NegLit(1))
+	s := New(f, Options{})
+	fmt.Println(s.Solve())
+	// Output: SAT
+}

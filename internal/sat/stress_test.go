@@ -1,0 +1,92 @@
+package sat
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+// TestRandom3SATNearThreshold runs instances near the SAT/UNSAT phase
+// transition (ratio ~4.2) large enough to exercise restarts, clause-database
+// reduction and conflict-clause minimization, and validates every SAT model.
+func TestRandom3SATNearThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	sat, unsat := 0, 0
+	for iter := 0; iter < 12; iter++ {
+		nVars := 50
+		nClauses := 210
+		f := cnf.NewFormula(nVars)
+		for c := 0; c < nClauses; c++ {
+			cl := make([]cnf.Lit, 0, 3)
+			used := map[int]bool{}
+			for len(cl) < 3 {
+				v := 1 + rng.Intn(nVars)
+				if used[v] {
+					continue
+				}
+				used[v] = true
+				l := cnf.PosLit(v)
+				if rng.Intn(2) == 0 {
+					l = l.Neg()
+				}
+				cl = append(cl, l)
+			}
+			f.AddClause(cl...)
+		}
+		s := New(f, Options{PhaseSaving: true, RestartBase: 16})
+		switch s.Solve() {
+		case Sat:
+			sat++
+			if !f.Satisfies(s.Model()) {
+				t.Fatalf("iter %d: invalid model", iter)
+			}
+		case Unsat:
+			unsat++
+		default:
+			t.Fatalf("iter %d: unexpected UNKNOWN without budget", iter)
+		}
+		if s.Stats().Restarts == 0 && s.Stats().Conflicts > 100 {
+			t.Fatalf("iter %d: restarts never fired with base 16", iter)
+		}
+	}
+	if sat == 0 || unsat == 0 {
+		t.Logf("phase split: %d SAT / %d UNSAT (both sides ideally exercised)", sat, unsat)
+	}
+}
+
+// TestReduceDBPreservesCorrectness forces heavy learning and DB reduction,
+// then re-checks a known answer.
+func TestReduceDBPreservesCorrectness(t *testing.T) {
+	f := pigeonhole(8, 7)
+	s := New(f, Options{RestartBase: 8})
+	if s.Solve() != Unsat {
+		t.Fatal("PHP(8,7) must be UNSAT")
+	}
+	if s.Stats().Learnts == 0 {
+		t.Fatal("expected learnt clauses")
+	}
+}
+
+// TestParserFuzzNoPanic: random byte soup must produce errors, never
+// panics.
+func TestParserFuzzNoPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	alphabet := []byte("pc nf-0123456789 \n\tx")
+	for iter := 0; iter < 500; iter++ {
+		n := rng.Intn(120)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on input %q: %v", b, r)
+				}
+			}()
+			_, _ = cnf.ParseDimacs(strings.NewReader(string(b)))
+		}()
+	}
+}

@@ -1,0 +1,100 @@
+package sbp
+
+import (
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/pb"
+	"repro/internal/symgraph"
+)
+
+func rotation(n int) symgraph.LitPerm {
+	g := symgraph.NewIdentityPerm(n)
+	for v := 1; v <= n; v++ {
+		g.Img[v] = cnf.PosLit(v%n + 1)
+	}
+	return g
+}
+
+func TestCompose(t *testing.T) {
+	r := rotation(4) // 1→2→3→4→1
+	r2 := Compose(r, r)
+	if r2.Img[1] != lit(3) || r2.Img[3] != lit(1) {
+		t.Fatalf("r² wrong: %v", r2.Img)
+	}
+	r4 := Compose(r2, r2)
+	if !r4.IsIdentity() {
+		t.Fatalf("r⁴ should be identity: %v", r4.Img)
+	}
+	// Phases compose: (1→¬1)² = id.
+	p := symgraph.NewIdentityPerm(1)
+	p.Img[1] = nlit(1)
+	if !Compose(p, p).IsIdentity() {
+		t.Fatal("phase shift squared should be identity")
+	}
+}
+
+func TestExpandPowers(t *testing.T) {
+	r := rotation(5) // order 5
+	out := ExpandPowers([]symgraph.LitPerm{r}, 4)
+	// r, r², r³, r⁴ — all non-identity.
+	if len(out) != 4 {
+		t.Fatalf("got %d perms, want 4", len(out))
+	}
+	for i, p := range out {
+		if p.IsIdentity() {
+			t.Fatalf("power %d is identity", i)
+		}
+	}
+	// maxPower beyond the order stops at the order.
+	out = ExpandPowers([]symgraph.LitPerm{r}, 100)
+	if len(out) != 4 {
+		t.Fatalf("got %d perms, want 4 (order-1)", len(out))
+	}
+	// maxPower 1 = generators only.
+	out = ExpandPowers([]symgraph.LitPerm{r}, 1)
+	if len(out) != 1 {
+		t.Fatalf("got %d perms, want 1", len(out))
+	}
+}
+
+func TestExpandPowersSoundInSBPs(t *testing.T) {
+	// Breaking a rotation plus its powers still keeps one representative
+	// per orbit (reuses the orbit-survival machinery).
+	n := 4
+	r := rotation(n)
+	gens := ExpandPowers([]symgraph.LitPerm{r}, 3)
+	f := pb.NewFormula(n)
+	AddSBPs(f, gens, Options{})
+	got := satisfyingSet(f, n)
+	for key := uint32(0); key < 1<<n; key++ {
+		orbit := map[uint32]bool{key: true}
+		cur := key
+		for {
+			cur = applyPerm(cur, r, n)
+			if orbit[cur] {
+				break
+			}
+			orbit[cur] = true
+		}
+		any := false
+		for m := range orbit {
+			if got[m] {
+				any = true
+				break
+			}
+		}
+		if !any {
+			t.Fatalf("orbit of %04b eliminated", key)
+		}
+	}
+	// Powers break strictly more than the generator alone on some orbit:
+	// count survivors.
+	fGen := pb.NewFormula(n)
+	AddSBPs(fGen, []symgraph.LitPerm{r}, Options{})
+	genSurvivors := len(satisfyingSet(fGen, n))
+	powSurvivors := len(got)
+	if powSurvivors > genSurvivors {
+		t.Fatalf("powers should not increase survivors: %d > %d", powSurvivors, genSurvivors)
+	}
+}

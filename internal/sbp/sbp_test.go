@@ -1,0 +1,323 @@
+package sbp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/pb"
+	"repro/internal/pbsolver"
+	"repro/internal/symgraph"
+)
+
+func lit(v int) cnf.Lit  { return cnf.PosLit(v) }
+func nlit(v int) cnf.Lit { return cnf.NegLit(v) }
+
+// assignments enumerates all assignments over vars 1..n satisfying f.
+func satisfyingSet(f *pb.Formula, n int) map[uint32]bool {
+	out := map[uint32]bool{}
+	total := f.NumVars
+	for mask := 0; mask < 1<<total; mask++ {
+		a := make(cnf.Assignment, total+1)
+		for v := 1; v <= total; v++ {
+			a[v] = mask&(1<<(v-1)) != 0
+		}
+		if f.Satisfies(a) {
+			key := uint32(0)
+			for v := 1; v <= n; v++ {
+				if a[v] {
+					key |= 1 << (v - 1)
+				}
+			}
+			out[key] = true
+		}
+	}
+	return out
+}
+
+// applyPerm maps an assignment key through a literal permutation: the image
+// assignment B has B[π(v)] = A[v] with phase adjustment. Iterating it over
+// the generators closes orbits (finite order makes inverses reachable).
+func applyPerm(key uint32, p symgraph.LitPerm, n int) uint32 {
+	out := uint32(0)
+	for v := 1; v <= n; v++ {
+		val := key&(1<<(v-1)) != 0
+		img := p.Img[v]
+		if !img.Sign() {
+			val = !val
+		}
+		if val {
+			out |= 1 << (img.Var() - 1)
+		}
+	}
+	return out
+}
+
+// imageValues returns, per variable v, the value of the image literal
+// π(PosLit(v)) under the assignment: the right-hand side of the lex-leader
+// comparison A ≤lex A∘π that the SBP construction enforces.
+func imageValues(key uint32, p symgraph.LitPerm, n int) uint32 {
+	out := uint32(0)
+	for v := 1; v <= n; v++ {
+		img := p.Img[v]
+		val := key&(1<<(img.Var()-1)) != 0
+		if !img.Sign() {
+			val = !val
+		}
+		if val {
+			out |= 1 << (v - 1)
+		}
+	}
+	return out
+}
+
+// lexLeq compares assignments by the lex order over variables 1..n where
+// variable 1 is most significant and false < true... The SBP construction
+// enforces A ≤lex π(A) with l_i → m_i per prefix, i.e. A[v]=1,π(A)[v]=0
+// forbidden at the first difference: true > false, variable order
+// ascending. Equivalent integer comparison with bit v-1 weighted by
+// 2^(n-v).
+func lexKey(key uint32, n int) uint32 {
+	out := uint32(0)
+	for v := 1; v <= n; v++ {
+		if key&(1<<(v-1)) != 0 {
+			out |= 1 << (n - v)
+		}
+	}
+	return out
+}
+
+func TestSwapSBPSemantics(t *testing.T) {
+	// Free formula over x1,x2 with swap symmetry: SBP keeps exactly
+	// assignments with x1 ≤lex-image, i.e. A ≤ swap(A): 00, 01, 11 survive,
+	// 10 is cut.
+	f := pb.NewFormula(2)
+	swap := symgraph.NewIdentityPerm(2)
+	swap.Img[1], swap.Img[2] = lit(2), lit(1)
+	st := AddSBPs(f, []symgraph.LitPerm{swap}, Options{})
+	if st.Generators != 1 {
+		t.Fatalf("generators = %d", st.Generators)
+	}
+	got := satisfyingSet(f, 2)
+	want := map[uint32]bool{0b00: true, 0b10: true, 0b11: true} // bit v-1; 0b10 = x2 only
+	if len(got) != len(want) {
+		t.Fatalf("surviving = %v, want %v", got, want)
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("missing assignment %02b", k)
+		}
+	}
+}
+
+func TestPhaseShiftTruncation(t *testing.T) {
+	// Generator x1 → ¬x1: SBP must be the single unit clause ¬x1.
+	f := pb.NewFormula(1)
+	g := symgraph.NewIdentityPerm(1)
+	g.Img[1] = nlit(1)
+	st := AddSBPs(f, []symgraph.LitPerm{g}, Options{})
+	if st.Clauses != 1 || st.AddedVars != 0 {
+		t.Fatalf("clauses=%d vars=%d, want 1/0", st.Clauses, st.AddedVars)
+	}
+	got := satisfyingSet(f, 1)
+	if len(got) != 1 || !got[0] {
+		t.Fatalf("surviving = %v, want {0}", got)
+	}
+}
+
+func TestIdentitySkipped(t *testing.T) {
+	f := pb.NewFormula(3)
+	st := AddSBPs(f, []symgraph.LitPerm{symgraph.NewIdentityPerm(3)}, Options{})
+	if st.Generators != 0 || st.Clauses != 0 {
+		t.Fatalf("identity should add nothing: %+v", st)
+	}
+}
+
+func TestMaxSupportTruncation(t *testing.T) {
+	// Rotation over 4 variables with MaxSupport 2: fewer clauses, still
+	// sound (orbit representatives survive).
+	f := pb.NewFormula(4)
+	rot := symgraph.NewIdentityPerm(4)
+	rot.Img[1], rot.Img[2], rot.Img[3], rot.Img[4] = lit(2), lit(3), lit(4), lit(1)
+	stFull := AddSBPs(pb.NewFormula(4), []symgraph.LitPerm{rot}, Options{})
+	stTrunc := AddSBPs(f, []symgraph.LitPerm{rot}, Options{MaxSupport: 2})
+	if stTrunc.Clauses >= stFull.Clauses {
+		t.Fatalf("truncated %d >= full %d", stTrunc.Clauses, stFull.Clauses)
+	}
+}
+
+// TestLexLeaderExactSemantics verifies, by exhaustive enumeration on random
+// variable permutations, that the SBP admits exactly the assignments
+// A ≤lex π(A).
+func TestLexLeaderExactSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 200; iter++ {
+		n := 2 + rng.Intn(5)
+		// Random permutation with random phase flips.
+		vp := rng.Perm(n)
+		g := symgraph.NewIdentityPerm(n)
+		for v := 1; v <= n; v++ {
+			img := cnf.PosLit(vp[v-1] + 1)
+			if rng.Intn(3) == 0 {
+				img = img.Neg()
+			}
+			g.Img[v] = img
+		}
+		if g.IsIdentity() {
+			continue
+		}
+		f := pb.NewFormula(n)
+		AddSBPs(f, []symgraph.LitPerm{g}, Options{})
+		got := satisfyingSet(f, n)
+		for key := uint32(0); key < 1<<n; key++ {
+			img := imageValues(key, g, n)
+			wantIn := lexKey(key, n) <= lexKey(img, n)
+			if got[key] != wantIn {
+				t.Fatalf("iter %d n=%d key=%0*b img=%0*b: survived=%v want=%v",
+					iter, n, n, key, n, img, got[key], wantIn)
+			}
+		}
+	}
+}
+
+// TestOrbitRepresentativeSurvives: for random generator sets, every orbit
+// of the generated group keeps at least one satisfying representative.
+func TestOrbitRepresentativeSurvives(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for iter := 0; iter < 100; iter++ {
+		n := 2 + rng.Intn(4)
+		nGens := 1 + rng.Intn(2)
+		gens := make([]symgraph.LitPerm, 0, nGens)
+		for k := 0; k < nGens; k++ {
+			vp := rng.Perm(n)
+			g := symgraph.NewIdentityPerm(n)
+			for v := 1; v <= n; v++ {
+				g.Img[v] = cnf.PosLit(vp[v-1] + 1)
+			}
+			gens = append(gens, g)
+		}
+		f := pb.NewFormula(n)
+		AddSBPs(f, gens, Options{})
+		got := satisfyingSet(f, n)
+		// Close each assignment's orbit under the generators; at least one
+		// member must survive.
+		for key := uint32(0); key < 1<<n; key++ {
+			orbit := map[uint32]bool{key: true}
+			frontier := []uint32{key}
+			for len(frontier) > 0 {
+				cur := frontier[len(frontier)-1]
+				frontier = frontier[:len(frontier)-1]
+				for _, g := range gens {
+					img := applyPerm(cur, g, n)
+					if !orbit[img] {
+						orbit[img] = true
+						frontier = append(frontier, img)
+					}
+				}
+			}
+			any := false
+			for m := range orbit {
+				if got[m] {
+					any = true
+					break
+				}
+			}
+			if !any {
+				t.Fatalf("iter %d: orbit of %0*b fully eliminated", iter, n, key)
+			}
+		}
+	}
+}
+
+// TestSBPsPreserveOptimum: adding SBPs from genuine formula symmetries never
+// changes satisfiability or the optimal objective value.
+func TestSBPsPreserveOptimum(t *testing.T) {
+	// Pigeonhole PHP(4,3) with row-swap symmetry generators (pigeons are
+	// interchangeable): UNSAT stays UNSAT.
+	f := pigeonPB(4, 3)
+	gens := pigeonRowSwaps(4, 3)
+	for _, g := range gens {
+		if !symgraph.VerifyLitPerm(f, g) {
+			t.Fatal("row swap should be a formula symmetry")
+		}
+	}
+	AddSBPs(f, gens, Options{})
+	res := pbsolver.Decide(f, pbsolver.Options{Engine: pbsolver.EnginePBS})
+	if res.Status != pbsolver.StatusUnsat {
+		t.Fatalf("PHP(4,3)+SBP = %v, want UNSAT", res.Status)
+	}
+	// PHP(3,3) with objective: minimum number of "used holes" stays 3.
+	f2 := pigeonPB(3, 3)
+	obj := make([]pb.Term, 0)
+	// Reuse x variables as a stand-in objective: minimize pigeons in hole 0.
+	for p := 0; p < 3; p++ {
+		obj = append(obj, pb.Term{Coef: 1, Lit: cnf.PosLit(p*3 + 1)})
+	}
+	f2.SetObjective(obj)
+	base := pbsolver.Optimize(f2, pbsolver.Options{Engine: pbsolver.EnginePBS})
+	f3 := pigeonPB(3, 3)
+	f3.SetObjective(obj)
+	AddSBPs(f3, pigeonRowSwaps(3, 3), Options{})
+	withSBP := pbsolver.Optimize(f3, pbsolver.Options{Engine: pbsolver.EnginePBS})
+	if base.Status != withSBP.Status || base.Objective != withSBP.Objective {
+		t.Fatalf("optimum changed: %v/%d vs %v/%d",
+			base.Status, base.Objective, withSBP.Status, withSBP.Objective)
+	}
+}
+
+// TestSymmetryBreakingSpeedsUpPigeonhole reproduces the motivating
+// observation (paper §2.2, Krishnamurthy): pigeonhole instances are
+// exponentially hard for resolution-based solvers but easy once symmetries
+// are broken — conflicts should drop dramatically.
+func TestSymmetryBreakingSpeedsUpPigeonhole(t *testing.T) {
+	plain := pigeonPB(8, 7)
+	resPlain := pbsolver.Decide(plain, pbsolver.Options{Engine: pbsolver.EnginePBS})
+	broken := pigeonPB(8, 7)
+	AddSBPs(broken, pigeonRowSwaps(8, 7), Options{})
+	resBroken := pbsolver.Decide(broken, pbsolver.Options{Engine: pbsolver.EnginePBS})
+	if resPlain.Status != pbsolver.StatusUnsat || resBroken.Status != pbsolver.StatusUnsat {
+		t.Fatalf("both must be UNSAT: %v / %v", resPlain.Status, resBroken.Status)
+	}
+	if resBroken.Stats.Conflicts >= resPlain.Stats.Conflicts {
+		t.Fatalf("SBPs did not reduce conflicts: %d -> %d",
+			resPlain.Stats.Conflicts, resBroken.Stats.Conflicts)
+	}
+}
+
+func pigeonPB(pigeons, holes int) *pb.Formula {
+	f := pb.NewFormula(pigeons * holes)
+	v := func(p, h int) cnf.Lit { return cnf.PosLit(p*holes + h + 1) }
+	for p := 0; p < pigeons; p++ {
+		terms := make([]pb.Term, holes)
+		for h := 0; h < holes; h++ {
+			terms[h] = pb.Term{Coef: 1, Lit: v(p, h)}
+		}
+		f.AddPB(terms, pb.EQ, 1)
+	}
+	for h := 0; h < holes; h++ {
+		terms := make([]pb.Term, pigeons)
+		for p := 0; p < pigeons; p++ {
+			terms[p] = pb.Term{Coef: 1, Lit: v(p, h)}
+		}
+		f.AddPB(terms, pb.LE, 1)
+	}
+	return f
+}
+
+// pigeonRowSwaps returns adjacent-pigeon transpositions (generators of the
+// pigeon symmetric group).
+func pigeonRowSwaps(pigeons, holes int) []symgraph.LitPerm {
+	n := pigeons * holes
+	var gens []symgraph.LitPerm
+	for p := 0; p+1 < pigeons; p++ {
+		g := symgraph.NewIdentityPerm(n)
+		for h := 0; h < holes; h++ {
+			a := p*holes + h + 1
+			b := (p+1)*holes + h + 1
+			g.Img[a] = cnf.PosLit(b)
+			g.Img[b] = cnf.PosLit(a)
+		}
+		gens = append(gens, g)
+	}
+	return gens
+}

@@ -1,0 +1,259 @@
+package symgraph
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/autom"
+	"repro/internal/cnf"
+	"repro/internal/pb"
+)
+
+func lit(v int) cnf.Lit  { return cnf.PosLit(v) }
+func nlit(v int) cnf.Lit { return cnf.NegLit(v) }
+
+func TestDetectSwapSymmetry(t *testing.T) {
+	// (x1 ∨ x2) is symmetric under x1 ↔ x2.
+	f := pb.NewFormula(2)
+	f.AddClause(lit(1), lit(2))
+	perms, res := Detect(f, autom.Options{})
+	if !res.Exact {
+		t.Fatal("search did not complete")
+	}
+	found := false
+	for _, p := range perms {
+		if p.Img[1] == lit(2) && p.Img[2] == lit(1) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("swap x1↔x2 not found; perms=%d order=%v", len(perms), res.Order)
+	}
+}
+
+func TestDetectPhaseShiftSymmetry(t *testing.T) {
+	// (x1 ∨ x2)(¬x1 ∨ ¬x2): symmetric under the phase shift x_i ↔ ¬x_i
+	// applied to both variables (and under x1 ↔ x2).
+	f := pb.NewFormula(2)
+	f.AddClause(lit(1), lit(2))
+	f.AddClause(nlit(1), nlit(2))
+	perms, _ := Detect(f, autom.Options{})
+	sawPhase := false
+	for _, p := range perms {
+		if !p.Img[1].Sign() || !p.Img[2].Sign() {
+			sawPhase = true
+		}
+	}
+	if !sawPhase {
+		t.Fatal("no phase-shift generator detected")
+	}
+	for _, p := range perms {
+		if !VerifyLitPerm(f, p) {
+			t.Fatal("detected symmetry fails verification")
+		}
+	}
+}
+
+func TestDetectAsymmetricFormula(t *testing.T) {
+	// (x1)(x1 ∨ x2): x1 and x2 are NOT interchangeable.
+	f := pb.NewFormula(2)
+	f.AddClause(lit(1))
+	f.AddClause(lit(1), lit(2))
+	perms, _ := Detect(f, autom.Options{})
+	for _, p := range perms {
+		if p.Img[1].Var() == 2 {
+			t.Fatalf("spurious symmetry x1→%v", p.Img[1])
+		}
+	}
+}
+
+func TestPBConstraintSymmetry(t *testing.T) {
+	// x1+x2+x3 >= 2 is symmetric under all 3! permutations.
+	f := pb.NewFormula(3)
+	f.AddPB([]pb.Term{
+		{Coef: 1, Lit: lit(1)}, {Coef: 1, Lit: lit(2)}, {Coef: 1, Lit: lit(3)},
+	}, pb.GE, 2)
+	perms, res := Detect(f, autom.Options{})
+	if len(perms) == 0 {
+		t.Fatal("no symmetry detected for symmetric PB constraint")
+	}
+	// Order should be at least 6 (S3 on variables; phase structure may add
+	// nothing because the constraint distinguishes phases).
+	if res.Order.Cmp(big.NewInt(6)) < 0 {
+		t.Fatalf("order %v < 6", res.Order)
+	}
+	for _, p := range perms {
+		if !VerifyLitPerm(f, p) {
+			t.Fatal("unverifiable generator")
+		}
+	}
+}
+
+func TestWeightedConstraintBreaksSymmetry(t *testing.T) {
+	// 2x1+1x2 >= 2: x1 and x2 are not interchangeable (different
+	// coefficients → different coefficient-node colors).
+	f := pb.NewFormula(2)
+	f.AddPB([]pb.Term{{Coef: 2, Lit: lit(1)}, {Coef: 1, Lit: lit(2)}}, pb.GE, 2)
+	perms, _ := Detect(f, autom.Options{})
+	for _, p := range perms {
+		if p.Img[1].Var() == 2 {
+			t.Fatal("coefficient distinction lost")
+		}
+	}
+}
+
+func TestObjectiveRestrictsSymmetry(t *testing.T) {
+	// x1+x2 >= 1 symmetric; objective min x1 breaks the swap.
+	f := pb.NewFormula(2)
+	f.AddPB([]pb.Term{{Coef: 1, Lit: lit(1)}, {Coef: 1, Lit: lit(2)}}, pb.GE, 1)
+	f.SetObjective([]pb.Term{{Coef: 1, Lit: lit(1)}})
+	perms, _ := Detect(f, autom.Options{})
+	for _, p := range perms {
+		if p.Img[1].Var() == 2 || p.Img[2].Var() == 1 {
+			t.Fatal("objective asymmetry lost")
+		}
+	}
+	// With a symmetric objective the swap must reappear.
+	f2 := pb.NewFormula(2)
+	f2.AddPB([]pb.Term{{Coef: 1, Lit: lit(1)}, {Coef: 1, Lit: lit(2)}}, pb.GE, 1)
+	f2.SetObjective([]pb.Term{{Coef: 1, Lit: lit(1)}, {Coef: 1, Lit: lit(2)}})
+	perms2, _ := Detect(f2, autom.Options{})
+	found := false
+	for _, p := range perms2 {
+		if p.Img[1] == lit(2) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("symmetric objective should preserve the swap")
+	}
+}
+
+func TestVerifyLitPermRejectsNonSymmetry(t *testing.T) {
+	f := pb.NewFormula(2)
+	f.AddClause(lit(1))
+	bogus := NewIdentityPerm(2)
+	bogus.Img[1] = lit(2)
+	bogus.Img[2] = lit(1)
+	if VerifyLitPerm(f, bogus) {
+		t.Fatal("swap should not verify against (x1)")
+	}
+	if !VerifyLitPerm(f, NewIdentityPerm(2)) {
+		t.Fatal("identity always verifies")
+	}
+}
+
+func TestVerifyLitPermPhase(t *testing.T) {
+	// (x1 ∨ x2)(¬x1 ∨ ¬x2): global phase shift verifies; single-variable
+	// phase shift does not.
+	f := pb.NewFormula(2)
+	f.AddClause(lit(1), lit(2))
+	f.AddClause(nlit(1), nlit(2))
+	both := NewIdentityPerm(2)
+	both.Img[1], both.Img[2] = nlit(1), nlit(2)
+	if !VerifyLitPerm(f, both) {
+		t.Fatal("global phase shift is a symmetry")
+	}
+	one := NewIdentityPerm(2)
+	one.Img[1] = nlit(1)
+	if VerifyLitPerm(f, one) {
+		t.Fatal("single phase shift is not a symmetry")
+	}
+}
+
+func TestLitPermBasics(t *testing.T) {
+	p := NewIdentityPerm(3)
+	if !p.IsIdentity() || len(p.Support()) != 0 {
+		t.Fatal("fresh perm should be identity")
+	}
+	p.Img[1] = nlit(2)
+	p.Img[2] = nlit(1)
+	if p.IsIdentity() {
+		t.Fatal("no longer identity")
+	}
+	if got := p.Image(lit(1)); got != nlit(2) {
+		t.Fatalf("Image(x1) = %v", got)
+	}
+	if got := p.Image(nlit(1)); got != lit(2) {
+		t.Fatalf("Image(¬x1) = %v", got)
+	}
+	sup := p.Support()
+	if len(sup) != 2 || sup[0] != 1 || sup[1] != 2 {
+		t.Fatalf("Support = %v", sup)
+	}
+}
+
+func TestUnitClauseVertex(t *testing.T) {
+	// Unit clauses must pin their literal: (x1) with (x1∨x2∨x3) makes x1
+	// distinguishable from x2,x3 but keeps x2↔x3.
+	f := pb.NewFormula(3)
+	f.AddClause(lit(1))
+	f.AddClause(lit(1), lit(2), lit(3))
+	perms, _ := Detect(f, autom.Options{})
+	swap23 := false
+	for _, p := range perms {
+		if p.Img[1].Var() != 1 {
+			t.Fatal("x1 must stay fixed")
+		}
+		if p.Img[2] == lit(3) {
+			swap23 = true
+		}
+	}
+	if !swap23 {
+		t.Fatal("x2↔x3 not detected")
+	}
+}
+
+func TestDuplicateClausesNoSpuriousSymmetry(t *testing.T) {
+	// Duplicate long clauses are collapsed; formula symmetry is unchanged.
+	f := pb.NewFormula(3)
+	f.AddClause(lit(1), lit(2), lit(3))
+	f.AddClause(lit(1), lit(2), lit(3))
+	perms, _ := Detect(f, autom.Options{})
+	for _, p := range perms {
+		if !VerifyLitPerm(f, p) {
+			t.Fatal("verification failed")
+		}
+	}
+}
+
+func TestColoringEncodingColorSymmetry(t *testing.T) {
+	// Mini coloring encoding of a single edge with K=3: x[v][c] variables
+	// v∈{a,b}, y[c] usage variables. All 3! color permutations must appear:
+	// order divisible by 6.
+	K := 3
+	x := func(v, c int) cnf.Lit { return cnf.PosLit(v*K + c + 1) }
+	y := func(c int) cnf.Lit { return cnf.PosLit(2*K + c + 1) }
+	f := pb.NewFormula(3 * K)
+	for v := 0; v < 2; v++ {
+		terms := make([]pb.Term, K)
+		for c := 0; c < K; c++ {
+			terms[c] = pb.Term{Coef: 1, Lit: x(v, c)}
+		}
+		f.AddPB(terms, pb.EQ, 1)
+	}
+	for c := 0; c < K; c++ {
+		f.AddClause(x(0, c).Neg(), x(1, c).Neg())
+		f.AddImplication(x(0, c), y(c))
+		f.AddImplication(x(1, c), y(c))
+		f.AddClause(y(c).Neg(), x(0, c), x(1, c))
+	}
+	obj := make([]pb.Term, K)
+	for c := 0; c < K; c++ {
+		obj[c] = pb.Term{Coef: 1, Lit: y(c)}
+	}
+	f.SetObjective(obj)
+	perms, res := Detect(f, autom.Options{})
+	if len(perms) == 0 {
+		t.Fatal("no color symmetry detected")
+	}
+	mod := new(big.Int).Mod(res.Order, big.NewInt(6))
+	if mod.Sign() != 0 {
+		t.Fatalf("order %v not divisible by |S3|=6", res.Order)
+	}
+	for _, p := range perms {
+		if !VerifyLitPerm(f, p) {
+			t.Fatal("color symmetry failed verification")
+		}
+	}
+}

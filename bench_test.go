@@ -6,6 +6,8 @@
 package repro
 
 import (
+	"context"
+	"math/rand"
 	"testing"
 	"time"
 
@@ -17,6 +19,7 @@ import (
 	"repro/internal/heuristic"
 	"repro/internal/pbsolver"
 	"repro/internal/sbp"
+	"repro/internal/service"
 	"repro/internal/symgraph"
 )
 
@@ -128,7 +131,7 @@ func BenchmarkAblationSearchStrategy(b *testing.B) {
 		b.Run(strat.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				e := encode.Build(g, 7, encode.SBPNU)
-				res := pbsolver.Optimize(e.F, pbsolver.Options{
+				res := pbsolver.Optimize(context.Background(), e.F, pbsolver.Options{
 					Engine: pbsolver.EnginePBS, Strategy: strat.s,
 				})
 				if res.Status != pbsolver.StatusOptimal || res.Objective != 5 {
@@ -150,7 +153,7 @@ func BenchmarkAblationLIEncoding(b *testing.B) {
 		b.Run(variant.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				e := encode.Build(g, 7, variant.kind)
-				res := pbsolver.Optimize(e.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
+				res := pbsolver.Optimize(context.Background(), e.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
 				if res.Status != pbsolver.StatusOptimal || res.Objective != 5 {
 					b.Fatalf("%v obj=%d", res.Status, res.Objective)
 				}
@@ -176,7 +179,7 @@ func BenchmarkAblationGeneratorPowers(b *testing.B) {
 					perms = sbp.ExpandPowers(perms, variant.maxPower)
 				}
 				sbp.AddSBPs(e.F, perms, sbp.Options{})
-				res := pbsolver.Optimize(e.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
+				res := pbsolver.Optimize(context.Background(), e.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
 				if res.Status != pbsolver.StatusOptimal || res.Objective != 5 {
 					b.Fatalf("%v obj=%d", res.Status, res.Objective)
 				}
@@ -198,7 +201,7 @@ func BenchmarkAblationExactlyOneEncoding(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				e := encode.BuildWithOptions(g, 7, encode.SBPNU,
 					encode.Options{PairwiseExactlyOne: variant.pairwise})
-				res := pbsolver.Optimize(e.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
+				res := pbsolver.Optimize(context.Background(), e.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
 				if res.Status != pbsolver.StatusOptimal || res.Objective != 5 {
 					b.Fatalf("%v obj=%d", res.Status, res.Objective)
 				}
@@ -215,7 +218,7 @@ func BenchmarkAblationSeqSATvsILP(b *testing.B) {
 	b.Run("sequential-sat", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			ub := heuristic.DsaturCount(g)
-			chi, proven := core.SequentialChromatic(g, ub, time.Time{})
+			chi, proven := core.SequentialChromatic(context.Background(), g, ub)
 			if !proven || chi != 5 {
 				b.Fatalf("chi=%d proven=%v", chi, proven)
 			}
@@ -224,7 +227,7 @@ func BenchmarkAblationSeqSATvsILP(b *testing.B) {
 	b.Run("incremental-sat", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			ub := heuristic.DsaturCount(g)
-			chi, proven := core.SequentialChromaticIncremental(g, ub, time.Time{})
+			chi, proven := core.SequentialChromaticIncremental(context.Background(), g, ub)
 			if !proven || chi != 5 {
 				b.Fatalf("chi=%d proven=%v", chi, proven)
 			}
@@ -232,7 +235,7 @@ func BenchmarkAblationSeqSATvsILP(b *testing.B) {
 	})
 	b.Run("pb-optimize", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			out := core.Solve(g, core.Config{K: 7, SBP: encode.SBPNU, Engine: pbsolver.EnginePBS})
+			out := core.Solve(context.Background(), g, core.Config{K: 7, SBP: encode.SBPNU, Engine: pbsolver.EnginePBS})
 			if out.Chi != 5 {
 				b.Fatalf("chi=%d", out.Chi)
 			}
@@ -251,7 +254,7 @@ func BenchmarkAblationSCvsClique(b *testing.B) {
 		b.Run(variant.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				e := encode.Build(g, 9, variant.kind)
-				res := pbsolver.Optimize(e.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
+				res := pbsolver.Optimize(context.Background(), e.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
 				if res.Status != pbsolver.StatusOptimal || res.Objective != 7 {
 					b.Fatalf("%v obj=%d", res.Status, res.Objective)
 				}
@@ -266,7 +269,7 @@ func BenchmarkSolverEngines(b *testing.B) {
 	for _, eng := range pbsolver.Engines {
 		b.Run(eng.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				out := core.Solve(g, core.Config{K: 8, SBP: encode.SBPNUSC, Engine: eng,
+				out := core.Solve(context.Background(), g, core.Config{K: 8, SBP: encode.SBPNUSC, Engine: eng,
 					Timeout: 30 * time.Second})
 				if out.Chi != 5 {
 					b.Fatalf("chi=%d status=%v", out.Chi, out.Result.Status)
@@ -285,5 +288,49 @@ func BenchmarkSymmetryDetection(b *testing.B) {
 		if sym.Generators == 0 {
 			b.Fatal("no generators found")
 		}
+	}
+}
+
+// BenchmarkServiceIsomorphicBatch pushes a batch of relabelled copies of
+// one instance through the coloring service: one real solve, the rest
+// canonical-cache hits. This times the throughput subsystem end to end
+// (canonicalization + scheduling + result translation).
+func BenchmarkServiceIsomorphicBatch(b *testing.B) {
+	base, _ := graph.Benchmark("myciel4")
+	rng := rand.New(rand.NewSource(17))
+	copies := make([]*graph.Graph, 16)
+	for i := range copies {
+		perm := make([]int, base.N())
+		for j := range perm {
+			perm[j] = j
+		}
+		rng.Shuffle(len(perm), func(a, c int) { perm[a], perm[c] = perm[c], perm[a] })
+		g := graph.New("copy", base.N())
+		for _, e := range base.Edges() {
+			g.AddEdge(perm[e[0]], perm[e[1]])
+		}
+		copies[i] = g
+	}
+	for i := 0; i < b.N; i++ {
+		svc := service.New(service.Config{DefaultTimeout: time.Minute})
+		ids := make([]string, len(copies))
+		for j, g := range copies {
+			id, err := svc.Submit(g, service.JobSpec{K: 8, SBP: encode.SBPNU})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids[j] = id
+		}
+		for _, id := range ids {
+			info, err := svc.Wait(context.Background(), id)
+			if err != nil || info.Result == nil || info.Result.Chi != 5 {
+				b.Fatalf("info=%+v err=%v", info, err)
+			}
+		}
+		st := svc.Stats()
+		if st.SolverRuns != 1 {
+			b.Fatalf("expected 1 solver run, got %d", st.SolverRuns)
+		}
+		svc.Close()
 	}
 }

@@ -7,33 +7,73 @@
 //	gcolor -bench queen6_6 -k 10 -sbp NU+SC -instdep -engine pbs2
 //	gcolor -file graph.col -k 8 -engine pueblo -timeout 30s
 //	gcolor -bench anna -exact          # problem-specific B&B baseline
+//	gcolor -bench queen6_6 -portfolio  # race all engines
+//	gcolor -batch myciel3,myciel4,queen5_5 -k 8 -portfolio -workers 4
+//
+// Batch mode runs the listed instances (benchmark names and/or DIMACS .col
+// paths) through the concurrent coloring service, so isomorphic inputs are
+// deduplicated by the canonical-form cache. Ctrl-C cancels in-flight
+// solves promptly in both modes.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"text/tabwriter"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/encode"
 	"repro/internal/graph"
 	"repro/internal/heuristic"
 	"repro/internal/pbsolver"
+	"repro/internal/service"
 )
 
 func main() {
 	bench := flag.String("bench", "", "named benchmark instance (see benchgen -list)")
 	file := flag.String("file", "", "DIMACS .col file to color")
+	batch := flag.String("batch", "", "comma-separated instances (bench names or .col paths) solved through the coloring service")
+	workers := flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 	k := flag.Int("k", 20, "color bound K")
 	sbpName := flag.String("sbp", "none", "instance-independent SBPs: none,NU,CA,LI,SC,NU+SC")
 	instDep := flag.Bool("instdep", false, "detect and break instance-dependent symmetries")
 	engineName := flag.String("engine", "pbs2", "solver engine: pbs2,galena,pueblo,bnb")
-	timeout := flag.Duration("timeout", time.Minute, "solve budget")
+	portfolio := flag.Bool("portfolio", false, "race all engines, keep the first definitive answer")
+	timeout := flag.Duration("timeout", time.Minute, "solve budget per instance")
 	exact := flag.Bool("exact", false, "use the problem-specific DSATUR branch-and-bound instead")
 	showColoring := flag.Bool("coloring", false, "print the witness coloring")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	kind, err := service.ParseSBP(*sbpName)
+	if err != nil {
+		fatal(err)
+	}
+	eng, err := service.ParseEngine(*engineName)
+	if err != nil {
+		fatal(err)
+	}
+	spec := service.JobSpec{
+		K: *k, SBP: kind, Engine: eng, Portfolio: *portfolio,
+		InstanceDependent: *instDep, Timeout: *timeout,
+	}
+
+	if *batch != "" {
+		if *bench != "" || *file != "" {
+			fatal(fmt.Errorf("-batch excludes -bench and -file"))
+		}
+		if err := runBatch(ctx, strings.Split(*batch, ","), spec, *workers); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	g, err := loadGraph(*bench, *file)
 	if err != nil {
@@ -54,17 +94,9 @@ func main() {
 		return
 	}
 
-	kind, err := parseSBP(*sbpName)
-	if err != nil {
-		fatal(err)
-	}
-	eng, err := parseEngine(*engineName)
-	if err != nil {
-		fatal(err)
-	}
-	out := core.Solve(g, core.Config{
+	out := core.Solve(ctx, g, core.Config{
 		K: *k, SBP: kind, InstanceDependent: *instDep,
-		Engine: eng, Timeout: *timeout,
+		Engine: eng, Portfolio: *portfolio, Timeout: *timeout,
 	})
 	fmt.Printf("encoding: %d vars, %d clauses, %d PB constraints (SBP=%v)\n",
 		out.EncodeStats.Vars, out.EncodeStats.CNF, out.EncodeStats.PB, kind)
@@ -73,12 +105,16 @@ func main() {
 			out.Sym.Order.String(), out.Sym.Generators, out.Sym.DetectTime.Round(time.Millisecond),
 			out.Sym.AddedCNF)
 	}
+	winner := ""
+	if *portfolio && out.Solved() {
+		winner = fmt.Sprintf(" [winner %v]", out.Winner)
+	}
 	switch out.Result.Status {
 	case pbsolver.StatusOptimal:
-		fmt.Printf("OPTIMAL: chi = %d (within K=%d) in %v, %d conflicts\n",
-			out.Chi, *k, out.Result.Runtime.Round(time.Millisecond), out.Result.Stats.Conflicts)
+		fmt.Printf("OPTIMAL: chi = %d (within K=%d) in %v, %d conflicts%s\n",
+			out.Chi, *k, out.Result.Runtime.Round(time.Millisecond), out.Result.Stats.Conflicts, winner)
 	case pbsolver.StatusUnsat:
-		fmt.Printf("UNSAT: chi > %d, proven in %v\n", *k, out.Result.Runtime.Round(time.Millisecond))
+		fmt.Printf("UNSAT: chi > %d, proven in %v%s\n", *k, out.Result.Runtime.Round(time.Millisecond), winner)
 	case pbsolver.StatusSat:
 		fmt.Printf("FEASIBLE: %d colors found, optimality unproven (budget)\n", out.Result.Objective)
 	default:
@@ -87,6 +123,79 @@ func main() {
 	if *showColoring && out.Coloring != nil {
 		fmt.Println("coloring:", out.Coloring)
 	}
+}
+
+// runBatch solves every named instance through the coloring service and
+// prints a per-job summary once all finish (or ctx is cancelled).
+func runBatch(ctx context.Context, names []string, spec service.JobSpec, workers int) error {
+	svc := service.New(service.Config{Workers: workers, DefaultTimeout: spec.Timeout})
+	defer svc.Close()
+
+	ids := make([]string, 0, len(names))
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		g, err := loadInstance(name)
+		if err != nil {
+			return err
+		}
+		id, err := svc.Submit(g, spec)
+		if err != nil {
+			return fmt.Errorf("submit %s: %w", name, err)
+		}
+		ids = append(ids, id)
+	}
+
+	go func() {
+		<-ctx.Done()
+		svc.CancelAll()
+	}()
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "JOB\tINSTANCE\tSTATE\tSTATUS\tCHI\tRUNTIME\tENGINE\tCACHE")
+	for _, id := range ids {
+		info, err := svc.Wait(context.Background(), id)
+		if err != nil {
+			return err
+		}
+		status, chi, runtime, engine, cache := "-", "-", "-", "-", ""
+		if r := info.Result; r != nil {
+			status = r.Status.String()
+			if r.Status == pbsolver.StatusOptimal {
+				chi = fmt.Sprintf("%d", r.Chi)
+			}
+			runtime = r.Runtime.Round(time.Millisecond).String()
+			engine = r.Winner
+			if r.CacheHit {
+				cache = "hit"
+			}
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			info.ID, info.Instance, info.State, status, chi, runtime, engine, cache)
+	}
+	w.Flush()
+	st := svc.Stats()
+	fmt.Printf("batch: %d submitted, %d solver runs, %d cache hits, %d dedup joins\n",
+		st.Submitted, st.SolverRuns, st.CacheHits, st.DedupJoins)
+	return nil
+}
+
+// loadInstance resolves a batch entry: a named benchmark when the registry
+// knows it (benchmark names may contain dots, e.g. DSJC125.9), a DIMACS
+// .col path otherwise.
+func loadInstance(name string) (*graph.Graph, error) {
+	g, berr := graph.Benchmark(name)
+	if berr == nil {
+		return g, nil
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, fmt.Errorf("%q is neither a benchmark (%v) nor a readable file (%v)", name, berr, err)
+	}
+	defer f.Close()
+	return graph.ParseDimacs(name, f)
 }
 
 func loadGraph(bench, file string) (*graph.Graph, error) {
@@ -104,38 +213,6 @@ func loadGraph(bench, file string) (*graph.Graph, error) {
 		return graph.ParseDimacs(file, f)
 	}
 	return nil, fmt.Errorf("one of -bench or -file is required")
-}
-
-func parseSBP(name string) (encode.SBPKind, error) {
-	switch strings.ToUpper(name) {
-	case "NONE":
-		return encode.SBPNone, nil
-	case "NU":
-		return encode.SBPNU, nil
-	case "CA":
-		return encode.SBPCA, nil
-	case "LI":
-		return encode.SBPLI, nil
-	case "SC":
-		return encode.SBPSC, nil
-	case "NU+SC", "NUSC":
-		return encode.SBPNUSC, nil
-	}
-	return 0, fmt.Errorf("unknown SBP %q", name)
-}
-
-func parseEngine(name string) (pbsolver.Engine, error) {
-	switch strings.ToLower(name) {
-	case "pbs", "pbs2", "pbsii":
-		return pbsolver.EnginePBS, nil
-	case "galena":
-		return pbsolver.EngineGalena, nil
-	case "pueblo":
-		return pbsolver.EnginePueblo, nil
-	case "bnb", "cplex":
-		return pbsolver.EngineBnB, nil
-	}
-	return 0, fmt.Errorf("unknown engine %q", name)
 }
 
 func fatal(err error) {

@@ -1,0 +1,251 @@
+// Command gcolord serves the concurrent coloring service over an HTTP JSON
+// API. Submitted graphs are scheduled on a bounded worker pool; results are
+// cached under a canonical form of the graph, so isomorphic submissions —
+// from any client — are solved once and served many times.
+//
+// Usage:
+//
+//	gcolord -addr :8080 -workers 8 -timeout 60s
+//
+// API:
+//
+//	POST   /v1/jobs            submit a job (see jobRequest); returns {"id": ...}
+//	GET    /v1/jobs            list all jobs
+//	GET    /v1/jobs/{id}       job status snapshot
+//	GET    /v1/jobs/{id}/result  result (202 while pending)
+//	DELETE /v1/jobs/{id}       cancel the job
+//	GET    /v1/stats           service counters
+//	GET    /healthz            liveness probe
+//
+// A job names its graph one of three ways: "bench" (a named benchmark
+// instance), "dimacs" (an inline DIMACS .col document), or "n" plus
+// "edges" (an explicit edge list).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue", 1024, "max queued jobs before submissions are rejected")
+	timeout := flag.Duration("timeout", time.Minute, "default per-job solve budget")
+	cacheCap := flag.Int("cache", 4096, "canonical result cache capacity")
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		DefaultTimeout: *timeout,
+		CacheCapacity:  *cacheCap,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newHandler(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(shutCtx)
+		svc.CancelAll()
+	}()
+
+	log.Printf("gcolord listening on %s (workers=%d queue=%d timeout=%v)",
+		*addr, *workers, *queueDepth, *timeout)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("gcolord: %v", err)
+	}
+	svc.Close()
+}
+
+// jobRequest is the POST /v1/jobs body.
+type jobRequest struct {
+	// Exactly one graph source: a named benchmark, an inline DIMACS .col
+	// document, or an explicit vertex count + edge list.
+	Bench  string   `json:"bench,omitempty"`
+	Dimacs string   `json:"dimacs,omitempty"`
+	Name   string   `json:"name,omitempty"`
+	N      int      `json:"n,omitempty"`
+	Edges  [][2]int `json:"edges,omitempty"`
+
+	K                 int    `json:"k,omitempty"`
+	SBP               string `json:"sbp,omitempty"`
+	Engine            string `json:"engine,omitempty"`
+	Portfolio         bool   `json:"portfolio,omitempty"`
+	InstanceDependent bool   `json:"instance_dependent,omitempty"`
+	Timeout           string `json:"timeout,omitempty"`
+}
+
+func (r *jobRequest) graph() (*graph.Graph, error) {
+	sources := 0
+	for _, has := range []bool{r.Bench != "", r.Dimacs != "", len(r.Edges) > 0 || r.N > 0} {
+		if has {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("specify exactly one of bench, dimacs, or n+edges")
+	}
+	switch {
+	case r.Bench != "":
+		return graph.Benchmark(r.Bench)
+	case r.Dimacs != "":
+		name := r.Name
+		if name == "" {
+			name = "dimacs"
+		}
+		return graph.ParseDimacs(name, strings.NewReader(r.Dimacs))
+	default:
+		name := r.Name
+		if name == "" {
+			name = "edges"
+		}
+		g := graph.New(name, r.N)
+		for _, e := range r.Edges {
+			if e[0] < 0 || e[1] < 0 || e[0] >= r.N || e[1] >= r.N {
+				return nil, fmt.Errorf("edge (%d,%d) out of range [0,%d)", e[0], e[1], r.N)
+			}
+			g.AddEdge(e[0], e[1])
+		}
+		return g, nil
+	}
+}
+
+func (r *jobRequest) spec() (service.JobSpec, error) {
+	var spec service.JobSpec
+	kind, err := service.ParseSBP(r.SBP)
+	if err != nil {
+		return spec, err
+	}
+	eng, err := service.ParseEngine(r.Engine)
+	if err != nil {
+		return spec, err
+	}
+	spec = service.JobSpec{
+		K: r.K, SBP: kind, Engine: eng,
+		Portfolio: r.Portfolio, InstanceDependent: r.InstanceDependent,
+	}
+	if r.Timeout != "" {
+		d, err := time.ParseDuration(r.Timeout)
+		if err != nil {
+			return spec, fmt.Errorf("timeout: %w", err)
+		}
+		spec.Timeout = d
+	}
+	return spec, nil
+}
+
+func newHandler(svc *service.Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Stats())
+	})
+	mux.HandleFunc("/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			submit(svc, w, r)
+		case http.MethodGet:
+			writeJSON(w, http.StatusOK, svc.Jobs())
+		default:
+			httpError(w, http.StatusMethodNotAllowed, "use GET or POST")
+		}
+	})
+	mux.HandleFunc("/v1/jobs/", func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+		id, sub, _ := strings.Cut(rest, "/")
+		switch {
+		case r.Method == http.MethodDelete && sub == "":
+			if err := svc.Cancel(id); err != nil {
+				httpError(w, http.StatusNotFound, err.Error())
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]string{"id": id, "state": "canceling"})
+		case r.Method == http.MethodGet && sub == "":
+			info, err := svc.Job(id)
+			if err != nil {
+				httpError(w, http.StatusNotFound, err.Error())
+				return
+			}
+			writeJSON(w, http.StatusOK, info)
+		case r.Method == http.MethodGet && sub == "result":
+			info, err := svc.Job(id)
+			if err != nil {
+				httpError(w, http.StatusNotFound, err.Error())
+				return
+			}
+			if info.Result == nil {
+				writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "state": info.State})
+				return
+			}
+			writeJSON(w, http.StatusOK, info.Result)
+		default:
+			httpError(w, http.StatusNotFound, "unknown route")
+		}
+	})
+	return mux
+}
+
+func submit(svc *service.Service, w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	body := http.MaxBytesReader(w, r.Body, 64<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad json: "+err.Error())
+		return
+	}
+	g, err := req.graph()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	spec, err := req.spec()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	id, err := svc.Submit(g, spec)
+	switch {
+	case errors.Is(err, service.ErrQueueFull):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case errors.Is(err, service.ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

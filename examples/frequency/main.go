@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -75,7 +76,7 @@ func main() {
 	}
 	fmt.Printf("reduction: %d slots, %d conflict edges\n", g.N(), g.M())
 
-	out := core.Solve(g, core.Config{
+	out := core.Solve(context.Background(), g, core.Config{
 		K:                 12,
 		SBP:               encode.SBPNU,
 		InstanceDependent: true,

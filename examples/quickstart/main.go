@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -28,7 +29,7 @@ func main() {
 		"SBP", "inst-dep", "clauses", "|Aut|", "conflicts", "time", "chi")
 	for _, kind := range encode.Kinds {
 		for _, instDep := range []bool{false, true} {
-			out := core.Solve(g, core.Config{
+			out := core.Solve(context.Background(), g, core.Config{
 				K:                 5,
 				SBP:               kind,
 				InstanceDependent: instDep,
@@ -51,7 +52,7 @@ func main() {
 	}
 
 	fmt.Println("\nwitness coloring (SBP=NU+SC, instance-dependent SBPs on):")
-	out := core.Solve(g, core.Config{
+	out := core.Solve(context.Background(), g, core.Config{
 		K: 5, SBP: encode.SBPNUSC, InstanceDependent: true,
 		Engine: pbsolver.EnginePBS, Timeout: 30 * time.Second,
 	})

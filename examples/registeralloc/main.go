@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -100,7 +101,7 @@ func main() {
 	}
 	fmt.Printf("\ninterference graph: %d variables, %d conflicts\n", g.N(), g.M())
 
-	out := core.Solve(g, core.Config{
+	out := core.Solve(context.Background(), g, core.Config{
 		K:                 8, // registers available on the target
 		SBP:               encode.SBPNUSC,
 		InstanceDependent: true,
@@ -123,7 +124,7 @@ func main() {
 	// register allocation instances).
 	fmt.Println("\nspill analysis:")
 	for K := out.Chi; K >= out.Chi-1 && K >= 1; K-- {
-		probe := core.Solve(g, core.Config{
+		probe := core.Solve(context.Background(), g, core.Config{
 			K: K, SBP: encode.SBPNU, Engine: pbsolver.EnginePBS, Timeout: time.Minute,
 		})
 		if probe.Result.Status == pbsolver.StatusOptimal {

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -50,7 +51,7 @@ func main() {
 	dsatur := heuristic.DsaturCount(g)
 	fmt.Printf("DSATUR heuristic schedule: %d slots\n", dsatur)
 
-	out := core.Solve(g, core.Config{
+	out := core.Solve(context.Background(), g, core.Config{
 		K:                 dsatur, // heuristic upper bound per §4.1's procedure
 		SBP:               encode.SBPNUSC,
 		InstanceDependent: true,

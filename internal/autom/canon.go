@@ -1,0 +1,178 @@
+package autom
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// CanonicalOptions bound the canonical labeling search.
+type CanonicalOptions struct {
+	// MaxNodes caps individualization steps; 0 selects the default of
+	// 200000. When exceeded the result is still a valid relabelling of the
+	// input (equal encodings still imply isomorphic graphs) but is no
+	// longer guaranteed to agree across isomorphic inputs, and Exact is
+	// false.
+	MaxNodes int64
+	// Context, when non-nil, aborts the search early (Exact=false) once
+	// cancelled.
+	Context context.Context
+}
+
+// Canonical is a canonical form of a colored graph: a relabelling chosen
+// invariantly under isomorphism, so two isomorphic graphs (with matching
+// color multisets) produce byte-identical encodings. This is the key the
+// service-layer result cache dedups on — isomorphic submissions are
+// symmetric instances of the same coloring problem (cf. Walsh 2008;
+// Itzhakov & Codish 2015), so one solve serves them all.
+type Canonical struct {
+	// Perm maps each input vertex to its position in the canonical
+	// labeling: vertex v becomes canonical vertex Perm[v].
+	Perm Perm
+	// Bytes encodes the relabelled graph: vertex count, per-position
+	// colors, and the upper-triangle adjacency bitmap. Two graphs with
+	// equal Bytes are isomorphic (the encoding reconstructs the graph);
+	// when Exact is true the converse also holds for isomorphic inputs.
+	Bytes []byte
+	// Hash is the SHA-256 of Bytes, a compact cache key.
+	Hash [sha256.Size]byte
+	// Exact reports whether the full canonical search completed.
+	Exact bool
+	// Nodes counts individualization steps performed.
+	Nodes int64
+}
+
+type canonizer struct {
+	g        *Graph
+	cnt      []int
+	maxNodes int64
+	nodes    int64
+	aborted  bool
+	ctx      context.Context
+	best     []byte // adjacency bitmap of the best (minimal) leaf so far
+	bestLab  []int  // elems of the best leaf: position -> vertex
+}
+
+// CanonicalForm computes a canonical labeling of g by
+// individualization-refinement: descend the refinement tree, branching on
+// every vertex of the first non-singleton cell, and keep the leaf whose
+// relabelled adjacency bitmap is lexicographically minimal. Cell order
+// under equitable refinement is label-invariant (cells sort by color, then
+// by splitter degree counts), so the set of leaf encodings — and hence
+// their minimum — depends only on the isomorphism class of g.
+//
+// The search is exponential in the worst case; MaxNodes bounds it. On
+// budget exhaustion the best leaf found so far is returned with
+// Exact=false: still a sound cache key (equal encodings remain
+// isomorphic), merely no longer guaranteed to collide for isomorphic
+// inputs.
+func CanonicalForm(g *Graph, opts CanonicalOptions) *Canonical {
+	g.freeze()
+	n := g.n
+	out := &Canonical{Perm: Identity(n), Exact: true}
+	if n == 0 {
+		out.Bytes = encodeCanonical(g, nil, nil)
+		out.Hash = sha256.Sum256(out.Bytes)
+		return out
+	}
+	c := &canonizer{
+		g:        g,
+		cnt:      make([]int, n),
+		maxNodes: opts.MaxNodes,
+		ctx:      opts.Context,
+	}
+	if c.maxNodes == 0 {
+		c.maxNodes = 200000
+	}
+	p := newPartition(g.colors)
+	work := []int{}
+	for i := 0; i < n; i += p.clen[i] {
+		work = append(work, i)
+	}
+	refineRecord(g, p, work, c.cnt)
+	c.explore(p)
+	out.Perm = make(Perm, n)
+	for pos, v := range c.bestLab {
+		out.Perm[v] = pos
+	}
+	out.Bytes = encodeCanonical(g, c.bestLab, c.best)
+	out.Hash = sha256.Sum256(out.Bytes)
+	out.Exact = !c.aborted
+	out.Nodes = c.nodes
+	return out
+}
+
+// explore walks the individualization-refinement tree depth-first. The
+// leftmost descent always completes (the budget only cuts off once a first
+// leaf exists), so bestLab is never nil on return.
+func (c *canonizer) explore(p *partition) {
+	t := p.firstNonSingleton()
+	if t < 0 {
+		leaf := adjacencyBits(c.g, p.elems)
+		if c.best == nil || bytes.Compare(leaf, c.best) < 0 {
+			c.best = leaf
+			c.bestLab = append([]int(nil), p.elems...)
+		}
+		return
+	}
+	cands := append([]int(nil), p.elems[t:t+p.clen[t]]...)
+	for _, u := range cands {
+		if c.budgetExceeded() {
+			return
+		}
+		cp := p.copy()
+		cp.individualize(u)
+		c.nodes++
+		refineRecord(c.g, cp, []int{t, t + 1}, c.cnt)
+		c.explore(cp)
+	}
+}
+
+func (c *canonizer) budgetExceeded() bool {
+	if c.best == nil {
+		return false // always finish the leftmost leaf
+	}
+	if c.aborted {
+		return true
+	}
+	if c.nodes >= c.maxNodes {
+		c.aborted = true
+		return true
+	}
+	if c.ctx != nil && c.nodes%64 == 0 && c.ctx.Err() != nil {
+		c.aborted = true
+		return true
+	}
+	return false
+}
+
+// adjacencyBits packs the upper triangle of the relabelled adjacency
+// matrix: bit (i,j), i<j, is set when lab[i] and lab[j] are adjacent.
+func adjacencyBits(g *Graph, lab []int) []byte {
+	n := len(lab)
+	out := make([]byte, (n*(n-1)/2+7)/8)
+	k := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if g.hasEdge(lab[i], lab[j]) {
+				out[k/8] |= 1 << uint(k%8)
+			}
+			k++
+		}
+	}
+	return out
+}
+
+// encodeCanonical serializes (n, per-position colors, adjacency bitmap).
+// The color sequence by canonical position is itself label-invariant
+// (refinement orders cells by color), so including it keeps differently
+// colored but structurally equal graphs from colliding.
+func encodeCanonical(g *Graph, lab []int, adj []byte) []byte {
+	out := binary.AppendUvarint(nil, uint64(g.n))
+	for _, v := range lab {
+		out = binary.AppendVarint(out, int64(g.colors[v]))
+	}
+	out = append(out, adj...)
+	return out
+}

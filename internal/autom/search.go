@@ -1,6 +1,7 @@
 package autom
 
 import (
+	"context"
 	"math/big"
 	"time"
 )
@@ -14,6 +15,9 @@ type Options struct {
 	MaxNodes int64
 	// Deadline stops the search when passed (zero = none).
 	Deadline time.Time
+	// Context, when non-nil, aborts the search (sound but inexact result)
+	// once cancelled; checked on the same amortized schedule as Deadline.
+	Context context.Context
 }
 
 // Result reports the discovered automorphism group.
@@ -54,6 +58,7 @@ type searcher struct {
 	aborted  bool
 	cnt      []int // shared scratch for refinement
 	deadline time.Time
+	ctx      context.Context
 }
 
 // FindAutomorphisms searches for generators of the color-preserving
@@ -75,6 +80,7 @@ func FindAutomorphisms(g *Graph, opts Options) *Result {
 		maxNodes: opts.MaxNodes,
 		cnt:      make([]int, n),
 		deadline: opts.Deadline,
+		ctx:      opts.Context,
 	}
 	if s.maxNodes == 0 {
 		s.maxNodes = 500000
@@ -150,9 +156,15 @@ func (s *searcher) budgetExceeded() bool {
 		s.aborted = true
 		return true
 	}
-	if !s.deadline.IsZero() && s.nodes%64 == 0 && time.Now().After(s.deadline) {
-		s.aborted = true
-		return true
+	if s.nodes%64 == 0 {
+		if s.ctx != nil && s.ctx.Err() != nil {
+			s.aborted = true
+			return true
+		}
+		if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+			s.aborted = true
+			return true
+		}
 	}
 	return false
 }

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"time"
@@ -34,8 +35,11 @@ type Config struct {
 	// columns of Tables 3-5).
 	InstanceDependent bool
 	// Engine selects the solver configuration (PBS II / Galena / Pueblo /
-	// BnB-as-CPLEX).
+	// BnB-as-CPLEX). Ignored when Portfolio is set.
 	Engine pbsolver.Engine
+	// Portfolio races all engines on the instance and keeps the first
+	// definitive answer (the service layer's default solve mode).
+	Portfolio bool
 	// Strategy selects the optimization loop (linear by default).
 	Strategy pbsolver.Strategy
 	// Timeout bounds the solve; zero means no limit. The paper used 1000 s;
@@ -74,6 +78,8 @@ type Outcome struct {
 	// Result is the raw solver outcome; Result.Objective is the color count
 	// when Status is StatusOptimal.
 	Result pbsolver.Result
+	// Winner is the engine that produced Result when Portfolio ran.
+	Winner pbsolver.Engine
 	// Chi is the proven chromatic number within the K bound (0 unless
 	// optimal). An UNSAT outcome means χ > K.
 	Chi int
@@ -89,8 +95,10 @@ func (o Outcome) Solved() bool {
 		o.Result.Status == pbsolver.StatusUnsat
 }
 
-// Solve runs the full flow on one instance.
-func Solve(g *graph.Graph, cfg Config) Outcome {
+// Solve runs the full flow on one instance. Cancelling ctx aborts the
+// solve (and symmetry detection) promptly; the outcome then reports the
+// best result reached.
+func Solve(ctx context.Context, g *graph.Graph, cfg Config) Outcome {
 	if cfg.K == 0 {
 		maxDeg := 0
 		for v := 0; v < g.N(); v++ {
@@ -108,14 +116,21 @@ func Solve(g *graph.Graph, cfg Config) Outcome {
 		EncodeStats: enc.F.Stats(),
 	}
 	if cfg.InstanceDependent {
-		out.Sym = breakSymmetries(enc.F, cfg)
+		out.Sym = breakSymmetries(ctx, enc.F, cfg)
 	}
-	out.Result = pbsolver.Optimize(enc.F, pbsolver.Options{
+	sOpts := pbsolver.Options{
 		Engine:       cfg.Engine,
 		Strategy:     cfg.Strategy,
 		Timeout:      cfg.Timeout,
 		MaxConflicts: cfg.MaxConflicts,
-	})
+	}
+	if cfg.Portfolio {
+		pres := pbsolver.PortfolioSolve(ctx, enc.F, pbsolver.PortfolioOptions{Base: sOpts})
+		out.Result = pres.Result
+		out.Winner = pres.Winner
+	} else {
+		out.Result = pbsolver.Optimize(ctx, enc.F, sOpts)
+	}
 	if out.Result.Status == pbsolver.StatusOptimal || out.Result.Status == pbsolver.StatusSat {
 		out.Coloring = enc.ColoringFromModel(out.Result.Model)
 		if !g.IsProperColoring(out.Coloring) {
@@ -130,8 +145,8 @@ func Solve(g *graph.Graph, cfg Config) Outcome {
 
 // breakSymmetries detects symmetries of the formula and appends lex-leader
 // SBPs, returning the statistics.
-func breakSymmetries(f *pb.Formula, cfg Config) *SymmetryStats {
-	aOpts := autom.Options{MaxNodes: cfg.SymMaxNodes}
+func breakSymmetries(ctx context.Context, f *pb.Formula, cfg Config) *SymmetryStats {
+	aOpts := autom.Options{MaxNodes: cfg.SymMaxNodes, Context: ctx}
 	if cfg.SymTimeout > 0 {
 		aOpts.Deadline = time.Now().Add(cfg.SymTimeout)
 	}
@@ -170,13 +185,13 @@ func DetectSymmetries(g *graph.Graph, K int, kind encode.SBPKind, maxNodes int64
 // alternative the paper contrasts with direct 0-1 ILP optimization (§2.3).
 // It performs a downward linear search from the DSATUR upper bound (the
 // paper's per-instance bound procedure). Returns (χ, proven) — proven is
-// false on budget exhaustion.
-func SequentialChromatic(g *graph.Graph, startUB int, deadline time.Time) (int, bool) {
+// false on budget exhaustion (ctx cancelled or deadline passed).
+func SequentialChromatic(ctx context.Context, g *graph.Graph, startUB int) (int, bool) {
 	k := startUB
 	best := startUB
 	for k >= 1 {
 		f := DecisionCNF(g, k)
-		opts := sat.Options{Deadline: deadline}
+		opts := sat.Options{Context: ctx}
 		s := sat.New(f, opts)
 		switch s.Solve() {
 		case sat.Sat:
@@ -197,7 +212,7 @@ func SequentialChromatic(g *graph.Graph, startUB int, deadline time.Time) (int, 
 // SolveAssuming call with assumptions ¬u[j], ..., ¬u[K−1]. Learnt clauses
 // carry over between probes, the advantage a black-box one-shot SAT solver
 // cannot offer (ablation against SequentialChromatic and PB optimization).
-func SequentialChromaticIncremental(g *graph.Graph, startUB int, deadline time.Time) (int, bool) {
+func SequentialChromaticIncremental(ctx context.Context, g *graph.Graph, startUB int) (int, bool) {
 	K := startUB
 	n := g.N()
 	f := DecisionCNF(g, K)
@@ -209,7 +224,7 @@ func SequentialChromaticIncremental(g *graph.Graph, startUB int, deadline time.T
 			f.AddImplication(x(i, j), u(j))
 		}
 	}
-	s := sat.New(f, sat.Options{Deadline: deadline, PhaseSaving: true})
+	s := sat.New(f, sat.Options{Context: ctx, PhaseSaving: true})
 	best := K
 	for k := K; k >= 1; k-- {
 		assumps := make([]cnf.Lit, 0, K-k+1)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -25,7 +26,7 @@ func TestSolveSmallGraphsAllConfigurations(t *testing.T) {
 					K: 6, SBP: kind, InstanceDependent: instDep,
 					Engine: pbsolver.EnginePBS, Timeout: 30 * time.Second,
 				}
-				out := Solve(tc.g, cfg)
+				out := Solve(context.Background(), tc.g, cfg)
 				if !out.Solved() || out.Chi != tc.chi {
 					t.Errorf("%s sbp=%v instdep=%v: status=%v χ=%d, want %d",
 						tc.g.Name(), kind, instDep, out.Result.Status, out.Chi, tc.chi)
@@ -44,7 +45,7 @@ func TestSolveSmallGraphsAllConfigurations(t *testing.T) {
 func TestSolveAllEnginesAgree(t *testing.T) {
 	g := graph.Queens(4, 4) // χ=5
 	for _, eng := range pbsolver.Engines {
-		out := Solve(g, Config{K: 7, Engine: eng, Timeout: 60 * time.Second})
+		out := Solve(context.Background(), g, Config{K: 7, Engine: eng, Timeout: 60 * time.Second})
 		if !out.Solved() || out.Chi != 5 {
 			t.Errorf("engine %v: status=%v χ=%d, want 5", eng, out.Result.Status, out.Chi)
 		}
@@ -52,7 +53,7 @@ func TestSolveAllEnginesAgree(t *testing.T) {
 }
 
 func TestSolveUnsatWhenChiExceedsK(t *testing.T) {
-	out := Solve(graph.Complete(6), Config{K: 4, Engine: pbsolver.EnginePBS})
+	out := Solve(context.Background(), graph.Complete(6), Config{K: 4, Engine: pbsolver.EnginePBS})
 	if out.Result.Status != pbsolver.StatusUnsat || !out.Solved() {
 		t.Fatalf("K6 with K=4: %v", out.Result.Status)
 	}
@@ -63,7 +64,7 @@ func TestSolveUnsatWhenChiExceedsK(t *testing.T) {
 
 func TestSolveDefaultKIsMaxDegreePlusOne(t *testing.T) {
 	g := graph.Cycle(5)
-	out := Solve(g, Config{Engine: pbsolver.EnginePBS})
+	out := Solve(context.Background(), g, Config{Engine: pbsolver.EnginePBS})
 	if out.K != 3 {
 		t.Fatalf("default K = %d, want Δ+1 = 3", out.K)
 	}
@@ -77,7 +78,7 @@ func TestSolveTimeoutReturnsUnknownOrFeasible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := Solve(g, Config{K: 20, Engine: pbsolver.EnginePBS, Timeout: 30 * time.Millisecond})
+	out := Solve(context.Background(), g, Config{K: 20, Engine: pbsolver.EnginePBS, Timeout: 30 * time.Millisecond})
 	if out.Solved() && out.Result.Runtime > 5*time.Second {
 		t.Fatal("timeout not respected")
 	}
@@ -120,8 +121,8 @@ func TestDetectSymmetriesColorGroupPresent(t *testing.T) {
 
 func TestInstanceDependentSBPsPreserveChi(t *testing.T) {
 	g := graph.Queens(4, 4)
-	base := Solve(g, Config{K: 6, Engine: pbsolver.EnginePueblo})
-	withSym := Solve(g, Config{K: 6, Engine: pbsolver.EnginePueblo, InstanceDependent: true})
+	base := Solve(context.Background(), g, Config{K: 6, Engine: pbsolver.EnginePueblo})
+	withSym := Solve(context.Background(), g, Config{K: 6, Engine: pbsolver.EnginePueblo, InstanceDependent: true})
 	if base.Chi != withSym.Chi || base.Chi != 5 {
 		t.Fatalf("χ changed: %d vs %d", base.Chi, withSym.Chi)
 	}
@@ -145,7 +146,7 @@ func TestSequentialChromatic(t *testing.T) {
 	}
 	for _, tc := range cases {
 		ub := 6
-		chi, proven := SequentialChromatic(tc.g, ub, time.Time{})
+		chi, proven := SequentialChromatic(context.Background(), tc.g, ub)
 		if !proven || chi != tc.chi {
 			t.Errorf("%s: sequential χ = %d (proven=%v), want %d", tc.g.Name(), chi, proven, tc.chi)
 		}
@@ -164,7 +165,7 @@ func TestSequentialChromaticIncremental(t *testing.T) {
 		{graph.Queens(5, 5), 5},
 	}
 	for _, tc := range cases {
-		chi, proven := SequentialChromaticIncremental(tc.g, 7, time.Time{})
+		chi, proven := SequentialChromaticIncremental(context.Background(), tc.g, 7)
 		if !proven || chi != tc.chi {
 			t.Errorf("%s: incremental χ = %d (proven=%v), want %d",
 				tc.g.Name(), chi, proven, tc.chi)
@@ -174,8 +175,8 @@ func TestSequentialChromaticIncremental(t *testing.T) {
 
 func TestSequentialVariantsAgree(t *testing.T) {
 	g := graph.Mycielski(3)
-	a, ap := SequentialChromatic(g, 6, time.Time{})
-	b, bp := SequentialChromaticIncremental(g, 6, time.Time{})
+	a, ap := SequentialChromatic(context.Background(), g, 6)
+	b, bp := SequentialChromaticIncremental(context.Background(), g, 6)
 	if !ap || !bp || a != b {
 		t.Fatalf("variants disagree: %d/%v vs %d/%v", a, ap, b, bp)
 	}

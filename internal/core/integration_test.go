@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -27,19 +28,19 @@ func TestChromaticCrossValidation(t *testing.T) {
 		}
 		want := exact.Chi
 
-		satChi, proven := SequentialChromaticIncremental(g, n, time.Time{})
+		satChi, proven := SequentialChromaticIncremental(context.Background(), g, n)
 		if !proven || satChi != want {
 			t.Fatalf("iter %d: incremental SAT χ=%d, exact %d", iter, satChi, want)
 		}
 
 		for _, kind := range []encode.SBPKind{encode.SBPNone, encode.SBPNU, encode.SBPLI} {
-			out := Solve(g, Config{K: n, SBP: kind, Engine: pbsolver.EnginePueblo})
+			out := Solve(context.Background(), g, Config{K: n, SBP: kind, Engine: pbsolver.EnginePueblo})
 			if !out.Solved() || out.Chi != want {
 				t.Fatalf("iter %d: ILP(%v) χ=%d status=%v, exact %d",
 					iter, kind, out.Chi, out.Result.Status, want)
 			}
 		}
-		out := Solve(g, Config{K: n, SBP: encode.SBPNUSC, InstanceDependent: true,
+		out := Solve(context.Background(), g, Config{K: n, SBP: encode.SBPNUSC, InstanceDependent: true,
 			Engine: pbsolver.EnginePBS})
 		if !out.Solved() || out.Chi != want {
 			t.Fatalf("iter %d: ILP+instdep χ=%d, exact %d", iter, out.Chi, want)
@@ -55,12 +56,12 @@ func TestSymmetryBreakingReducesConflictsOnMyciel4(t *testing.T) {
 		t.Skip("slow no-SBP baseline")
 	}
 	g := graph.Mycielski(4)
-	withNU := Solve(g, Config{K: 7, SBP: encode.SBPNU, Engine: pbsolver.EnginePBS,
+	withNU := Solve(context.Background(), g, Config{K: 7, SBP: encode.SBPNU, Engine: pbsolver.EnginePBS,
 		Timeout: 2 * time.Minute})
 	if withNU.Chi != 5 {
 		t.Fatalf("NU: χ=%d", withNU.Chi)
 	}
-	base := Solve(g, Config{K: 7, SBP: encode.SBPNone, Engine: pbsolver.EnginePBS,
+	base := Solve(context.Background(), g, Config{K: 7, SBP: encode.SBPNone, Engine: pbsolver.EnginePBS,
 		Timeout: 5 * time.Minute})
 	if base.Chi != 5 {
 		t.Fatalf("base: χ=%d (%v)", base.Chi, base.Result.Status)

@@ -1,6 +1,7 @@
 package encode
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cnf"
@@ -10,7 +11,7 @@ import (
 
 func solveOpt(t *testing.T, e *Encoding) pbsolver.Result {
 	t.Helper()
-	res := pbsolver.Optimize(e.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
+	res := pbsolver.Optimize(context.Background(), e.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
 	if res.Status != pbsolver.StatusOptimal {
 		t.Fatalf("status = %v", res.Status)
 	}
@@ -72,7 +73,7 @@ func TestOptimalColoringSmallGraphs(t *testing.T) {
 func TestUnsatWhenKTooSmall(t *testing.T) {
 	for _, kind := range Kinds {
 		e := Build(graph.Complete(4), 3, kind)
-		res := pbsolver.Optimize(e.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
+		res := pbsolver.Optimize(context.Background(), e.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
 		if res.Status != pbsolver.StatusUnsat {
 			t.Errorf("K4 with K=3 and %v: %v, want UNSAT", kind, res.Status)
 		}
@@ -114,7 +115,7 @@ func TestLIUniqueOptimalAssignmentPerPartition(t *testing.T) {
 	// singleton classes) exactly one optimal x-assignment survives.
 	g := graph.Complete(4)
 	e := Build(g, 5, SBPLI)
-	models, res := pbsolver.EnumerateOptimal(e.F, pbsolver.Options{Engine: pbsolver.EnginePBS}, e.XVars(), 0)
+	models, res := pbsolver.EnumerateOptimal(context.Background(), e.F, pbsolver.Options{Engine: pbsolver.EnginePBS}, e.XVars(), 0)
 	if res.Status != pbsolver.StatusOptimal || res.Objective != 4 {
 		t.Fatalf("optimize: %v obj=%d", res.Status, res.Objective)
 	}
@@ -123,7 +124,7 @@ func TestLIUniqueOptimalAssignmentPerPartition(t *testing.T) {
 	}
 	// Without any SBP all 5!/(5-4)! = 120 color injections survive.
 	e2 := Build(g, 5, SBPNone)
-	models2, _ := pbsolver.EnumerateOptimal(e2.F, pbsolver.Options{Engine: pbsolver.EnginePBS}, e2.XVars(), 0)
+	models2, _ := pbsolver.EnumerateOptimal(context.Background(), e2.F, pbsolver.Options{Engine: pbsolver.EnginePBS}, e2.XVars(), 0)
 	if len(models2) != 120 {
 		t.Fatalf("no-SBP K4 should have 120 optimal assignments, got %d", len(models2))
 	}
@@ -134,7 +135,7 @@ func TestLIOrderingMatchesPaperExample(t *testing.T) {
 	// the color number. Verify on every optimal model of a small graph.
 	g := graph.Cycle(5)
 	e := Build(g, 4, SBPLI)
-	models, res := pbsolver.EnumerateOptimal(e.F, pbsolver.Options{Engine: pbsolver.EnginePBS}, e.XVars(), 0)
+	models, res := pbsolver.EnumerateOptimal(context.Background(), e.F, pbsolver.Options{Engine: pbsolver.EnginePBS}, e.XVars(), 0)
 	if res.Status != pbsolver.StatusOptimal {
 		t.Fatalf("status %v", res.Status)
 	}
@@ -194,13 +195,13 @@ func TestSBPsPreserveChromaticNumber(t *testing.T) {
 	}
 	for _, g := range graphs {
 		base := Build(g, 7, SBPNone)
-		want := pbsolver.Optimize(base.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
+		want := pbsolver.Optimize(context.Background(), base.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
 		if want.Status != pbsolver.StatusOptimal {
 			t.Fatalf("%s base: %v", g.Name(), want.Status)
 		}
 		for _, kind := range Kinds[1:] {
 			e := Build(g, 7, kind)
-			res := pbsolver.Optimize(e.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
+			res := pbsolver.Optimize(context.Background(), e.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
 			if res.Status != pbsolver.StatusOptimal || res.Objective != want.Objective {
 				t.Errorf("%s with %v: %v/%d, want OPTIMAL/%d",
 					g.Name(), kind, res.Status, res.Objective, want.Objective)
@@ -238,7 +239,7 @@ func TestFigure1Example(t *testing.T) {
 	counts := map[SBPKind]int{}
 	for _, kind := range Kinds {
 		e := Build(g, 4, kind)
-		models, _ := pbsolver.EnumerateOptimal(e.F, pbsolver.Options{Engine: pbsolver.EnginePBS}, e.XVars(), 0)
+		models, _ := pbsolver.EnumerateOptimal(context.Background(), e.F, pbsolver.Options{Engine: pbsolver.EnginePBS}, e.XVars(), 0)
 		counts[kind] = len(models)
 	}
 	// Two partitions × 4·3·2 color injections = 48 without SBPs.

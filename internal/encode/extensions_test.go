@@ -1,6 +1,7 @@
 package encode
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/graph"
@@ -22,8 +23,8 @@ func TestLIQuadraticMatchesLI(t *testing.T) {
 			// Quadratic variant has no prefix vars: fewer variables...
 			t.Logf("%s: quad vars %d, linear vars %d", g.Name(), quad.F.NumVars, lin.F.NumVars)
 		}
-		mLin, rLin := pbsolver.EnumerateOptimal(lin.F, pbsolver.Options{Engine: pbsolver.EnginePBS}, lin.XVars(), 0)
-		mQuad, rQuad := pbsolver.EnumerateOptimal(quad.F, pbsolver.Options{Engine: pbsolver.EnginePBS}, quad.XVars(), 0)
+		mLin, rLin := pbsolver.EnumerateOptimal(context.Background(), lin.F, pbsolver.Options{Engine: pbsolver.EnginePBS}, lin.XVars(), 0)
+		mQuad, rQuad := pbsolver.EnumerateOptimal(context.Background(), quad.F, pbsolver.Options{Engine: pbsolver.EnginePBS}, quad.XVars(), 0)
 		if rLin.Status != pbsolver.StatusOptimal || rQuad.Status != pbsolver.StatusOptimal {
 			t.Fatalf("%s: %v / %v", g.Name(), rLin.Status, rQuad.Status)
 		}
@@ -67,7 +68,7 @@ func TestCliqueSBPPreservesChiAndPins(t *testing.T) {
 	}
 	for _, tc := range cases {
 		e := Build(tc.g, 7, SBPClique)
-		res := pbsolver.Optimize(e.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
+		res := pbsolver.Optimize(context.Background(), e.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
 		if res.Status != pbsolver.StatusOptimal || res.Objective != tc.chi {
 			t.Errorf("%s: %v χ=%d, want %d", tc.g.Name(), res.Status, res.Objective, tc.chi)
 			continue
@@ -85,7 +86,7 @@ func TestCliqueSBPStrongerThanSC(t *testing.T) {
 	g := figure1Graph()
 	g.Clique = []int{0, 1, 2}
 	e := Build(g, 4, SBPClique)
-	models, res := pbsolver.EnumerateOptimal(e.F, pbsolver.Options{Engine: pbsolver.EnginePBS}, e.XVars(), 0)
+	models, res := pbsolver.EnumerateOptimal(context.Background(), e.F, pbsolver.Options{Engine: pbsolver.EnginePBS}, e.XVars(), 0)
 	if res.Status != pbsolver.StatusOptimal || res.Objective != 3 {
 		t.Fatalf("%v obj=%d", res.Status, res.Objective)
 	}
@@ -99,7 +100,7 @@ func TestCliqueSBPFallsBackToGreedy(t *testing.T) {
 	g := graph.Queens(4, 4)
 	g.Clique = nil
 	e := Build(g, 7, SBPClique)
-	res := pbsolver.Optimize(e.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
+	res := pbsolver.Optimize(context.Background(), e.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
 	if res.Status != pbsolver.StatusOptimal || res.Objective != 5 {
 		t.Fatalf("%v obj=%d", res.Status, res.Objective)
 	}
@@ -109,7 +110,7 @@ func TestCliqueSBPCapsAtK(t *testing.T) {
 	// A clique larger than K must not make a feasible instance infeasible
 	// beyond the true χ>K outcome: K6 with K=4 is UNSAT either way.
 	e := Build(graph.Complete(6), 4, SBPClique)
-	res := pbsolver.Optimize(e.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
+	res := pbsolver.Optimize(context.Background(), e.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
 	if res.Status != pbsolver.StatusUnsat {
 		t.Fatalf("K6/K=4 with clique pins: %v, want UNSAT", res.Status)
 	}
@@ -127,8 +128,8 @@ func TestPairwiseExactlyOneEquivalent(t *testing.T) {
 	if len(pbEnc.F.Constraints) != g.N() {
 		t.Fatalf("PB encoding has %d rows, want %d", len(pbEnc.F.Constraints), g.N())
 	}
-	a := pbsolver.Optimize(pbEnc.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
-	b := pbsolver.Optimize(cnfEnc.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
+	a := pbsolver.Optimize(context.Background(), pbEnc.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
+	b := pbsolver.Optimize(context.Background(), cnfEnc.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
 	if a.Status != b.Status || a.Objective != b.Objective {
 		t.Fatalf("encodings disagree: %v/%d vs %v/%d", a.Status, a.Objective, b.Status, b.Objective)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -53,7 +54,7 @@ func Figure1() ([]Figure1Row, error) {
 	for _, kind := range encode.Kinds {
 		e := encode.Build(g, 4, kind)
 		models, res := pbsolver.EnumerateOptimal(
-			e.F, pbsolver.Options{Engine: pbsolver.EnginePBS}, e.XVars(), 0)
+			context.Background(), e.F, pbsolver.Options{Engine: pbsolver.EnginePBS}, e.XVars(), 0)
 		if res.Status != pbsolver.StatusOptimal {
 			return nil, fmt.Errorf("figure1: %v gave %v", kind, res.Status)
 		}

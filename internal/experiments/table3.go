@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -43,7 +44,7 @@ func Matrix(cfg Config) ([]MatrixRow, error) {
 			for idx, instDep := range []bool{false, true} {
 				cell := Cell{}
 				for _, g := range gs {
-					out := core.Solve(g, core.Config{
+					out := core.Solve(context.Background(), g, core.Config{
 						K: K, SBP: kind, InstanceDependent: instDep,
 						Engine: eng, Timeout: cfg.Timeout,
 						SymMaxNodes: cfg.SymMaxNodes, SymTimeout: cfg.SymTimeout,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -35,7 +36,7 @@ func Table5(cfg Config) ([]Table5Entry, error) {
 		for _, kind := range cfg.sbps() {
 			for _, eng := range cfg.engines() {
 				for _, instDep := range []bool{false, true} {
-					res := core.Solve(g, core.Config{
+					res := core.Solve(context.Background(), g, core.Config{
 						K: K, SBP: kind, InstanceDependent: instDep,
 						Engine: eng, Timeout: cfg.Timeout,
 						SymMaxNodes: cfg.SymMaxNodes, SymTimeout: cfg.SymTimeout,

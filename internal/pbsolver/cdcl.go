@@ -717,13 +717,13 @@ type budget struct {
 	deadline     time.Time
 	maxConflicts int64
 	conflicts    int64
-	cancel       <-chan struct{}
+	done         <-chan struct{} // context cancellation, may be nil
 }
 
 func (b *budget) expired() bool {
-	if b.cancel != nil {
+	if b.done != nil {
 		select {
-		case <-b.cancel:
+		case <-b.done:
 			return true
 		default:
 		}

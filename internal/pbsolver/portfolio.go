@@ -1,16 +1,16 @@
 package pbsolver
 
 import (
+	"context"
 	"sync"
-	"time"
 
 	"repro/internal/pb"
 )
 
 // PortfolioOptions configure a portfolio run.
 type PortfolioOptions struct {
-	// Base is the options template; the Engine and Cancel fields are
-	// managed per worker.
+	// Base is the options template; the Engine field is managed per worker
+	// and Base.Timeout is pinned once for the whole portfolio.
 	Base Options
 	// Engines lists the configurations to race (default: all four).
 	Engines []Engine
@@ -28,21 +28,40 @@ type PortfolioResult struct {
 
 // PortfolioSolve runs several engine configurations on the same formula
 // concurrently and returns the first definitive answer (Optimal or Unsat),
-// cancelling the laggards. The paper's methodology — treating solvers as
-// interchangeable black boxes over one problem reduction (§1, §2.3) —
-// makes this composition natural: different engines win on different
-// instances, and the portfolio takes the per-instance minimum at the cost
-// of parallel hardware.
+// cancelling the laggards through a context derived from ctx. The paper's
+// methodology — treating solvers as interchangeable black boxes over one
+// problem reduction (§1, §2.3) — makes this composition natural: different
+// engines win on different instances, and the portfolio takes the
+// per-instance minimum at the cost of parallel hardware.
 //
-// The formula is shared read-only across workers (engines keep all mutable
-// state internal). When no engine finishes definitively within the budget,
-// the best feasible incumbent (lowest objective) is returned.
-func PortfolioSolve(f *pb.Formula, opts PortfolioOptions) PortfolioResult {
+// Cancelling ctx aborts every engine promptly; an already-cancelled ctx
+// returns StatusUnknown without starting any engine. The formula is shared
+// read-only across workers (engines keep all mutable state internal). When
+// no engine finishes definitively within the budget, the best feasible
+// incumbent (lowest objective) is returned.
+func PortfolioSolve(ctx context.Context, f *pb.Formula, opts PortfolioOptions) PortfolioResult {
 	engines := opts.Engines
 	if len(engines) == 0 {
 		engines = append([]Engine(nil), Engines...)
 	}
-	cancel := make(chan struct{})
+	out := PortfolioResult{PerEngine: make([]Result, len(engines))}
+	out.Status = StatusUnknown
+	if ctx.Err() != nil {
+		return out
+	}
+	// Pin the shared wall-clock budget once so a worker scheduled late does
+	// not restart the clock; the derived context is the single cancellation
+	// path for deadline, caller cancellation and laggard stopping alike.
+	base := opts.Base
+	var pctx context.Context
+	var cancel context.CancelFunc
+	if base.Timeout > 0 {
+		pctx, cancel = context.WithTimeout(ctx, base.Timeout)
+		base.Timeout = 0
+	} else {
+		pctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
 	var once sync.Once
 	type tagged struct {
 		idx int
@@ -51,24 +70,15 @@ func PortfolioSolve(f *pb.Formula, opts PortfolioOptions) PortfolioResult {
 	results := make(chan tagged, len(engines))
 	for i, eng := range engines {
 		go func(i int, eng Engine) {
-			o := opts.Base
+			o := base
 			o.Engine = eng
-			o.Cancel = cancel
-			// Pin the shared deadline now so a worker scheduled late does
-			// not restart the clock.
-			if o.Deadline.IsZero() && o.Timeout > 0 {
-				o.Deadline = time.Now().Add(o.Timeout)
-				o.Timeout = 0
-			}
-			res := Optimize(f, o)
+			res := Optimize(pctx, f, o)
 			if res.Status == StatusOptimal || res.Status == StatusUnsat {
-				once.Do(func() { close(cancel) })
+				once.Do(cancel)
 			}
 			results <- tagged{i, res}
 		}(i, eng)
 	}
-	out := PortfolioResult{PerEngine: make([]Result, len(engines))}
-	out.Status = StatusUnknown
 	winner := -1
 	for range engines {
 		t := <-results

@@ -1,6 +1,7 @@
 package pbsolver
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -12,7 +13,7 @@ func TestPortfolioMatchesSingleEngine(t *testing.T) {
 		f := randomPBFormula(rng, 3+rng.Intn(5))
 		withObjective(rng, f)
 		wantSat, wantZ := bruteOptimum(f)
-		res := PortfolioSolve(f, PortfolioOptions{})
+		res := PortfolioSolve(context.Background(), f, PortfolioOptions{})
 		if !wantSat {
 			if res.Status != StatusUnsat {
 				t.Fatalf("iter %d: %v, want UNSAT", iter, res.Status)
@@ -33,7 +34,7 @@ func TestPortfolioMatchesSingleEngine(t *testing.T) {
 
 func TestPortfolioSubsetEngines(t *testing.T) {
 	f := pigeonPB(5, 4) // UNSAT
-	res := PortfolioSolve(f, PortfolioOptions{
+	res := PortfolioSolve(context.Background(), f, PortfolioOptions{
 		Engines: []Engine{EnginePBS, EngineBnB},
 	})
 	if res.Status != StatusUnsat {
@@ -50,7 +51,7 @@ func TestPortfolioCancelsLaggards(t *testing.T) {
 	// quickly even though one engine alone would run much longer.
 	f := pigeonPB(9, 8) // hard UNSAT for the learning-free BnB
 	start := time.Now()
-	res := PortfolioSolve(f, PortfolioOptions{
+	res := PortfolioSolve(context.Background(), f, PortfolioOptions{
 		Base:    Options{Timeout: 30 * time.Second},
 		Engines: []Engine{EngineBnB, EnginePBS, EngineGalena},
 	})
@@ -73,7 +74,7 @@ func TestPortfolioTimeoutKeepsIncumbent(t *testing.T) {
 		f := randomPBFormula(rng, 8)
 		withObjective(rng, f)
 		wantSat, wantZ := bruteOptimum(f)
-		res := PortfolioSolve(f, PortfolioOptions{Base: Options{MaxConflicts: 2}})
+		res := PortfolioSolve(context.Background(), f, PortfolioOptions{Base: Options{MaxConflicts: 2}})
 		switch res.Status {
 		case StatusOptimal:
 			if !wantSat || res.Objective != wantZ {
@@ -88,5 +89,69 @@ func TestPortfolioTimeoutKeepsIncumbent(t *testing.T) {
 				t.Fatalf("iter %d: false UNSAT", iter)
 			}
 		}
+	}
+}
+
+func TestPortfolioRespectsCancelledContext(t *testing.T) {
+	// An already-cancelled context must return immediately without
+	// starting any engine.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	f := pigeonPB(9, 8)
+	start := time.Now()
+	res := PortfolioSolve(ctx, f, PortfolioOptions{})
+	if res.Status != StatusUnknown {
+		t.Fatalf("got %v, want UNKNOWN from cancelled context", res.Status)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancelled context still ran for %v", elapsed)
+	}
+	if res.Stats.Decisions != 0 || res.Stats.Nodes != 0 {
+		t.Fatalf("engines did work under a cancelled context: %+v", res.Stats)
+	}
+}
+
+func TestPortfolioExternalCancelStopsEngines(t *testing.T) {
+	// PHP(11,10) keeps every engine busy for much longer than the cancel
+	// delay; cancelling the caller's context must stop all of them
+	// promptly even though no engine has answered.
+	f := pigeonPB(11, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res := PortfolioSolve(ctx, f, PortfolioOptions{})
+	elapsed := time.Since(start)
+	if elapsed > 10*time.Second {
+		t.Fatalf("external cancel not honored: portfolio ran %v", elapsed)
+	}
+	// A definitive answer in under 50ms is implausible for PHP(11,10) on
+	// every engine; whatever came back, all laggards must have stopped.
+	_ = res
+}
+
+func TestPortfolioHungEngineCancelledOnDefinitiveAnswer(t *testing.T) {
+	// PHP(10,9) is a sub-second proof for the bounding-based BnB but takes
+	// the CDCL engines far longer (clause learning alone fights the
+	// pigeonhole symmetry); once BnB returns UNSAT the portfolio must
+	// cancel the hung CDCL laggard promptly and report it as Unknown.
+	f := pigeonPB(10, 9)
+	start := time.Now()
+	res := PortfolioSolve(context.Background(), f, PortfolioOptions{
+		Engines: []Engine{EnginePBS, EngineBnB},
+	})
+	if res.Status != StatusUnsat {
+		t.Fatalf("got %v, want UNSAT", res.Status)
+	}
+	if res.Winner != EngineBnB {
+		t.Fatalf("winner %v, want bnb", res.Winner)
+	}
+	if res.PerEngine[0].Status != StatusUnknown {
+		t.Fatalf("hung CDCL engine reported %v, want UNKNOWN after cancellation", res.PerEngine[0].Status)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Fatalf("hung engine not cancelled: took %v", elapsed)
 	}
 }

@@ -27,6 +27,7 @@
 package pbsolver
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -106,10 +107,9 @@ type Options struct {
 	// MaxConflicts bounds total conflicts (CDCL) or backtracks (BnB) across
 	// the whole optimization loop; 0 = unlimited.
 	MaxConflicts int64
-	// Deadline bounds wall-clock time; zero value = unlimited.
-	Deadline time.Time
-	// Timeout, when positive, sets Deadline relative to the Optimize/Decide
-	// call. Ignored if Deadline is set.
+	// Timeout bounds wall-clock time relative to the Optimize/Decide call;
+	// 0 = unlimited. Cancellation and caller-side deadlines are carried by
+	// the context.Context passed to Decide/Optimize/PortfolioSolve.
 	Timeout time.Duration
 	// NoPhaseSaving disables progress saving on decisions.
 	NoPhaseSaving bool
@@ -117,9 +117,6 @@ type Options struct {
 	// when nonzero (used by ablation benches).
 	VarDecayOverride    float64
 	RestartBaseOverride int64
-	// Cancel, when non-nil, aborts the search as soon as the channel is
-	// closed (the portfolio driver uses this to stop laggards).
-	Cancel <-chan struct{}
 }
 
 func (o Options) varDecay() float64 {
@@ -144,12 +141,14 @@ func (o Options) restartBase() int64 {
 
 func (o Options) phaseSaving() bool { return !o.NoPhaseSaving }
 
-func (o Options) newBudget() *budget {
-	d := o.Deadline
-	if d.IsZero() && o.Timeout > 0 {
+func (o Options) newBudget(ctx context.Context) *budget {
+	var d time.Time
+	if o.Timeout > 0 {
 		d = time.Now().Add(o.Timeout)
 	}
-	return &budget{deadline: d, maxConflicts: o.MaxConflicts, cancel: o.Cancel}
+	// A context deadline earlier than the local timeout is carried by
+	// ctx.Done() firing, so it needs no separate bookkeeping here.
+	return &budget{deadline: d, maxConflicts: o.MaxConflicts, done: ctx.Done()}
 }
 
 // Stats aggregates search counters across all solver calls of one
@@ -203,9 +202,14 @@ func buildCDCL(f *pb.Formula, opts Options) *cdclEngine {
 }
 
 // Decide solves the satisfiability of the formula, ignoring any objective.
-func Decide(f *pb.Formula, opts Options) Result {
+// The search aborts (StatusUnknown, or the best incumbent so far) when ctx
+// is cancelled or its deadline passes.
+func Decide(ctx context.Context, f *pb.Formula, opts Options) Result {
 	start := time.Now()
-	bgt := opts.newBudget()
+	if ctx.Err() != nil {
+		return Result{Status: StatusUnknown, Runtime: time.Since(start)}
+	}
+	bgt := opts.newBudget(ctx)
 	if opts.Engine == EngineBnB {
 		return bnbDecide(f, opts, bgt, start)
 	}
@@ -229,13 +233,17 @@ func Decide(f *pb.Formula, opts Options) Result {
 }
 
 // Optimize minimizes the formula's objective. With an empty objective it
-// behaves like Decide.
-func Optimize(f *pb.Formula, opts Options) Result {
+// behaves like Decide. The search aborts when ctx is cancelled or its
+// deadline passes.
+func Optimize(ctx context.Context, f *pb.Formula, opts Options) Result {
 	if len(f.Objective) == 0 {
-		return Decide(f, opts)
+		return Decide(ctx, f, opts)
 	}
 	start := time.Now()
-	bgt := opts.newBudget()
+	if ctx.Err() != nil {
+		return Result{Status: StatusUnknown, Runtime: time.Since(start)}
+	}
+	bgt := opts.newBudget(ctx)
 	if opts.Engine == EngineBnB {
 		return bnbOptimize(f, opts, bgt, start)
 	}
@@ -366,8 +374,8 @@ func addObjectiveBound(e *cdclEngine, obj []pb.Term, bound int) bool {
 // regenerate Figure 1: which color assignments survive each SBP). The
 // returned Result carries the optimum; the slice holds one full model per
 // distinct projection.
-func EnumerateOptimal(f *pb.Formula, opts Options, project []int, limit int) ([]cnf.Assignment, Result) {
-	res := Optimize(f, opts)
+func EnumerateOptimal(ctx context.Context, f *pb.Formula, opts Options, project []int, limit int) ([]cnf.Assignment, Result) {
+	res := Optimize(ctx, f, opts)
 	if res.Status != StatusOptimal || len(f.Objective) == 0 {
 		return nil, res
 	}
@@ -376,7 +384,7 @@ func EnumerateOptimal(f *pb.Formula, opts Options, project []int, limit int) ([]
 	if e == nil {
 		return nil, res
 	}
-	bgt := opts.newBudget()
+	bgt := opts.newBudget(ctx)
 	for _, c := range pb.Normalize(f.Objective, pb.EQ, res.Objective) {
 		if !e.addConstraint(c) {
 			return nil, res

@@ -1,6 +1,7 @@
 package pbsolver
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -92,7 +93,7 @@ func TestDecideAgainstBruteForce(t *testing.T) {
 			for iter := 0; iter < 250; iter++ {
 				f := randomPBFormula(rng, 3+rng.Intn(6))
 				wantSat, _ := bruteOptimum(f)
-				res := Decide(f, Options{Engine: eng})
+				res := Decide(context.Background(), f, Options{Engine: eng})
 				if res.Status == StatusUnknown {
 					t.Fatalf("iter %d: unexpected UNKNOWN", iter)
 				}
@@ -119,7 +120,7 @@ func TestOptimizeAgainstBruteForce(t *testing.T) {
 				f := randomPBFormula(rng, 3+rng.Intn(5))
 				withObjective(rng, f)
 				wantSat, wantZ := bruteOptimum(f)
-				res := Optimize(f, Options{Engine: eng})
+				res := Optimize(context.Background(), f, Options{Engine: eng})
 				if !wantSat {
 					if res.Status != StatusUnsat {
 						t.Fatalf("iter %d: got %v, want UNSAT", iter, res.Status)
@@ -147,8 +148,8 @@ func TestBinarySearchMatchesLinear(t *testing.T) {
 	for iter := 0; iter < 100; iter++ {
 		f := randomPBFormula(rng, 4+rng.Intn(4))
 		withObjective(rng, f)
-		lin := Optimize(f, Options{Engine: EnginePBS, Strategy: LinearSearch})
-		bin := Optimize(f, Options{Engine: EnginePBS, Strategy: BinarySearch})
+		lin := Optimize(context.Background(), f, Options{Engine: EnginePBS, Strategy: LinearSearch})
+		bin := Optimize(context.Background(), f, Options{Engine: EnginePBS, Strategy: BinarySearch})
 		if lin.Status != bin.Status {
 			t.Fatalf("iter %d: linear %v vs binary %v", iter, lin.Status, bin.Status)
 		}
@@ -165,7 +166,7 @@ func TestExactlyOneConstraint(t *testing.T) {
 	f.AddPB(terms, pb.EQ, 1)
 	f.SetObjective(terms)
 	for _, eng := range allEngines {
-		res := Optimize(f, Options{Engine: eng})
+		res := Optimize(context.Background(), f, Options{Engine: eng})
 		if res.Status != StatusOptimal || res.Objective != 1 {
 			t.Fatalf("%v: %v obj=%d", eng, res.Status, res.Objective)
 		}
@@ -186,7 +187,7 @@ func TestInfeasibleBound(t *testing.T) {
 	f := pb.NewFormula(2)
 	f.AddPB([]pb.Term{{Coef: 1, Lit: lit(1)}, {Coef: 1, Lit: lit(2)}}, pb.GE, 3)
 	for _, eng := range allEngines {
-		if res := Decide(f, Options{Engine: eng}); res.Status != StatusUnsat {
+		if res := Decide(context.Background(), f, Options{Engine: eng}); res.Status != StatusUnsat {
 			t.Fatalf("%v: %v, want UNSAT", eng, res.Status)
 		}
 	}
@@ -198,7 +199,7 @@ func TestWeightedConstraintPropagation(t *testing.T) {
 	f.AddPB([]pb.Term{{Coef: 5, Lit: lit(1)}, {Coef: 2, Lit: lit(2)}, {Coef: 1, Lit: lit(3)}}, pb.GE, 5)
 	f.AddClause(nlit(2))
 	f.AddClause(nlit(3))
-	res := Decide(f, Options{Engine: EnginePBS})
+	res := Decide(context.Background(), f, Options{Engine: EnginePBS})
 	if res.Status != StatusOptimal || !res.Model[1] {
 		t.Fatalf("x1 should be forced true: %v %v", res.Status, res.Model)
 	}
@@ -209,7 +210,7 @@ func TestObjectiveZeroShortCircuit(t *testing.T) {
 	f.AddClause(lit(1), lit(2))
 	f.SetObjective([]pb.Term{{Coef: 1, Lit: nlit(1)}})
 	// Optimal 0 when x1 true.
-	res := Optimize(f, Options{Engine: EnginePBS})
+	res := Optimize(context.Background(), f, Options{Engine: EnginePBS})
 	if res.Status != StatusOptimal || res.Objective != 0 {
 		t.Fatalf("%v obj=%d", res.Status, res.Objective)
 	}
@@ -218,7 +219,7 @@ func TestObjectiveZeroShortCircuit(t *testing.T) {
 func TestMaxConflictsBudget(t *testing.T) {
 	// A hard pigeonhole-flavored PB instance: 8 pigeons, 7 holes.
 	f := pigeonPB(8, 7)
-	res := Decide(f, Options{Engine: EnginePBS, MaxConflicts: 3})
+	res := Decide(context.Background(), f, Options{Engine: EnginePBS, MaxConflicts: 3})
 	if res.Status != StatusUnknown {
 		t.Fatalf("got %v, want UNKNOWN under 3-conflict budget", res.Status)
 	}
@@ -226,7 +227,9 @@ func TestMaxConflictsBudget(t *testing.T) {
 
 func TestDeadlineBudget(t *testing.T) {
 	f := pigeonPB(12, 11)
-	res := Decide(f, Options{Engine: EngineBnB, Deadline: time.Now().Add(20 * time.Millisecond)})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	res := Decide(ctx, f, Options{Engine: EngineBnB})
 	if res.Status == StatusOptimal {
 		t.Fatal("PHP(12,11) cannot be SAT")
 	}
@@ -260,7 +263,7 @@ func pigeonPB(pigeons, holes int) *pb.Formula {
 func TestPigeonholePBUnsat(t *testing.T) {
 	for _, eng := range allEngines {
 		f := pigeonPB(5, 4)
-		res := Decide(f, Options{Engine: eng})
+		res := Decide(context.Background(), f, Options{Engine: eng})
 		if res.Status != StatusUnsat {
 			t.Fatalf("%v: PHP(5,4) gave %v", eng, res.Status)
 		}
@@ -270,7 +273,7 @@ func TestPigeonholePBUnsat(t *testing.T) {
 func TestPigeonholePBSatWhenSquare(t *testing.T) {
 	for _, eng := range allEngines {
 		f := pigeonPB(4, 4)
-		res := Decide(f, Options{Engine: eng})
+		res := Decide(context.Background(), f, Options{Engine: eng})
 		if res.Status != StatusOptimal {
 			t.Fatalf("%v: PHP(4,4) gave %v", eng, res.Status)
 		}
@@ -357,7 +360,7 @@ func TestEnumerateOptimal(t *testing.T) {
 	terms := []pb.Term{{Coef: 1, Lit: lit(1)}, {Coef: 1, Lit: lit(2)}, {Coef: 1, Lit: lit(3)}}
 	f.AddPB(terms, pb.GE, 2)
 	f.SetObjective(terms)
-	models, res := EnumerateOptimal(f, Options{Engine: EnginePBS}, []int{1, 2, 3}, 0)
+	models, res := EnumerateOptimal(context.Background(), f, Options{Engine: EnginePBS}, []int{1, 2, 3}, 0)
 	if res.Status != StatusOptimal || res.Objective != 2 {
 		t.Fatalf("optimize: %v obj=%d", res.Status, res.Objective)
 	}
@@ -382,7 +385,7 @@ func TestEnumerateLimit(t *testing.T) {
 	terms := []pb.Term{{Coef: 1, Lit: lit(1)}, {Coef: 1, Lit: lit(2)}, {Coef: 1, Lit: lit(3)}, {Coef: 1, Lit: lit(4)}}
 	f.AddPB(terms, pb.GE, 2)
 	f.SetObjective(terms)
-	models, _ := EnumerateOptimal(f, Options{Engine: EnginePBS}, []int{1, 2, 3, 4}, 2)
+	models, _ := EnumerateOptimal(context.Background(), f, Options{Engine: EnginePBS}, []int{1, 2, 3, 4}, 2)
 	if len(models) != 2 {
 		t.Fatalf("limit ignored: got %d models", len(models))
 	}
@@ -393,7 +396,7 @@ func TestUnsatEnumerate(t *testing.T) {
 	f.AddClause(lit(1))
 	f.AddClause(nlit(1))
 	f.SetObjective([]pb.Term{{Coef: 1, Lit: lit(1)}})
-	models, res := EnumerateOptimal(f, Options{Engine: EnginePBS}, []int{1}, 0)
+	models, res := EnumerateOptimal(context.Background(), f, Options{Engine: EnginePBS}, []int{1}, 0)
 	if models != nil || res.Status != StatusUnsat {
 		t.Fatalf("got %d models, %v", len(models), res.Status)
 	}
@@ -423,7 +426,7 @@ func TestStatusString(t *testing.T) {
 
 func TestTimeoutOption(t *testing.T) {
 	f := pigeonPB(12, 11)
-	res := Decide(f, Options{Engine: EnginePBS, Timeout: 20 * time.Millisecond})
+	res := Decide(context.Background(), f, Options{Engine: EnginePBS, Timeout: 20 * time.Millisecond})
 	if res.Status == StatusOptimal {
 		t.Fatal("cannot be SAT")
 	}
@@ -441,7 +444,7 @@ func TestOptimizeFeasibleUnderBudget(t *testing.T) {
 		f := randomPBFormula(rng, 8)
 		withObjective(rng, f)
 		wantSat, wantZ := bruteOptimum(f)
-		res := Optimize(f, Options{Engine: EnginePBS, MaxConflicts: 2})
+		res := Optimize(context.Background(), f, Options{Engine: EnginePBS, MaxConflicts: 2})
 		switch res.Status {
 		case StatusOptimal:
 			if !wantSat || res.Objective != wantZ {
@@ -466,7 +469,7 @@ func TestIncrementalModelValidAfterBoundTightening(t *testing.T) {
 	for iter := 0; iter < 80; iter++ {
 		f := randomPBFormula(rng, 6)
 		withObjective(rng, f)
-		res := Optimize(f, Options{Engine: EnginePueblo})
+		res := Optimize(context.Background(), f, Options{Engine: EnginePueblo})
 		if res.Status == StatusOptimal && res.Model != nil {
 			if !f.Satisfies(res.Model) {
 				t.Fatalf("iter %d: optimal model does not satisfy formula", iter)

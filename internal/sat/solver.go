@@ -10,6 +10,7 @@
 package sat
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -43,6 +44,10 @@ type Options struct {
 	MaxConflicts int64
 	// Deadline stops the search when passed (zero value = no deadline).
 	Deadline time.Time
+	// Context, when non-nil, aborts the search (Unknown) as soon as it is
+	// cancelled or its deadline passes; checked on the same amortized
+	// schedule as Deadline.
+	Context context.Context
 	// PhaseSaving re-uses the last assigned polarity on decisions.
 	PhaseSaving bool
 	// VarDecay is the VSIDS activity decay factor in (0,1); 0 selects the
@@ -595,6 +600,15 @@ func (s *Solver) Solve() Status {
 	return s.SolveAssuming(nil)
 }
 
+// budgetExpired reports whether the wall-clock deadline has passed or the
+// configured context has been cancelled.
+func (s *Solver) budgetExpired() bool {
+	if s.opts.Context != nil && s.opts.Context.Err() != nil {
+		return true
+	}
+	return !s.opts.Deadline.IsZero() && time.Now().After(s.opts.Deadline)
+}
+
 // SolveAssuming solves under the given assumption literals, which are
 // enforced as the first decisions of every descent. Unsat then means
 // "unsatisfiable under the assumptions" — the solver remains usable and
@@ -604,6 +618,9 @@ func (s *Solver) Solve() Status {
 func (s *Solver) SolveAssuming(assumptions []cnf.Lit) Status {
 	if s.unsatNow {
 		return Unsat
+	}
+	if s.budgetExpired() {
+		return Unknown
 	}
 	for _, a := range assumptions {
 		if a.Var() > s.nVars {
@@ -628,7 +645,7 @@ func (s *Solver) SolveAssuming(assumptions []cnf.Lit) Status {
 		checkBudget++
 		if checkBudget >= 256 {
 			checkBudget = 0
-			if !s.opts.Deadline.IsZero() && time.Now().After(s.opts.Deadline) {
+			if s.budgetExpired() {
 				s.cancelUntil(0)
 				return Unknown
 			}

@@ -1,6 +1,7 @@
 package sbp
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -242,7 +243,7 @@ func TestSBPsPreserveOptimum(t *testing.T) {
 		}
 	}
 	AddSBPs(f, gens, Options{})
-	res := pbsolver.Decide(f, pbsolver.Options{Engine: pbsolver.EnginePBS})
+	res := pbsolver.Decide(context.Background(), f, pbsolver.Options{Engine: pbsolver.EnginePBS})
 	if res.Status != pbsolver.StatusUnsat {
 		t.Fatalf("PHP(4,3)+SBP = %v, want UNSAT", res.Status)
 	}
@@ -254,11 +255,11 @@ func TestSBPsPreserveOptimum(t *testing.T) {
 		obj = append(obj, pb.Term{Coef: 1, Lit: cnf.PosLit(p*3 + 1)})
 	}
 	f2.SetObjective(obj)
-	base := pbsolver.Optimize(f2, pbsolver.Options{Engine: pbsolver.EnginePBS})
+	base := pbsolver.Optimize(context.Background(), f2, pbsolver.Options{Engine: pbsolver.EnginePBS})
 	f3 := pigeonPB(3, 3)
 	f3.SetObjective(obj)
 	AddSBPs(f3, pigeonRowSwaps(3, 3), Options{})
-	withSBP := pbsolver.Optimize(f3, pbsolver.Options{Engine: pbsolver.EnginePBS})
+	withSBP := pbsolver.Optimize(context.Background(), f3, pbsolver.Options{Engine: pbsolver.EnginePBS})
 	if base.Status != withSBP.Status || base.Objective != withSBP.Objective {
 		t.Fatalf("optimum changed: %v/%d vs %v/%d",
 			base.Status, base.Objective, withSBP.Status, withSBP.Objective)
@@ -271,10 +272,10 @@ func TestSBPsPreserveOptimum(t *testing.T) {
 // are broken — conflicts should drop dramatically.
 func TestSymmetryBreakingSpeedsUpPigeonhole(t *testing.T) {
 	plain := pigeonPB(8, 7)
-	resPlain := pbsolver.Decide(plain, pbsolver.Options{Engine: pbsolver.EnginePBS})
+	resPlain := pbsolver.Decide(context.Background(), plain, pbsolver.Options{Engine: pbsolver.EnginePBS})
 	broken := pigeonPB(8, 7)
 	AddSBPs(broken, pigeonRowSwaps(8, 7), Options{})
-	resBroken := pbsolver.Decide(broken, pbsolver.Options{Engine: pbsolver.EnginePBS})
+	resBroken := pbsolver.Decide(context.Background(), broken, pbsolver.Options{Engine: pbsolver.EnginePBS})
 	if resPlain.Status != pbsolver.StatusUnsat || resBroken.Status != pbsolver.StatusUnsat {
 		t.Fatalf("both must be UNSAT: %v / %v", resPlain.Status, resBroken.Status)
 	}

@@ -1,0 +1,163 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/autom"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/pbsolver"
+)
+
+// cacheKey derives the result-cache key: the job spec (everything that
+// changes the answer or its provenance) plus the canonical-form hash.
+// Equal canonical encodings imply isomorphic graphs even when the
+// canonical search was truncated, so keying on the hash is always sound;
+// truncation only costs dedup opportunities.
+func cacheKey(spec JobSpec, canon *autom.Canonical) string {
+	return fmt.Sprintf("k=%d sbp=%d eng=%d pf=%t id=%t %x",
+		spec.K, spec.SBP, spec.Engine, spec.Portfolio, spec.InstanceDependent,
+		canon.Hash)
+}
+
+// entry is one singleflight cache slot: the first job to claim a key
+// solves and publishes; concurrent isomorphic jobs wait on done.
+type entry struct {
+	done chan struct{}
+
+	// All fields below are written once before done is closed.
+	status    pbsolver.Status
+	solved    bool
+	chi       int
+	canonCol  []int // witness coloring indexed by canonical position
+	winner    pbsolver.Engine
+	hasWinner bool
+	runtime   time.Duration
+	conflicts int64
+}
+
+func newEntry() *entry { return &entry{done: make(chan struct{})} }
+
+func (e *entry) ready() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// publish records the leader's outcome in canonical vertex space and wakes
+// all waiters. canon is the leader graph's canonical form.
+func (e *entry) publish(out core.Outcome, spec JobSpec, canon *autom.Canonical, solved bool) {
+	e.status = out.Result.Status
+	e.solved = solved
+	e.chi = out.Chi
+	e.runtime = out.Result.Runtime
+	e.conflicts = out.Result.Stats.Conflicts
+	if spec.Portfolio {
+		e.winner = out.Winner
+		e.hasWinner = solved || out.Result.Status == pbsolver.StatusSat
+	} else {
+		e.winner = spec.Engine
+		e.hasWinner = true
+	}
+	if out.Coloring != nil {
+		e.canonCol = make([]int, len(out.Coloring))
+		for v, c := range out.Coloring {
+			e.canonCol[canon.Perm[v]] = c
+		}
+	}
+	close(e.done)
+}
+
+// materialize translates the cached canonical-space result into the given
+// graph's own numbering. It returns nil when the entry cannot serve this
+// job — the cached result is not definitive, or the translated coloring
+// fails the (defensive) propriety check — in which case the caller solves
+// directly.
+func (e *entry) materialize(g *graph.Graph, canon *autom.Canonical) *Result {
+	if !e.solved {
+		return nil
+	}
+	res := &Result{
+		Status:     e.status,
+		Solved:     e.solved,
+		Chi:        e.chi,
+		Runtime:    e.runtime,
+		Conflicts:  e.conflicts,
+		CacheHit:   true,
+		CanonExact: canon.Exact,
+	}
+	if e.hasWinner {
+		res.Winner = e.winner.String()
+	}
+	if e.canonCol != nil {
+		col := make([]int, g.N())
+		for v := range col {
+			col[v] = e.canonCol[canon.Perm[v]]
+		}
+		if !g.IsProperColoring(col) {
+			return nil
+		}
+		res.Coloring = col
+	}
+	return res
+}
+
+// canonCache maps cache keys to entries with FIFO eviction of completed
+// entries. It is not self-locking: the Service serializes access under its
+// own mutex (waiting on an entry's done channel happens outside the lock).
+type canonCache struct {
+	capacity int
+	entries  map[string]*entry
+	order    []string // insertion order, for eviction
+}
+
+func newCanonCache(capacity int) *canonCache {
+	return &canonCache{capacity: capacity, entries: make(map[string]*entry)}
+}
+
+func (c *canonCache) len() int { return len(c.entries) }
+
+func (c *canonCache) get(key string) (*entry, bool) {
+	e, ok := c.entries[key]
+	return e, ok
+}
+
+func (c *canonCache) put(key string, e *entry) {
+	c.entries[key] = e
+	c.order = append(c.order, key)
+	// Evict the oldest completed entries; in-flight entries are skipped
+	// (their leaders still need to publish to waiters).
+	for len(c.entries) > c.capacity {
+		evicted := false
+		for i, k := range c.order {
+			old, ok := c.entries[k]
+			if !ok {
+				continue // already removed
+			}
+			if !old.ready() {
+				continue
+			}
+			delete(c.entries, k)
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			evicted = true
+			break
+		}
+		if !evicted {
+			break // everything in flight; allow temporary overshoot
+		}
+	}
+}
+
+func (c *canonCache) remove(key string) {
+	delete(c.entries, key)
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/encode"
+	"repro/internal/pbsolver"
+)
+
+// ParseSBP maps a user-facing SBP name ("none", "NU", "NU+SC", ...) to its
+// construction kind. Shared by the CLI and the HTTP daemon.
+func ParseSBP(name string) (encode.SBPKind, error) {
+	switch strings.ToUpper(strings.TrimSpace(name)) {
+	case "", "NONE":
+		return encode.SBPNone, nil
+	case "NU":
+		return encode.SBPNU, nil
+	case "CA":
+		return encode.SBPCA, nil
+	case "LI":
+		return encode.SBPLI, nil
+	case "SC":
+		return encode.SBPSC, nil
+	case "NU+SC", "NUSC":
+		return encode.SBPNUSC, nil
+	}
+	return 0, fmt.Errorf("unknown SBP %q", name)
+}
+
+// ParseEngine maps a user-facing engine name to its configuration.
+func ParseEngine(name string) (pbsolver.Engine, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "pbs", "pbs2", "pbsii":
+		return pbsolver.EnginePBS, nil
+	case "galena":
+		return pbsolver.EngineGalena, nil
+	case "pueblo":
+		return pbsolver.EnginePueblo, nil
+	case "bnb", "cplex":
+		return pbsolver.EngineBnB, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q", name)
+}

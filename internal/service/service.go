@@ -1,0 +1,568 @@
+// Package service is the throughput layer over the paper's coloring flow:
+// a batch scheduler with a bounded worker pool, per-job context
+// cancellation and timeouts, and a canonical-form result cache. Jobs are
+// keyed by a canonical labeling of the input graph (internal/autom's
+// individualization-refinement machinery), so isomorphic submissions —
+// symmetric instances of the same coloring problem, in the sense the
+// paper's symmetry-breaking predicates exploit — are deduplicated: the
+// first submission solves, concurrent isomorphic ones join the in-flight
+// solve, and later ones hit the cache. Each submitter gets the result
+// translated back into its own vertex numbering through its canonical
+// permutation.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/autom"
+	"repro/internal/core"
+	"repro/internal/encode"
+	"repro/internal/graph"
+	"repro/internal/pbsolver"
+)
+
+// Errors returned by Submit and the accessors.
+var (
+	ErrClosed    = errors.New("service: closed")
+	ErrQueueFull = errors.New("service: queue full")
+	ErrNoSuchJob = errors.New("service: no such job")
+)
+
+// JobSpec holds the solver-relevant parameters of a submission. The spec is
+// part of the cache key: two jobs share a result only when both their
+// canonical graph forms and their specs agree. Timeout is the exception —
+// it is excluded from the key, since only definitive (budget-independent)
+// results are ever cached.
+type JobSpec struct {
+	// K is the color bound (0 = max degree + 1, as in core.Solve).
+	K int `json:"k"`
+	// SBP selects the instance-independent construction.
+	SBP encode.SBPKind `json:"sbp"`
+	// Engine selects a single solver engine; ignored when Portfolio is set.
+	Engine pbsolver.Engine `json:"engine"`
+	// Portfolio races all engines and keeps the first definitive answer.
+	Portfolio bool `json:"portfolio"`
+	// InstanceDependent adds lex-leader SBPs for detected symmetries.
+	InstanceDependent bool `json:"instance_dependent"`
+	// Timeout bounds this job's solve; 0 = the service default.
+	Timeout time.Duration `json:"timeout"`
+}
+
+// State is a job's lifecycle phase.
+type State int32
+
+// Job states.
+const (
+	StateQueued State = iota
+	StateRunning
+	StateDone
+	StateFailed
+	StateCanceled
+)
+
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	case StateCanceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// Result is a completed job's outcome, in the submitted graph's own vertex
+// numbering (cache hits are translated through the canonical permutation).
+type Result struct {
+	Status pbsolver.Status `json:"status"`
+	// Solved reports a definitive answer: optimum proven or χ > K proven.
+	Solved bool `json:"solved"`
+	// Chi is the proven chromatic number within K (0 unless optimal).
+	Chi int `json:"chi"`
+	// Coloring is a witness coloring when one is available.
+	Coloring []int `json:"coloring,omitempty"`
+	// Winner is the engine that produced the result (portfolio runs).
+	Winner string `json:"winner,omitempty"`
+	// Runtime is the solver wall-clock time (the original solve's, for
+	// cache hits).
+	Runtime time.Duration `json:"runtime"`
+	// Conflicts is the solver conflict count (original solve's).
+	Conflicts int64 `json:"conflicts"`
+	// CacheHit reports the result was served from the canonical cache
+	// (including joins on an in-flight isomorphic solve).
+	CacheHit bool `json:"cache_hit"`
+	// CanonExact reports the canonical labeling search completed; when
+	// false, isomorphic submissions may miss each other in the cache.
+	CanonExact bool `json:"canon_exact"`
+}
+
+// Stats are the service's cumulative counters.
+type Stats struct {
+	Submitted  int64 `json:"submitted"`
+	Completed  int64 `json:"completed"`
+	Failed     int64 `json:"failed"`
+	Canceled   int64 `json:"canceled"`
+	SolverRuns int64 `json:"solver_runs"`
+	// CacheHits counts results served from a completed cache entry;
+	// DedupJoins counts submissions that waited on an identical in-flight
+	// solve instead of starting their own.
+	CacheHits  int64 `json:"cache_hits"`
+	DedupJoins int64 `json:"dedup_joins"`
+	// CanonInexact counts canonical searches that hit their node budget.
+	CanonInexact int64 `json:"canon_inexact"`
+	CacheEntries int   `json:"cache_entries"`
+	QueueDepth   int   `json:"queue_depth"`
+	Running      int   `json:"running"`
+}
+
+// SolveFunc produces the outcome for one job; tests inject counters and
+// stubs here. The default is DefaultSolve.
+type SolveFunc func(ctx context.Context, g *graph.Graph, spec JobSpec) core.Outcome
+
+// DefaultSolve runs core.Solve with the spec's parameters.
+func DefaultSolve(ctx context.Context, g *graph.Graph, spec JobSpec) core.Outcome {
+	return core.Solve(ctx, g, core.Config{
+		K:                 spec.K,
+		SBP:               spec.SBP,
+		Engine:            spec.Engine,
+		Portfolio:         spec.Portfolio,
+		InstanceDependent: spec.InstanceDependent,
+		Timeout:           spec.Timeout,
+	})
+}
+
+// Config configures a Service.
+type Config struct {
+	// Workers is the worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds queued-but-unstarted jobs (default 1024); Submit
+	// returns ErrQueueFull beyond it.
+	QueueDepth int
+	// DefaultTimeout bounds jobs that do not set their own (0 = none).
+	DefaultTimeout time.Duration
+	// CanonMaxNodes bounds each canonical labeling search (0 = the
+	// autom package default).
+	CanonMaxNodes int64
+	// CacheCapacity bounds completed cache entries (default 4096); the
+	// oldest completed entries are evicted first.
+	CacheCapacity int
+	// MaxJobs bounds retained job records (default 16384). When exceeded,
+	// the oldest *finished* jobs are forgotten — their ids then return
+	// ErrNoSuchJob — so a long-running daemon does not grow without bound.
+	MaxJobs int
+	// Solve overrides the solver (tests); nil selects DefaultSolve.
+	Solve SolveFunc
+}
+
+type job struct {
+	id     string
+	g      *graph.Graph
+	spec   JobSpec
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	state     State
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	err       error
+	result    *Result
+	canceled  bool // explicit Cancel call (vs timeout)
+
+	done chan struct{}
+}
+
+// JobInfo is a point-in-time snapshot of a job.
+type JobInfo struct {
+	ID        string    `json:"id"`
+	Instance  string    `json:"instance"`
+	Spec      JobSpec   `json:"spec"`
+	State     string    `json:"state"`
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started,omitempty"`
+	Finished  time.Time `json:"finished,omitempty"`
+	Err       string    `json:"error,omitempty"`
+	Result    *Result   `json:"result,omitempty"`
+}
+
+// Service is the concurrent coloring scheduler.
+type Service struct {
+	cfg   Config
+	solve SolveFunc
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	finished []string // finished job ids, oldest first, for pruning
+	cache    *canonCache
+	closed   bool
+
+	nextID     atomic.Int64
+	submitted  atomic.Int64
+	completed  atomic.Int64
+	failed     atomic.Int64
+	canceled   atomic.Int64
+	solverRuns atomic.Int64
+	cacheHits  atomic.Int64
+	dedupJoins atomic.Int64
+	inexact    atomic.Int64
+	running    atomic.Int64
+}
+
+// New starts a service with the given configuration.
+func New(cfg Config) *Service {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	if cfg.CacheCapacity <= 0 {
+		cfg.CacheCapacity = 4096
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 16384
+	}
+	s := &Service{
+		cfg:   cfg,
+		solve: cfg.Solve,
+		queue: make(chan *job, cfg.QueueDepth),
+		jobs:  make(map[string]*job),
+		cache: newCanonCache(cfg.CacheCapacity),
+	}
+	if s.solve == nil {
+		s.solve = DefaultSolve
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit enqueues one coloring job. The graph must not be mutated by the
+// caller afterwards. Returns the job id.
+func (s *Service) Submit(g *graph.Graph, spec JobSpec) (string, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		id:        fmt.Sprintf("job-%d", s.nextID.Add(1)),
+		g:         g,
+		spec:      spec,
+		ctx:       ctx,
+		cancel:    cancel,
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		return "", ErrClosed
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		cancel()
+		return "", ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+	s.submitted.Add(1)
+	return j.id, nil
+}
+
+// Cancel cancels a job; queued jobs are dropped when dequeued, running jobs
+// have their solve context cancelled.
+func (s *Service) Cancel(id string) error {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return ErrNoSuchJob
+	}
+	j.mu.Lock()
+	j.canceled = true
+	j.mu.Unlock()
+	j.cancel()
+	return nil
+}
+
+// Job returns a snapshot of the job's current state.
+func (s *Service) Job(id string) (JobInfo, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobInfo{}, ErrNoSuchJob
+	}
+	return j.info(), nil
+}
+
+// Wait blocks until the job finishes (done, failed, or canceled) or ctx is
+// cancelled, and returns the final snapshot.
+func (s *Service) Wait(ctx context.Context, id string) (JobInfo, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobInfo{}, ErrNoSuchJob
+	}
+	select {
+	case <-j.done:
+		return j.info(), nil
+	case <-ctx.Done():
+		return JobInfo{}, ctx.Err()
+	}
+}
+
+// Jobs lists snapshots of all known jobs (unordered).
+func (s *Service) Jobs() []JobInfo {
+	s.mu.Lock()
+	out := make([]JobInfo, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j.info())
+	}
+	s.mu.Unlock()
+	return out
+}
+
+// Stats returns the cumulative service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	entries := s.cache.len()
+	s.mu.Unlock()
+	return Stats{
+		Submitted:    s.submitted.Load(),
+		Completed:    s.completed.Load(),
+		Failed:       s.failed.Load(),
+		Canceled:     s.canceled.Load(),
+		SolverRuns:   s.solverRuns.Load(),
+		CacheHits:    s.cacheHits.Load(),
+		DedupJoins:   s.dedupJoins.Load(),
+		CanonInexact: s.inexact.Load(),
+		CacheEntries: entries,
+		QueueDepth:   len(s.queue),
+		Running:      int(s.running.Load()),
+	}
+}
+
+// Close stops accepting submissions, waits for queued and running jobs to
+// finish, and returns. Use CancelAll first for a fast shutdown.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// CancelAll cancels every job that has not finished yet.
+func (s *Service) CancelAll() {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		select {
+		case <-j.done:
+		default:
+			j.mu.Lock()
+			j.canceled = true
+			j.mu.Unlock()
+			j.cancel()
+		}
+	}
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.run(j)
+	}
+}
+
+// run executes one job: canonicalize, consult the cache (joining an
+// in-flight isomorphic solve when one exists), otherwise solve and publish.
+func (s *Service) run(j *job) {
+	if j.ctx.Err() != nil {
+		s.finish(j, nil, nil)
+		return
+	}
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+	s.running.Add(1)
+	defer s.running.Add(-1)
+	defer j.cancel() // release the job context's resources
+
+	ctx := j.ctx
+	timeout := j.spec.Timeout
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	canon := canonicalize(ctx, j.g, s.cfg.CanonMaxNodes)
+	if !canon.Exact {
+		s.inexact.Add(1)
+	}
+	key := cacheKey(j.spec, canon)
+
+	s.mu.Lock()
+	e, ok := s.cache.get(key)
+	if !ok {
+		e = newEntry()
+		s.cache.put(key, e)
+	}
+	s.mu.Unlock()
+
+	if ok {
+		joined := !e.ready()
+		select {
+		case <-e.done:
+		case <-ctx.Done(): // job cancelled, or its own timeout expired
+			s.finish(j, nil, nil)
+			return
+		}
+		if res := e.materialize(j.g, canon); res != nil {
+			if joined {
+				s.dedupJoins.Add(1)
+			} else {
+				s.cacheHits.Add(1)
+			}
+			s.finish(j, res, nil)
+			return
+		}
+		// The entry could not serve this job (non-definitive leader
+		// outcome, or the defensive coloring check tripped): solve
+		// directly.
+	}
+
+	out := s.solve(ctx, j.g, j.spec)
+	s.solverRuns.Add(1)
+	res := resultFromOutcome(out, j.spec, canon.Exact)
+	if !ok {
+		e.publish(out, j.spec, canon, res.Solved)
+		if !res.Solved {
+			// Do not let a budget-exhausted result poison future
+			// submissions that may carry a larger budget.
+			s.mu.Lock()
+			s.cache.remove(key)
+			s.mu.Unlock()
+		}
+	}
+	s.finish(j, res, nil)
+}
+
+// finish moves a job to its terminal state. A nil result means the job was
+// cancelled (or timed out before solving started).
+func (s *Service) finish(j *job, res *Result, err error) {
+	j.mu.Lock()
+	switch {
+	case err != nil:
+		j.state = StateFailed
+		j.err = err
+		s.failed.Add(1)
+	case res == nil || j.canceled:
+		j.state = StateCanceled
+		if res != nil {
+			j.result = res
+		}
+		s.canceled.Add(1)
+	default:
+		j.state = StateDone
+		j.result = res
+		s.completed.Add(1)
+	}
+	j.finished = time.Now()
+	j.mu.Unlock()
+	close(j.done)
+
+	// Bound the job history: forget the oldest finished jobs beyond
+	// MaxJobs (queued/running jobs are never pruned).
+	s.mu.Lock()
+	s.finished = append(s.finished, j.id)
+	for len(s.jobs) > s.cfg.MaxJobs && len(s.finished) > 0 {
+		old := s.finished[0]
+		s.finished = s.finished[1:]
+		delete(s.jobs, old)
+	}
+	s.mu.Unlock()
+}
+
+func (j *job) info() JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := JobInfo{
+		ID:        j.id,
+		Instance:  j.g.Name(),
+		Spec:      j.spec,
+		State:     j.state.String(),
+		Submitted: j.submitted,
+		Started:   j.started,
+		Finished:  j.finished,
+		Result:    j.result,
+	}
+	if j.err != nil {
+		info.Err = j.err.Error()
+	}
+	return info
+}
+
+// resultFromOutcome converts a core outcome (already in the submitted
+// graph's numbering) to a service result.
+func resultFromOutcome(out core.Outcome, spec JobSpec, canonExact bool) *Result {
+	res := &Result{
+		Status:     out.Result.Status,
+		Solved:     out.Solved(),
+		Chi:        out.Chi,
+		Coloring:   out.Coloring,
+		Runtime:    out.Result.Runtime,
+		Conflicts:  out.Result.Stats.Conflicts,
+		CanonExact: canonExact,
+	}
+	if spec.Portfolio {
+		if res.Solved || res.Status == pbsolver.StatusSat {
+			res.Winner = out.Winner.String()
+		}
+	} else {
+		res.Winner = spec.Engine.String()
+	}
+	return res
+}
+
+// canonicalize computes the canonical form of a plain (uncolored) graph.
+func canonicalize(ctx context.Context, g *graph.Graph, maxNodes int64) *autom.Canonical {
+	a := autom.NewGraph(g.N())
+	for _, e := range g.Edges() {
+		a.AddEdge(e[0], e[1])
+	}
+	return autom.CanonicalForm(a, autom.CanonicalOptions{MaxNodes: maxNodes, Context: ctx})
+}

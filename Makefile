@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: build test race bench bench-baseline bench-compare fmt vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...
+
+# bench runs the full suite once with allocation reporting (the CI smoke
+# configuration, with timing output kept for eyeballing).
+bench:
+	$(GO) test -bench=. -benchmem -count=1 -benchtime=1x -run '^$$' .
+
+# bench-baseline records the committed perf snapshot future PRs diff
+# against (ns/op and allocs/op per benchmark). Run on an idle machine.
+bench-baseline:
+	$(GO) test -bench=. -benchmem -count=1 -benchtime=1x -run '^$$' . \
+		| $(GO) run ./cmd/benchjson > BENCH_baseline.json
+	@echo wrote BENCH_baseline.json
+
+# bench-compare re-runs the suite and prints the current snapshot next to
+# the committed baseline for manual diffing (jq-friendly JSON on both sides).
+bench-compare:
+	$(GO) test -bench=. -benchmem -count=1 -benchtime=1x -run '^$$' . \
+		| $(GO) run ./cmd/benchjson > BENCH_current.json
+	@echo wrote BENCH_current.json — diff against BENCH_baseline.json

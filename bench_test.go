@@ -52,6 +52,7 @@ func BenchmarkTable2(b *testing.B) {
 
 // BenchmarkTable3 runs the K=20-style solver matrix on a small subset.
 func BenchmarkTable3(b *testing.B) {
+	b.ReportAllocs()
 	cfg := experiments.Config{
 		K:           8,
 		Timeout:     2 * time.Second,
@@ -70,6 +71,7 @@ func BenchmarkTable3(b *testing.B) {
 // BenchmarkTable4 is the K=30 variant (scaled to K=12 here; the real bound
 // is exercised by cmd/experiments -table 4).
 func BenchmarkTable4(b *testing.B) {
+	b.ReportAllocs()
 	cfg := experiments.Config{
 		K:           12,
 		Timeout:     2 * time.Second,
@@ -87,6 +89,7 @@ func BenchmarkTable4(b *testing.B) {
 
 // BenchmarkTable5 runs the queens-appendix detail on queen5_5.
 func BenchmarkTable5(b *testing.B) {
+	b.ReportAllocs()
 	cfg := experiments.Config{
 		K:           7,
 		Timeout:     5 * time.Second,
@@ -105,6 +108,7 @@ func BenchmarkTable5(b *testing.B) {
 // BenchmarkFigure1 enumerates the worked example's optimal assignments
 // under every construction and checks the paper's counts.
 func BenchmarkFigure1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Figure1()
 		if err != nil {
@@ -129,6 +133,7 @@ func BenchmarkAblationSearchStrategy(b *testing.B) {
 		s    pbsolver.Strategy
 	}{{"linear", pbsolver.LinearSearch}, {"binary", pbsolver.BinarySearch}} {
 		b.Run(strat.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				e := encode.Build(g, 7, encode.SBPNU)
 				res := pbsolver.Optimize(context.Background(), e.F, pbsolver.Options{
@@ -151,6 +156,7 @@ func BenchmarkAblationLIEncoding(b *testing.B) {
 		kind encode.SBPKind
 	}{{"prefix-linear", encode.SBPLI}, {"paper-quadratic", encode.SBPLIQuad}} {
 		b.Run(variant.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				e := encode.Build(g, 7, variant.kind)
 				res := pbsolver.Optimize(context.Background(), e.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
@@ -172,6 +178,7 @@ func BenchmarkAblationGeneratorPowers(b *testing.B) {
 		maxPower int
 	}{{"generators-only", 1}, {"with-powers-3", 3}} {
 		b.Run(variant.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				e := encode.Build(g, 7, encode.SBPNone)
 				perms, _ := symgraph.Detect(e.F, autom.Options{})
@@ -198,6 +205,7 @@ func BenchmarkAblationExactlyOneEncoding(b *testing.B) {
 		pairwise bool
 	}{{"pb-row", false}, {"cnf-pairwise", true}} {
 		b.Run(variant.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				e := encode.BuildWithOptions(g, 7, encode.SBPNU,
 					encode.Options{PairwiseExactlyOne: variant.pairwise})
@@ -216,6 +224,7 @@ func BenchmarkAblationExactlyOneEncoding(b *testing.B) {
 func BenchmarkAblationSeqSATvsILP(b *testing.B) {
 	g, _ := graph.Benchmark("queen5_5")
 	b.Run("sequential-sat", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			ub := heuristic.DsaturCount(g)
 			chi, proven := core.SequentialChromatic(context.Background(), g, ub)
@@ -225,6 +234,7 @@ func BenchmarkAblationSeqSATvsILP(b *testing.B) {
 		}
 	})
 	b.Run("incremental-sat", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			ub := heuristic.DsaturCount(g)
 			chi, proven := core.SequentialChromaticIncremental(context.Background(), g, ub)
@@ -234,6 +244,7 @@ func BenchmarkAblationSeqSATvsILP(b *testing.B) {
 		}
 	})
 	b.Run("pb-optimize", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			out := core.Solve(context.Background(), g, core.Config{K: 7, SBP: encode.SBPNU, Engine: pbsolver.EnginePBS})
 			if out.Chi != 5 {
@@ -252,6 +263,7 @@ func BenchmarkAblationSCvsClique(b *testing.B) {
 		kind encode.SBPKind
 	}{{"sc-two-pins", encode.SBPSC}, {"clique-pins", encode.SBPClique}} {
 		b.Run(variant.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				e := encode.Build(g, 9, variant.kind)
 				res := pbsolver.Optimize(context.Background(), e.F, pbsolver.Options{Engine: pbsolver.EnginePBS})
@@ -265,9 +277,11 @@ func BenchmarkAblationSCvsClique(b *testing.B) {
 
 // BenchmarkSolverEngines times one representative optimal solve per engine.
 func BenchmarkSolverEngines(b *testing.B) {
+	b.ReportAllocs()
 	g, _ := graph.Benchmark("myciel4")
 	for _, eng := range pbsolver.Engines {
 		b.Run(eng.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				out := core.Solve(context.Background(), g, core.Config{K: 8, SBP: encode.SBPNUSC, Engine: eng,
 					Timeout: 30 * time.Second})
@@ -296,6 +310,7 @@ func BenchmarkSymmetryDetection(b *testing.B) {
 // canonical-cache hits. This times the throughput subsystem end to end
 // (canonicalization + scheduling + result translation).
 func BenchmarkServiceIsomorphicBatch(b *testing.B) {
+	b.ReportAllocs()
 	base, _ := graph.Benchmark("myciel4")
 	rng := rand.New(rand.NewSource(17))
 	copies := make([]*graph.Graph, 16)

@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"text/tabwriter"
@@ -47,7 +49,38 @@ func main() {
 	timeout := flag.Duration("timeout", time.Minute, "solve budget per instance")
 	exact := flag.Bool("exact", false, "use the problem-specific DSATUR branch-and-bound instead")
 	showColoring := flag.Bool("coloring", false, "print the witness coloring")
+	glueLBD := flag.Int("glue-lbd", 0, "LBD at or below which learnt clauses are kept forever (0 = default 2)")
+	reduceInterval := flag.Int64("reduce-interval", 0, "conflicts between learnt-database reductions (0 = default 2000)")
+	restartBase := flag.Int64("restart-base", 0, "Luby restart unit in conflicts (0 = engine default)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gcolor: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize final live-heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "gcolor: memprofile:", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -97,6 +130,7 @@ func main() {
 	out := core.Solve(ctx, g, core.Config{
 		K: *k, SBP: kind, InstanceDependent: *instDep,
 		Engine: eng, Portfolio: *portfolio, Timeout: *timeout,
+		GlueLBD: *glueLBD, ReduceInterval: *reduceInterval, RestartBase: *restartBase,
 	})
 	fmt.Printf("encoding: %d vars, %d clauses, %d PB constraints (SBP=%v)\n",
 		out.EncodeStats.Vars, out.EncodeStats.CNF, out.EncodeStats.PB, kind)
@@ -216,6 +250,9 @@ func loadGraph(bench, file string) (*graph.Graph, error) {
 }
 
 func fatal(err error) {
+	// os.Exit skips deferred handlers; flush an in-flight CPU profile so
+	// -cpuprofile never leaves a truncated file behind on error paths.
+	pprof.StopCPUProfile()
 	fmt.Fprintln(os.Stderr, "gcolor:", err)
 	os.Exit(1)
 }

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	gcolord -addr :8080 -workers 8 -timeout 60s
+//	gcolord -pprof            # additionally expose /debug/pprof
 //
 // API:
 //
@@ -30,6 +31,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -46,6 +48,7 @@ func main() {
 	queueDepth := flag.Int("queue", 1024, "max queued jobs before submissions are rejected")
 	timeout := flag.Duration("timeout", time.Minute, "default per-job solve budget")
 	cacheCap := flag.Int("cache", 4096, "canonical result cache capacity")
+	enablePprof := flag.Bool("pprof", false, "expose /debug/pprof (profiling) on the same listener")
 	flag.Parse()
 
 	svc := service.New(service.Config{
@@ -54,9 +57,10 @@ func main() {
 		DefaultTimeout: *timeout,
 		CacheCapacity:  *cacheCap,
 	})
+	handler := newHandler(svc, *enablePprof)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newHandler(svc),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -155,8 +159,17 @@ func (r *jobRequest) spec() (service.JobSpec, error) {
 	return spec, nil
 }
 
-func newHandler(svc *service.Service) http.Handler {
+func newHandler(svc *service.Service, enablePprof bool) http.Handler {
 	mux := http.NewServeMux()
+	if enablePprof {
+		// Opt-in only: profiling endpoints leak operational detail, so they
+		// stay off unless -pprof is passed for a field investigation.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})

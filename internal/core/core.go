@@ -48,6 +48,15 @@ type Config struct {
 	// MaxConflicts optionally bounds total conflicts instead of (or in
 	// addition to) wall-clock time.
 	MaxConflicts int64
+	// GlueLBD is the literal-blocks-distance at or below which learnt
+	// clauses are never deleted (0 = engine default 2).
+	GlueLBD int
+	// ReduceInterval is the conflict count between learnt-database
+	// reductions (0 = engine default 2000).
+	ReduceInterval int64
+	// RestartBase overrides the Luby restart unit in conflicts (0 = engine
+	// default: 100, or 50 for Pueblo).
+	RestartBase int64
 	// SymMaxNodes and SymTimeout bound symmetry detection.
 	SymMaxNodes int64
 	SymTimeout  time.Duration
@@ -119,10 +128,13 @@ func Solve(ctx context.Context, g *graph.Graph, cfg Config) Outcome {
 		out.Sym = breakSymmetries(ctx, enc.F, cfg)
 	}
 	sOpts := pbsolver.Options{
-		Engine:       cfg.Engine,
-		Strategy:     cfg.Strategy,
-		Timeout:      cfg.Timeout,
-		MaxConflicts: cfg.MaxConflicts,
+		Engine:              cfg.Engine,
+		Strategy:            cfg.Strategy,
+		Timeout:             cfg.Timeout,
+		MaxConflicts:        cfg.MaxConflicts,
+		GlueLBD:             cfg.GlueLBD,
+		ReduceInterval:      cfg.ReduceInterval,
+		RestartBaseOverride: cfg.RestartBase,
 	}
 	if cfg.Portfolio {
 		pres := pbsolver.PortfolioSolve(ctx, enc.F, pbsolver.PortfolioOptions{Base: sOpts})

@@ -1,0 +1,88 @@
+package pbsolver
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/pb"
+)
+
+// TestDecideWithAggressiveReduction cross-checks every CDCL engine against
+// brute force while forcing learnt-DB reductions (and arena compactions)
+// every handful of conflicts, so reasons and watches are exercised across
+// many reduce+GC cycles mid-search.
+func TestDecideWithAggressiveReduction(t *testing.T) {
+	for _, eng := range []Engine{EnginePBS, EngineGalena, EnginePueblo} {
+		eng := eng
+		t.Run(eng.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(29))
+			for iter := 0; iter < 120; iter++ {
+				f := randomPBFormula(rng, 4+rng.Intn(5))
+				wantSat, _ := bruteOptimum(f)
+				res := Decide(context.Background(), f, Options{Engine: eng, ReduceInterval: 8, GlueLBD: 1})
+				if res.Status == StatusUnknown {
+					t.Fatalf("iter %d: unexpected UNKNOWN", iter)
+				}
+				gotSat := res.Status == StatusOptimal
+				if gotSat != wantSat {
+					t.Fatalf("iter %d: got %v, want sat=%v\n%s", iter, res.Status, wantSat, f.OPB())
+				}
+				if gotSat && !f.Satisfies(res.Model) {
+					t.Fatalf("iter %d: invalid model", iter)
+				}
+			}
+		})
+	}
+}
+
+// TestReductionStatsPlumbing confirms the new reduction counters surface
+// through the public Result on a run forced into reductions.
+func TestReductionStatsPlumbing(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var saw Stats
+	for iter := 0; iter < 200 && saw.Reduces == 0; iter++ {
+		f := randomPBFormula(rng, 8)
+		withObjective(rng, f)
+		res := Optimize(context.Background(), f, Options{Engine: EnginePBS, ReduceInterval: 4})
+		saw.add(res.Stats)
+	}
+	if saw.Reduces == 0 {
+		t.Skip("no run produced enough conflicts to trigger a reduction")
+	}
+	if saw.Removed == 0 && saw.Reduces > 2 {
+		t.Fatalf("reductions ran but removed nothing: %+v", saw)
+	}
+}
+
+// TestEnginesShareNoSolverState runs many engine instances concurrently on
+// the same formula value. The shared solverutil structures (arena, heap,
+// watchers) must be per-instance: any accidental sharing shows up under
+// -race, and cross-instance corruption would flip a verdict.
+func TestEnginesShareNoSolverState(t *testing.T) {
+	f := pb.NewFormula(0)
+	{
+		rng := rand.New(rand.NewSource(41))
+		f = randomPBFormula(rng, 8)
+		withObjective(rng, f)
+	}
+	wantSat, wantZ := bruteOptimum(f)
+	var wg sync.WaitGroup
+	for round := 0; round < 4; round++ {
+		for _, eng := range allEngines {
+			wg.Add(1)
+			go func(eng Engine) {
+				defer wg.Done()
+				res := Optimize(context.Background(), f, Options{Engine: eng, ReduceInterval: 16})
+				switch {
+				case wantSat && (res.Status != StatusOptimal || res.Objective != wantZ):
+					t.Errorf("%v: got %v obj=%d, want OPTIMAL %d", eng, res.Status, res.Objective, wantZ)
+				case !wantSat && res.Status != StatusUnsat:
+					t.Errorf("%v: got %v, want UNSAT", eng, res.Status)
+				}
+			}(eng)
+		}
+	}
+	wg.Wait()
+}

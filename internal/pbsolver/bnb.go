@@ -47,9 +47,16 @@ func newBnBSearcher(f *pb.Formula, opts Options) *bnbSearcher {
 	// Static most-constrained-first order: weight by clause occurrences and
 	// PB coefficients.
 	score := make([]int, e.nVars+1)
-	for _, c := range e.clauses {
-		for _, l := range c.lits {
-			score[l.Var()]++
+	for _, c := range e.db.Clauses {
+		for _, u := range e.db.Arena.Lits(c) {
+			score[u>>1]++
+		}
+	}
+	// Binary clauses live only in the inline watch lists; each clause's two
+	// literals appear exactly once each across the implied-literal entries.
+	for _, ws := range e.db.BinWatches {
+		for _, u := range ws {
+			score[u>>1]++
 		}
 	}
 	for _, p := range e.pbcs {
@@ -111,7 +118,7 @@ func (s *bnbSearcher) backtrack() bool {
 		} else {
 			l = cnf.NegLit(d.v)
 		}
-		if !s.e.enqueue(l, reasonRef{}) {
+		if !s.e.enqueue(l, noReason) {
 			panic("pbsolver: flip enqueue failed")
 		}
 		return true
@@ -135,12 +142,11 @@ func (s *bnbSearcher) search(bgt *budget, optimize bool) Status {
 		if bgt.conflictsExceeded() {
 			return StatusUnknown
 		}
-		confCl, confPc := e.propagate()
-		conflict := confCl != nil || confPc != nil
-		if !conflict && optimize && s.hasBest && s.objLB() >= s.bestZ {
-			conflict = true // incumbent bound pruning
+		fail := e.propagate().isConflict()
+		if !fail && optimize && s.hasBest && s.objLB() >= s.bestZ {
+			fail = true // incumbent bound pruning
 		}
-		if conflict {
+		if fail {
 			e.stats.Conflicts++
 			bgt.conflicts++
 			if !s.backtrack() {
@@ -181,7 +187,7 @@ func (s *bnbSearcher) search(bgt *budget, optimize bool) Status {
 		e.stats.Nodes++
 		s.decisions = append(s.decisions, bnbDecision{v: v, phase: false})
 		e.trailAt = append(e.trailAt, len(e.trail))
-		e.enqueue(cnf.NegLit(v), reasonRef{})
+		e.enqueue(cnf.NegLit(v), noReason)
 	}
 }
 

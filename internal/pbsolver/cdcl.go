@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cnf"
 	"repro/internal/pb"
+	"repro/internal/solverutil"
 )
 
 // cdclEngine is the CDCL-based 0-1 ILP core shared by the PBS II, Galena,
@@ -13,35 +14,49 @@ import (
 // PB reasons expanded to clauses, VSIDS decisions, Luby restarts. The
 // EngineGalena configuration additionally learns cardinality reductions of
 // conflicting PB constraints (CARD learning, Chai & Kuehlmann 2003).
+//
+// The clause database shares internal/solverutil's flat-arena layout with
+// internal/sat: clauses are int32 offsets into one []uint32 store, watch
+// lists carry {clause, blocker} structs, binary clauses are propagated
+// inline from dedicated binary watch lists, and learnt-clause deletion is
+// LBD-driven with periodic arena compaction.
 type cdclEngine struct {
 	opts Options
 
-	nVars   int
-	clauses []*clause
-	learnts []*clause
-	watches [][]*clause
+	nVars int
+	db    solverutil.ClauseDB
+	nBin  int // binary clauses (inline watch lists only)
 
 	pbcs []*pbc
 	// occ[litIdx(l)] lists PB constraints containing literal l together
 	// with its coefficient: when l becomes false their slack drops.
 	occ [][]occRef
 
-	assign   []lbool
-	level    []int
-	reason   []reasonRef
-	trailPos []int
-	trail    []cnf.Lit
-	trailAt  []int
-	qhead    int
+	assign    []lbool
+	level     []int
+	reasonCl  []solverutil.CRef
+	reasonBin []cnf.Lit
+	reasonPB  []*pbc
+	trailPos  []int
+	trail     []cnf.Lit
+	trailAt   []int
+	qhead     int
 
 	activity []float64
 	varInc   float64
-	order    varHeap
+	order    solverutil.VarHeap
 	phase    []bool
 
 	claInc   float64
 	seen     []bool
+	lbdStamp []int64
+	lbdGen   int64
 	unsatNow bool
+
+	// Reusable conflict-analysis buffers (never retained by callers).
+	learntBuf  []cnf.Lit
+	scratchBuf []cnf.Lit
+	cleanupBuf []int
 
 	stats Stats
 }
@@ -53,12 +68,6 @@ const (
 	lTrue
 	lFalse
 )
-
-type clause struct {
-	lits     []cnf.Lit
-	learnt   bool
-	activity float64
-}
 
 // pbc is a PB constraint with counter-based propagation state: slack is
 // Σ coefficients of non-false literals − bound, maintained incrementally on
@@ -76,13 +85,19 @@ type occRef struct {
 	coef int
 }
 
-// reasonRef is either a clause or a PB constraint that implied a literal.
-type reasonRef struct {
-	cl *clause
-	pc *pbc
+// conflict identifies what falsified the trail: an arena clause, an inline
+// binary clause (a ∨ b), or a PB constraint.
+type conflict struct {
+	cref solverutil.CRef
+	a, b cnf.Lit
+	pc   *pbc
 }
 
-func (r reasonRef) isNil() bool { return r.cl == nil && r.pc == nil }
+var noConflict = conflict{cref: solverutil.CRefUndef}
+
+func (c conflict) isConflict() bool {
+	return c.cref != solverutil.CRefUndef || c.a != 0 || c.pc != nil
+}
 
 func litIdx(l cnf.Lit) int {
 	v := l.Var()
@@ -96,12 +111,15 @@ func newCDCL(opts Options) *cdclEngine {
 	e := &cdclEngine{opts: opts, varInc: 1, claInc: 1}
 	e.assign = []lbool{lUndef}
 	e.level = []int{0}
-	e.reason = []reasonRef{{}}
+	e.reasonCl = []solverutil.CRef{solverutil.CRefUndef}
+	e.reasonBin = []cnf.Lit{0}
+	e.reasonPB = []*pbc{nil}
 	e.trailPos = []int{0}
 	e.activity = []float64{0}
 	e.phase = []bool{false}
 	e.seen = []bool{false}
-	e.watches = [][]*clause{nil, nil}
+	e.lbdStamp = []int64{0}
+	e.db.Init()
 	e.occ = [][]occRef{nil, nil}
 	return e
 }
@@ -111,15 +129,18 @@ func (e *cdclEngine) growTo(n int) {
 		e.nVars++
 		e.assign = append(e.assign, lUndef)
 		e.level = append(e.level, 0)
-		e.reason = append(e.reason, reasonRef{})
+		e.reasonCl = append(e.reasonCl, solverutil.CRefUndef)
+		e.reasonBin = append(e.reasonBin, 0)
+		e.reasonPB = append(e.reasonPB, nil)
 		e.trailPos = append(e.trailPos, 0)
 		e.activity = append(e.activity, 0)
 		e.phase = append(e.phase, false)
 		e.seen = append(e.seen, false)
-		e.watches = append(e.watches, nil, nil)
+		e.lbdStamp = append(e.lbdStamp, 0)
+		e.db.GrowVar()
 		e.occ = append(e.occ, nil, nil)
 	}
-	e.order.ensure(e.nVars, e.activity)
+	e.order.Ensure(e.nVars, e.activity)
 }
 
 func (e *cdclEngine) value(l cnf.Lit) lbool {
@@ -128,6 +149,17 @@ func (e *cdclEngine) value(l cnf.Lit) lbool {
 		return lUndef
 	}
 	if l.Sign() == (a == lTrue) {
+		return lTrue
+	}
+	return lFalse
+}
+
+func (e *cdclEngine) valueEnc(u uint32) lbool {
+	a := e.assign[u>>1]
+	if a == lUndef {
+		return lUndef
+	}
+	if (u&1 == 0) == (a == lTrue) {
 		return lTrue
 	}
 	return lFalse
@@ -161,15 +193,19 @@ func (e *cdclEngine) addClause(lits []cnf.Lit) bool {
 		e.unsatNow = true
 		return false
 	case 1:
-		if !e.enqueue(kept[0], reasonRef{}) || !e.propagateToFixpoint() {
+		if !e.enqueue(kept[0], noReason) || !e.propagateToFixpoint() {
 			e.unsatNow = true
 			return false
 		}
 		return true
+	case 2:
+		e.db.AttachBinary(kept[0], kept[1])
+		e.nBin++
+		return true
 	}
-	c := &clause{lits: kept}
-	e.clauses = append(e.clauses, c)
-	e.watch(c)
+	c := e.db.Arena.Alloc(kept, false)
+	e.db.Clauses = append(e.db.Clauses, c)
+	e.db.Attach(c)
 	return true
 }
 
@@ -210,7 +246,7 @@ func (e *cdclEngine) installPBC(p *pbc) bool {
 			break
 		}
 		if e.value(t.Lit) == lUndef {
-			if !e.enqueue(t.Lit, reasonRef{pc: p}) {
+			if !e.enqueue(t.Lit, reasonRef{cl: solverutil.CRefUndef, pc: p}) {
 				e.unsatNow = true
 				return false
 			}
@@ -236,11 +272,15 @@ func sortTermsDesc(terms []pb.Term) {
 	}
 }
 
-func (e *cdclEngine) watch(c *clause) {
-	i0, i1 := litIdx(c.lits[0].Neg()), litIdx(c.lits[1].Neg())
-	e.watches[i0] = append(e.watches[i0], c)
-	e.watches[i1] = append(e.watches[i1], c)
+// reasonRef is the source of an implication: an arena clause, the other
+// literal of a binary clause, or a PB constraint.
+type reasonRef struct {
+	cl  solverutil.CRef
+	bin cnf.Lit
+	pc  *pbc
 }
+
+var noReason = reasonRef{cl: solverutil.CRefUndef}
 
 // enqueue assigns l true. PB slacks are updated here (and restored in
 // cancelUntil) so that they reflect the assignment exactly at all times.
@@ -251,6 +291,11 @@ func (e *cdclEngine) enqueue(l cnf.Lit, from reasonRef) bool {
 	case lFalse:
 		return false
 	}
+	e.uncheckedEnqueue(l, from)
+	return true
+}
+
+func (e *cdclEngine) uncheckedEnqueue(l cnf.Lit, from reasonRef) {
 	v := l.Var()
 	if l.Sign() {
 		e.assign[v] = lTrue
@@ -259,13 +304,14 @@ func (e *cdclEngine) enqueue(l cnf.Lit, from reasonRef) bool {
 	}
 	e.phase[v] = l.Sign()
 	e.level[v] = e.decisionLevel()
-	e.reason[v] = from
+	e.reasonCl[v] = from.cl
+	e.reasonBin[v] = from.bin
+	e.reasonPB[v] = from.pc
 	e.trailPos[v] = len(e.trail)
 	e.trail = append(e.trail, l)
 	for _, o := range e.occ[litIdx(l.Neg())] {
 		o.c.slack -= o.coef
 	}
-	return true
 }
 
 func (e *cdclEngine) cancelUntil(level int) {
@@ -277,65 +323,96 @@ func (e *cdclEngine) cancelUntil(level int) {
 		l := e.trail[i]
 		v := l.Var()
 		e.assign[v] = lUndef
-		e.reason[v] = reasonRef{}
+		e.reasonCl[v] = solverutil.CRefUndef
+		e.reasonBin[v] = 0
+		e.reasonPB[v] = nil
 		for _, o := range e.occ[litIdx(l.Neg())] {
 			o.c.slack += o.coef
 		}
-		e.order.push(v, e.activity)
+		e.order.Push(v, e.activity)
 	}
 	e.trail = e.trail[:bound]
 	e.trailAt = e.trailAt[:level]
 	e.qhead = len(e.trail)
 }
 
-// propagate processes the trail to fixpoint. It returns the conflicting
-// clause or PB constraint (both nil when no conflict).
-func (e *cdclEngine) propagate() (*clause, *pbc) {
+// propagate processes the trail to fixpoint: inline binary clauses, then
+// long clauses through blocker-carrying watchers, then counter-based PB
+// propagation. Returns the conflict (noConflict if none).
+func (e *cdclEngine) propagate() conflict {
 	for e.qhead < len(e.trail) {
 		p := e.trail[e.qhead]
 		e.qhead++
 		e.stats.Propagations++
+		wl := solverutil.EncodeLit(p)
+		falsified := p.Neg()
 
-		// Clause propagation (two watched literals).
-		wl := litIdx(p)
-		ws := e.watches[wl]
-		kept := ws[:0]
-		var confl *clause
-		for wi := 0; wi < len(ws); wi++ {
-			c := ws[wi]
-			if confl != nil {
-				kept = append(kept, c)
+		// Inline binary propagation.
+		for _, imp := range e.db.BinWatches[wl] {
+			switch e.valueEnc(imp) {
+			case lFalse:
+				e.qhead = len(e.trail)
+				return conflict{cref: solverutil.CRefUndef, a: falsified, b: solverutil.DecodeLit(imp)}
+			case lUndef:
+				e.uncheckedEnqueue(solverutil.DecodeLit(imp), reasonRef{cl: solverutil.CRefUndef, bin: falsified})
+			}
+		}
+
+		// Long clauses (two watched literals with blockers).
+		ws := e.db.Watches[wl]
+		fEnc := solverutil.EncodeLit(falsified)
+		i, j := 0, 0
+		confl := noConflict
+		for i < len(ws) {
+			w := ws[i]
+			if e.valueEnc(w.Blocker) == lTrue {
+				ws[j] = w
+				i++
+				j++
 				continue
 			}
-			falsified := p.Neg()
-			if c.lits[0] == falsified {
-				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			c := w.CRef
+			lits := e.db.Arena.Lits(c)
+			if lits[0] == fEnc {
+				lits[0], lits[1] = lits[1], lits[0]
 			}
-			if e.value(c.lits[0]) == lTrue {
-				kept = append(kept, c)
+			first := lits[0]
+			nw := solverutil.Watcher{CRef: c, Blocker: first}
+			if first != w.Blocker && e.valueEnc(first) == lTrue {
+				ws[j] = nw
+				i++
+				j++
 				continue
 			}
 			moved := false
-			for k := 2; k < len(c.lits); k++ {
-				if e.value(c.lits[k]) != lFalse {
-					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					ni := litIdx(c.lits[1].Neg())
-					e.watches[ni] = append(e.watches[ni], c)
+			for k := 2; k < len(lits); k++ {
+				if e.valueEnc(lits[k]) != lFalse {
+					lits[1], lits[k] = lits[k], lits[1]
+					e.db.Watches[lits[1]^1] = append(e.db.Watches[lits[1]^1], nw)
 					moved = true
 					break
 				}
 			}
+			i++
 			if moved {
 				continue
 			}
-			kept = append(kept, c)
-			if !e.enqueue(c.lits[0], reasonRef{cl: c}) {
-				confl = c
+			ws[j] = nw
+			j++
+			if e.valueEnc(first) == lFalse {
+				for ; i < len(ws); i++ {
+					ws[j] = ws[i]
+					j++
+				}
+				confl = conflict{cref: c}
+				break
 			}
+			e.uncheckedEnqueue(solverutil.DecodeLit(first), reasonRef{cl: c})
 		}
-		e.watches[wl] = kept
-		if confl != nil {
-			return confl, nil
+		e.db.Watches[wl] = ws[:j]
+		if confl.isConflict() {
+			e.qhead = len(e.trail)
+			return confl
 		}
 
 		// PB propagation: constraints containing ¬p lost slack when p was
@@ -343,83 +420,98 @@ func (e *cdclEngine) propagate() (*clause, *pbc) {
 		for _, o := range e.occ[litIdx(p.Neg())] {
 			c := o.c
 			if c.slack < 0 {
-				return nil, c
+				e.qhead = len(e.trail)
+				return conflict{cref: solverutil.CRefUndef, pc: c}
 			}
 			for _, t := range c.terms {
 				if t.Coef <= c.slack {
 					break
 				}
 				if e.value(t.Lit) == lUndef {
-					if !e.enqueue(t.Lit, reasonRef{pc: c}) {
-						// Cannot happen: an undef literal can always be set.
-						panic("pbsolver: enqueue of undef literal failed")
-					}
+					e.uncheckedEnqueue(t.Lit, reasonRef{cl: solverutil.CRefUndef, pc: c})
 				}
 			}
 		}
 	}
-	return nil, nil
+	return noConflict
 }
 
 func (e *cdclEngine) propagateToFixpoint() bool {
-	c, p := e.propagate()
-	return c == nil && p == nil
+	return !e.propagate().isConflict()
 }
 
-// reasonLits expands a reason into the literals to resolve on (excluding
-// the implied literal). For a PB reason of literal l, these are the
-// literals of the constraint that were false before l was assigned.
-func (e *cdclEngine) reasonLits(r reasonRef, implied cnf.Lit, out []cnf.Lit) []cnf.Lit {
-	if r.cl != nil {
-		if r.cl.lits[0].Var() != implied.Var() {
+// conflictLits appends the conflict's clause-shaped literal set to out: for
+// a clause conflict the clause itself; for a PB conflict all currently
+// false literals of the constraint (at least one of them must be true in
+// any satisfying assignment, since together they drove the slack negative).
+func (e *cdclEngine) conflictLits(confl conflict, out []cnf.Lit) []cnf.Lit {
+	switch {
+	case confl.cref != solverutil.CRefUndef:
+		if e.db.Arena.Learnt(confl.cref) {
+			e.bumpClause(confl.cref)
+		}
+		for _, u := range e.db.Arena.Lits(confl.cref) {
+			out = append(out, solverutil.DecodeLit(u))
+		}
+	case confl.pc != nil:
+		for _, t := range confl.pc.terms {
+			if e.value(t.Lit) == lFalse {
+				out = append(out, t.Lit)
+			}
+		}
+	default:
+		out = append(out, confl.a, confl.b)
+	}
+	return out
+}
+
+// reasonLits appends the literals to resolve on (excluding the implied
+// literal) to out. For a PB reason of variable v, these are the literals of
+// the constraint that were false before v was assigned.
+func (e *cdclEngine) reasonLits(v int, out []cnf.Lit) []cnf.Lit {
+	if rc := e.reasonCl[v]; rc != solverutil.CRefUndef {
+		if e.db.Arena.Learnt(rc) {
+			e.bumpClause(rc)
+		}
+		lits := e.db.Arena.Lits(rc)
+		if lits[0]>>1 != uint32(v) {
 			panic("pbsolver: reason clause invariant violated")
 		}
-		return append(out, r.cl.lits[1:]...)
-	}
-	pos := e.trailPos[implied.Var()]
-	for _, t := range r.pc.terms {
-		if t.Lit.Var() == implied.Var() {
-			continue
+		for _, u := range lits[1:] {
+			out = append(out, solverutil.DecodeLit(u))
 		}
-		if e.value(t.Lit) == lFalse && e.trailPos[t.Lit.Var()] < pos {
-			out = append(out, t.Lit)
-		}
+		return out
 	}
-	return out
+	if rb := e.reasonBin[v]; rb != 0 {
+		return append(out, rb)
+	}
+	if rp := e.reasonPB[v]; rp != nil {
+		pos := e.trailPos[v]
+		for _, t := range rp.terms {
+			if t.Lit.Var() == v {
+				continue
+			}
+			if e.value(t.Lit) == lFalse && e.trailPos[t.Lit.Var()] < pos {
+				out = append(out, t.Lit)
+			}
+		}
+		return out
+	}
+	panic("pbsolver: missing reason during analysis")
 }
 
-// conflictLits expands a conflict into a clause-shaped set of false
-// literals: for a clause conflict the clause itself; for a PB conflict all
-// currently false literals of the constraint (at least one of them must be
-// true in any satisfying assignment, since together they drove the slack
-// negative).
-func (e *cdclEngine) conflictLits(cl *clause, pc *pbc, out []cnf.Lit) []cnf.Lit {
-	if cl != nil {
-		return append(out, cl.lits...)
-	}
-	for _, t := range pc.terms {
-		if e.value(t.Lit) == lFalse {
-			out = append(out, t.Lit)
-		}
-	}
-	return out
-}
-
-// analyze performs first-UIP conflict analysis over mixed clause/PB
-// reasons; it returns the learnt clause (asserting literal first) and the
-// backtrack level.
-func (e *cdclEngine) analyze(confCl *clause, confPc *pbc) ([]cnf.Lit, int) {
-	learnt := []cnf.Lit{0}
+// analyze performs first-UIP conflict analysis over mixed clause/binary/PB
+// reasons; it returns the learnt clause (asserting literal first), the
+// backtrack level, and the learnt clause's LBD. The returned slice is a
+// reusable buffer, valid until the next analyze call.
+func (e *cdclEngine) analyze(confl conflict) ([]cnf.Lit, int, int) {
+	learnt := append(e.learntBuf[:0], 0)
+	cleanup := e.cleanupBuf[:0]
 	counter := 0
 	var p cnf.Lit
 	idx := len(e.trail) - 1
-	cleanup := []int{}
-	var scratch []cnf.Lit
 
-	lits := e.conflictLits(confCl, confPc, scratch[:0])
-	if confCl != nil && confCl.learnt {
-		e.bumpClause(confCl)
-	}
+	lits := e.conflictLits(confl, e.scratchBuf[:0])
 	for {
 		for _, q := range lits {
 			v := q.Var()
@@ -445,16 +537,10 @@ func (e *cdclEngine) analyze(confCl *clause, confPc *pbc) ([]cnf.Lit, int) {
 		if counter == 0 {
 			break
 		}
-		r := e.reason[p.Var()]
-		if r.isNil() {
-			panic("pbsolver: missing reason during analysis")
-		}
-		if r.cl != nil && r.cl.learnt {
-			e.bumpClause(r.cl)
-		}
-		lits = e.reasonLits(r, p, scratch[:0])
+		lits = e.reasonLits(p.Var(), lits[:0])
 	}
 	learnt[0] = p.Neg()
+	e.scratchBuf = lits[:0]
 
 	btLevel := 0
 	if len(learnt) > 1 {
@@ -467,10 +553,34 @@ func (e *cdclEngine) analyze(confCl *clause, confPc *pbc) ([]cnf.Lit, int) {
 		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
 		btLevel = e.level[learnt[1].Var()]
 	}
+	lbd := e.computeLBD(learnt)
 	for _, v := range cleanup {
 		e.seen[v] = false
 	}
-	return learnt, btLevel
+	e.learntBuf = learnt
+	e.cleanupBuf = cleanup[:0]
+	return learnt, btLevel, lbd
+}
+
+// computeLBD returns the number of distinct decision levels among the
+// literals (Audemard & Simon's literal-blocks distance).
+func (e *cdclEngine) computeLBD(lits []cnf.Lit) int {
+	e.lbdGen++
+	n := 0
+	for _, l := range lits {
+		lv := e.level[l.Var()]
+		for lv >= len(e.lbdStamp) {
+			e.lbdStamp = append(e.lbdStamp, 0)
+		}
+		if lv > 0 && e.lbdStamp[lv] != e.lbdGen {
+			e.lbdStamp[lv] = e.lbdGen
+			n++
+		}
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
 }
 
 func (e *cdclEngine) bumpVar(v int) {
@@ -481,14 +591,15 @@ func (e *cdclEngine) bumpVar(v int) {
 		}
 		e.varInc *= 1e-100
 	}
-	e.order.update(v, e.activity)
+	e.order.Update(v, e.activity)
 }
 
-func (e *cdclEngine) bumpClause(c *clause) {
-	c.activity += e.claInc
-	if c.activity > 1e20 {
-		for _, lc := range e.learnts {
-			lc.activity *= 1e-20
+func (e *cdclEngine) bumpClause(c solverutil.CRef) {
+	act := e.db.Arena.Activity(c) + float32(e.claInc)
+	e.db.Arena.SetActivity(c, act)
+	if act > 1e20 {
+		for _, lc := range e.db.Learnts {
+			e.db.Arena.SetActivity(lc, e.db.Arena.Activity(lc)*1e-20)
 		}
 		e.claInc *= 1e-20
 	}
@@ -499,15 +610,23 @@ func (e *cdclEngine) decayActivities() {
 	e.claInc /= 0.999
 }
 
-func (e *cdclEngine) record(lits []cnf.Lit) {
-	c := &clause{lits: append([]cnf.Lit(nil), lits...), learnt: true}
-	if len(lits) > 1 {
-		e.learnts = append(e.learnts, c)
-		e.watch(c)
+func (e *cdclEngine) record(lits []cnf.Lit, lbd int) {
+	switch len(lits) {
+	case 1:
+		e.uncheckedEnqueue(lits[0], noReason)
+	case 2:
+		e.db.AttachBinary(lits[0], lits[1])
+		e.stats.Learnts++
+		e.uncheckedEnqueue(lits[0], reasonRef{cl: solverutil.CRefUndef, bin: lits[1]})
+	default:
+		c := e.db.Arena.Alloc(lits, true)
+		e.db.Arena.SetLBD(c, lbd)
+		e.db.Learnts = append(e.db.Learnts, c)
+		e.db.Attach(c)
 		e.bumpClause(c)
 		e.stats.Learnts++
+		e.uncheckedEnqueue(lits[0], reasonRef{cl: c})
 	}
-	e.enqueue(lits[0], reasonRef{cl: c})
 }
 
 // learnCardinality derives and installs the cardinality reduction of a
@@ -581,7 +700,7 @@ func cardinalityBound(c *pbc) int {
 
 func (e *cdclEngine) pickBranchVar() int {
 	for {
-		v := e.order.pop(e.activity)
+		v := e.order.Pop(e.activity)
 		if v == 0 {
 			return 0
 		}
@@ -591,44 +710,38 @@ func (e *cdclEngine) pickBranchVar() int {
 	}
 }
 
-func (e *cdclEngine) reduceDB() {
-	if len(e.learnts) < 100 {
-		return
-	}
-	acts := make([]float64, len(e.learnts))
-	for i, c := range e.learnts {
-		acts[i] = c.activity
-	}
-	med := quickMedian(acts)
-	inUse := make(map[*clause]bool)
-	for _, r := range e.reason {
-		if r.cl != nil {
-			inUse[r.cl] = true
-		}
-	}
-	kept := e.learnts[:0]
-	for _, c := range e.learnts {
-		if len(c.lits) <= 2 || inUse[c] || c.activity >= med {
-			kept = append(kept, c)
-			continue
-		}
-		e.unwatch(c)
-	}
-	e.learnts = kept
+// locked reports whether the clause is the reason of its first literal's
+// current assignment.
+func (e *cdclEngine) locked(c solverutil.CRef) bool {
+	v := int(e.db.Arena.Lits(c)[0] >> 1)
+	return e.reasonCl[v] == c && e.assign[v] != lUndef
 }
 
-func (e *cdclEngine) unwatch(c *clause) {
-	for _, l := range []cnf.Lit{c.lits[0], c.lits[1]} {
-		wl := litIdx(l.Neg())
-		ws := e.watches[wl]
-		for i, wc := range ws {
-			if wc == c {
-				ws[i] = ws[len(ws)-1]
-				e.watches[wl] = ws[:len(ws)-1]
-				break
+// reduceDB runs one LBD-based learnt-database reduction, compacting the
+// arena when freed clauses waste more than a quarter of it.
+func (e *cdclEngine) reduceDB() {
+	removed := e.db.Reduce(e.opts.glueLBD(), e.locked)
+	if removed == 0 {
+		return
+	}
+	e.stats.Reduces++
+	e.stats.Removed += int64(removed)
+	if e.db.NeedsGC() {
+		e.garbageCollect()
+	}
+}
+
+// garbageCollect compacts the arena, remapping clause lists, watchers and
+// reason references.
+func (e *cdclEngine) garbageCollect() {
+	e.db.GC(func(reloc func(solverutil.CRef) solverutil.CRef) {
+		for v := 1; v <= e.nVars; v++ {
+			if e.assign[v] != lUndef && e.reasonCl[v] != solverutil.CRefUndef {
+				e.reasonCl[v] = reloc(e.reasonCl[v])
 			}
 		}
-	}
+	})
+	e.stats.ArenaGCs++
 }
 
 // solveDecision runs CDCL search until SAT/UNSAT or budget exhaustion.
@@ -641,11 +754,13 @@ func (e *cdclEngine) solveDecision(budget *budget) Status {
 		e.unsatNow = true
 		return StatusUnsat
 	}
-	e.order.rebuild(e.nVars, e.activity)
+	e.order.Rebuild(e.nVars, e.activity)
 
 	restartNum := int64(1)
 	conflictsAtRestart := e.stats.Conflicts
-	restartLimit := luby(restartNum) * e.opts.restartBase()
+	restartLimit := solverutil.Luby(restartNum) * e.opts.restartBase()
+	reduceInterval := e.opts.reduceInterval()
+	nextReduce := e.stats.Conflicts + reduceInterval
 	checkCounter := 0
 
 	for {
@@ -657,34 +772,36 @@ func (e *cdclEngine) solveDecision(budget *budget) Status {
 				return StatusUnknown
 			}
 		}
-		confCl, confPc := e.propagate()
-		if confCl != nil || confPc != nil {
+		confl := e.propagate()
+		if confl.isConflict() {
 			e.stats.Conflicts++
 			budget.conflicts++
 			if e.decisionLevel() == 0 {
 				e.unsatNow = true
 				return StatusUnsat
 			}
-			learnt, btLevel := e.analyze(confCl, confPc)
+			learnt, btLevel, lbd := e.analyze(confl)
 			e.cancelUntil(btLevel)
-			e.record(learnt)
-			if e.opts.Engine == EngineGalena && confPc != nil {
-				e.learnCardinality(confPc)
+			e.record(learnt, lbd)
+			if e.opts.Engine == EngineGalena && confl.pc != nil {
+				e.learnCardinality(confl.pc)
 			}
 			e.decayActivities()
 			if budget.conflictsExceeded() {
 				e.cancelUntil(0)
 				return StatusUnknown
 			}
+			if e.stats.Conflicts >= nextReduce {
+				e.reduceDB()
+				reduceInterval += e.opts.reduceInterval() / 8
+				nextReduce = e.stats.Conflicts + reduceInterval
+			}
 			if e.stats.Conflicts-conflictsAtRestart >= restartLimit {
 				e.stats.Restarts++
 				restartNum++
 				conflictsAtRestart = e.stats.Conflicts
-				restartLimit = luby(restartNum) * e.opts.restartBase()
+				restartLimit = solverutil.Luby(restartNum) * e.opts.restartBase()
 				e.cancelUntil(0)
-				if len(e.learnts) > 4000+int(e.stats.Conflicts/10) {
-					e.reduceDB()
-				}
 			}
 			continue
 		}
@@ -700,7 +817,7 @@ func (e *cdclEngine) solveDecision(budget *budget) Status {
 		} else {
 			l = cnf.NegLit(v)
 		}
-		e.enqueue(l, reasonRef{})
+		e.uncheckedEnqueue(l, noReason)
 	}
 }
 
@@ -733,49 +850,4 @@ func (b *budget) expired() bool {
 
 func (b *budget) conflictsExceeded() bool {
 	return b.maxConflicts > 0 && b.conflicts >= b.maxConflicts
-}
-
-func luby(i int64) int64 {
-	for k := int64(1); ; k++ {
-		if i == (int64(1)<<uint(k))-1 {
-			return int64(1) << uint(k-1)
-		}
-		if i >= int64(1)<<uint(k-1) && i < (int64(1)<<uint(k))-1 {
-			return luby(i - (int64(1) << uint(k-1)) + 1)
-		}
-	}
-}
-
-func quickMedian(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	cp := append([]float64(nil), xs...)
-	k := len(cp) / 2
-	lo, hi := 0, len(cp)-1
-	for lo < hi {
-		pivot := cp[(lo+hi)/2]
-		i, j := lo, hi
-		for i <= j {
-			for cp[i] < pivot {
-				i++
-			}
-			for cp[j] > pivot {
-				j--
-			}
-			if i <= j {
-				cp[i], cp[j] = cp[j], cp[i]
-				i++
-				j--
-			}
-		}
-		if k <= j {
-			hi = j
-		} else if k >= i {
-			lo = i
-		} else {
-			break
-		}
-	}
-	return cp[k]
 }

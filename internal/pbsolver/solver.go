@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/cnf"
 	"repro/internal/pb"
+	"repro/internal/solverutil"
 )
 
 // Engine selects the solver configuration.
@@ -117,6 +118,13 @@ type Options struct {
 	// when nonzero (used by ablation benches).
 	VarDecayOverride    float64
 	RestartBaseOverride int64
+	// GlueLBD is the LBD at or below which learnt clauses are never
+	// deleted (Audemard & Simon 2009); 0 selects 2.
+	GlueLBD int
+	// ReduceInterval is the conflict count between learnt-database
+	// reductions (the interval grows by ReduceInterval/8 after each
+	// reduction); 0 selects 2000.
+	ReduceInterval int64
 }
 
 func (o Options) varDecay() float64 {
@@ -141,6 +149,20 @@ func (o Options) restartBase() int64 {
 
 func (o Options) phaseSaving() bool { return !o.NoPhaseSaving }
 
+func (o Options) glueLBD() int {
+	if o.GlueLBD == 0 {
+		return solverutil.DefaultGlueLBD
+	}
+	return o.GlueLBD
+}
+
+func (o Options) reduceInterval() int64 {
+	if o.ReduceInterval == 0 {
+		return solverutil.DefaultReduceInterval
+	}
+	return o.ReduceInterval
+}
+
 func (o Options) newBudget(ctx context.Context) *budget {
 	var d time.Time
 	if o.Timeout > 0 {
@@ -160,6 +182,9 @@ type Stats struct {
 	Restarts     int64
 	Learnts      int64
 	LearntCards  int64 // Galena CARD-learnt constraints
+	Reduces      int64 // learnt-database reductions
+	Removed      int64 // learnt clauses deleted by reductions
+	ArenaGCs     int64 // clause-arena compactions
 	SolverCalls  int64
 	Nodes        int64 // BnB decision nodes
 }
@@ -171,6 +196,9 @@ func (s *Stats) add(o Stats) {
 	s.Restarts += o.Restarts
 	s.Learnts += o.Learnts
 	s.LearntCards += o.LearntCards
+	s.Reduces += o.Reduces
+	s.Removed += o.Removed
+	s.ArenaGCs += o.ArenaGCs
 	s.Nodes += o.Nodes
 }
 

@@ -303,15 +303,15 @@ func TestGalenaLearnsCardinalities(t *testing.T) {
 	// Decide d := true; propagation falsifies q and r, driving the PB
 	// constraint's slack to −2 before its own occurrence walk runs.
 	e.trailAt = append(e.trailAt, len(e.trail))
-	e.enqueue(lit(4), reasonRef{})
-	confCl, confPc := e.propagate()
-	if confPc == nil {
-		t.Fatalf("expected a PB conflict, got clause=%v", confCl)
+	e.enqueue(lit(4), noReason)
+	confl := e.propagate()
+	if confl.pc == nil {
+		t.Fatalf("expected a PB conflict, got %+v", confl)
 	}
-	learnt, bt := e.analyze(confCl, confPc)
+	learnt, bt, lbd := e.analyze(confl)
 	e.cancelUntil(bt)
-	e.record(learnt)
-	e.learnCardinality(confPc)
+	e.record(learnt, lbd)
+	e.learnCardinality(confl.pc)
 	if e.stats.LearntCards != 1 {
 		t.Fatalf("LearntCards = %d, want 1", e.stats.LearntCards)
 	}
@@ -336,21 +336,6 @@ func TestCardinalityBound(t *testing.T) {
 	c.bound = 3
 	if r := cardinalityBound(c); r != 1 {
 		t.Fatalf("cardinalityBound = %d, want 1", r)
-	}
-}
-
-func TestLubyAndMedianHelpers(t *testing.T) {
-	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
-	for i, w := range want {
-		if got := luby(int64(i + 1)); got != w {
-			t.Fatalf("luby(%d) = %d, want %d", i+1, got, w)
-		}
-	}
-	if m := quickMedian([]float64{5, 1, 4, 2, 3}); m != 3 {
-		t.Fatalf("median = %v", m)
-	}
-	if m := quickMedian(nil); m != 0 {
-		t.Fatalf("median of empty = %v", m)
 	}
 }
 

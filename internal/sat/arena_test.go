@@ -1,0 +1,159 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/solverutil"
+)
+
+// checkWellFormed validates the solver's arena-backed invariants: no freed
+// clause is referenced, every long clause is watched on exactly its first
+// two literals, every watcher's blocker belongs to its clause, and every
+// assigned variable's clause reason has the implied literal in slot 0.
+func checkWellFormed(t *testing.T, s *Solver) {
+	t.Helper()
+	watchCount := map[solverutil.CRef]int{}
+	for wl := range s.db.Watches {
+		for _, w := range s.db.Watches[wl] {
+			if s.db.Arena.Freed(w.CRef) {
+				t.Fatalf("watch list %d references freed clause %d", wl, w.CRef)
+			}
+			lits := s.db.Arena.Lits(w.CRef)
+			// This list holds clauses watching the complement of wl.
+			if lits[0]^1 != uint32(wl) && lits[1]^1 != uint32(wl) {
+				t.Fatalf("clause %d watched on literal not in its first two slots", w.CRef)
+			}
+			blockerFound := false
+			for _, u := range lits {
+				if u == w.Blocker {
+					blockerFound = true
+					break
+				}
+			}
+			if !blockerFound {
+				t.Fatalf("clause %d blocker %d not in clause", w.CRef, w.Blocker)
+			}
+			watchCount[w.CRef]++
+		}
+	}
+	for _, c := range append(append([]solverutil.CRef(nil), s.db.Clauses...), s.db.Learnts...) {
+		if s.db.Arena.Freed(c) {
+			t.Fatalf("clause list references freed clause %d", c)
+		}
+		if watchCount[c] != 2 {
+			t.Fatalf("clause %d watched %d times, want 2", c, watchCount[c])
+		}
+	}
+	for _, c := range s.db.Learnts {
+		if !s.db.Arena.Learnt(c) {
+			t.Fatalf("learnt list holds non-learnt clause %d", c)
+		}
+	}
+	for v := 1; v <= s.nVars; v++ {
+		rc := s.reasonCl[v]
+		if rc == solverutil.CRefUndef {
+			continue
+		}
+		if s.assign[v] == lUndef {
+			t.Fatalf("unassigned var %d has a reason clause", v)
+		}
+		if s.db.Arena.Freed(rc) {
+			t.Fatalf("var %d reason is a freed clause", v)
+		}
+		if int(s.db.Arena.Lits(rc)[0]>>1) != v {
+			t.Fatalf("var %d reason clause does not imply it first", v)
+		}
+	}
+}
+
+// TestReduceGCCycleKeepsInvariants forces frequent LBD reductions (and with
+// them arena compactions) during a hard UNSAT proof and checks that the
+// proof still lands, i.e. reasons and watch lists stayed valid across every
+// reduce+GC cycle mid-search. A broken remap would flip the verdict or trip
+// the reason-invariant panics in analyze.
+func TestReduceGCCycleKeepsInvariants(t *testing.T) {
+	f := pigeonhole(8, 7)
+	s := New(f, Options{ReduceInterval: 30})
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("status = %v, want UNSAT", st)
+	}
+	st := s.Stats()
+	if st.Reduces == 0 {
+		t.Fatalf("expected learnt-DB reductions, got stats %+v", st)
+	}
+	if st.Removed == 0 {
+		t.Fatal("reductions removed no clauses")
+	}
+	if st.ArenaGCs == 0 {
+		t.Fatalf("expected arena compactions, got stats %+v", st)
+	}
+	checkWellFormed(t, s)
+}
+
+// TestGCDirectRemap drives garbageCollect by hand against a live clause
+// database and checks every reference survives the remap.
+func TestGCDirectRemap(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := randomCNF(rng, 30, 120, 3)
+	s := New(f, Options{MaxConflicts: 40})
+	s.Solve() // Unknown or solved; either way learnts may exist
+	before := len(s.db.Clauses)
+	// Free nothing: GC with zero waste must still remap consistently.
+	s.garbageCollect()
+	checkWellFormed(t, s)
+	if len(s.db.Clauses) != before {
+		t.Fatalf("GC changed clause count %d -> %d", before, len(s.db.Clauses))
+	}
+	// Now delete half the learnts via reduceDB and compact again.
+	s.reduceDB()
+	s.garbageCollect()
+	checkWellFormed(t, s)
+	// The solver must still answer correctly after both compactions.
+	s2 := New(f, Options{})
+	want := s2.Solve()
+	s.opts.MaxConflicts = 0
+	if got := s.Solve(); got != want {
+		t.Fatalf("after GC: %v, fresh solver: %v", got, want)
+	}
+}
+
+// TestComputeLBD pins the literal-blocks-distance definition: the number of
+// distinct nonzero decision levels among the clause's literals.
+func TestComputeLBD(t *testing.T) {
+	s := NewEmpty(6, Options{})
+	copy(s.level, []int{0, 1, 1, 2, 3, 3, 0})
+	all := []cnf.Lit{lit(1), nlit(2), lit(3), lit(4), nlit(5), lit(6)}
+	if got := s.computeLBD(all); got != 3 {
+		t.Fatalf("LBD = %d, want 3 (levels {1,2,3})", got)
+	}
+	if got := s.computeLBD([]cnf.Lit{lit(6)}); got != 1 {
+		t.Fatalf("LBD of all-level-0 clause = %d, want floor 1", got)
+	}
+	// Consecutive calls must not leak stamps across generations.
+	if got := s.computeLBD([]cnf.Lit{lit(1), nlit(2)}); got != 1 {
+		t.Fatalf("LBD = %d, want 1 (both at level 1)", got)
+	}
+	if got := s.computeLBD([]cnf.Lit{lit(1), lit(3)}); got != 2 {
+		t.Fatalf("LBD = %d, want 2", got)
+	}
+}
+
+// TestLBDStoredOnLearnts checks that long learnt clauses carry an LBD in
+// the arena header after a solve.
+func TestLBDStoredOnLearnts(t *testing.T) {
+	f := pigeonhole(7, 6)
+	s := New(f, Options{})
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("status = %v", st)
+	}
+	if len(s.db.Learnts) == 0 {
+		t.Skip("no long learnt clauses retained")
+	}
+	for _, c := range s.db.Learnts {
+		if s.db.Arena.LBD(c) == 0 {
+			t.Fatalf("learnt clause %d has LBD 0", c)
+		}
+	}
+}

@@ -49,6 +49,31 @@ func TestSolveAssumingImpliedAssumption(t *testing.T) {
 	}
 }
 
+// TestSolveAssumingRepeatedAssumptions pins a regression: assumptions that
+// repeat an already-true literal create empty decision levels, so the
+// decision-level count can exceed the variable count. Conflict analysis at
+// such levels must still compute LBDs without running off the per-level
+// stamp array.
+func TestSolveAssumingRepeatedAssumptions(t *testing.T) {
+	// UNSAT over {x2, x3}; x1 is free and only consumed by assumptions.
+	f := cnf.NewFormula(3)
+	f.AddClause(lit(2), lit(3))
+	f.AddClause(lit(2), nlit(3))
+	f.AddClause(nlit(2), lit(3))
+	f.AddClause(nlit(2), nlit(3))
+	s := New(f, Options{})
+	// x1 assigns at level 1; the repeats create five empty levels, so the
+	// first decision — and the conflict analysis it triggers — happens at a
+	// decision level greater than NumVars.
+	a := []cnf.Lit{lit(1), lit(1), lit(1), lit(1), lit(1), lit(1)}
+	if st := s.SolveAssuming(a); st != Unsat {
+		t.Fatalf("{x2,x3} clauses are contradictory: %v", st)
+	}
+	if st := s.Solve(); st != Unsat {
+		t.Fatal("formula is UNSAT regardless of assumptions")
+	}
+}
+
 // TestSolveAssumingAgainstBruteForce cross-checks assumption solving on
 // random formulas: SolveAssuming(A) must equal satisfiability of F ∧ A.
 func TestSolveAssumingAgainstBruteForce(t *testing.T) {

@@ -2,7 +2,14 @@
 // solver in the lineage the paper builds on (GRASP, Chaff/zChaff): watched
 // literal Boolean constraint propagation, first-UIP conflict analysis with
 // clause learning, VSIDS-style decision heuristics, phase saving, Luby
-// restarts, and activity-based learnt-clause deletion.
+// restarts, and Glucose-style LBD-driven learnt-clause deletion.
+//
+// The clause database is a flat arena (internal/solverutil): clauses are
+// int32 offsets into one shared []uint32 store, watch lists are slices of
+// {clause, blocker} structs, and binary clauses are propagated inline from
+// dedicated binary watch lists without touching the arena at all. This is
+// the cache-friendly memory layout of the Glucose/MiniSat-2.2 lineage, in
+// place of the pointer-per-clause layout of the original ports.
 //
 // The solver is used directly for the K-coloring decision variant and is
 // the algorithmic core that internal/pbsolver extends with pseudo-Boolean
@@ -15,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/cnf"
+	"repro/internal/solverutil"
 )
 
 // Status is the outcome of a Solve call.
@@ -55,6 +63,27 @@ type Options struct {
 	VarDecay float64
 	// RestartBase is the Luby restart unit in conflicts; 0 selects 100.
 	RestartBase int64
+	// GlueLBD is the LBD at or below which learnt clauses are never
+	// deleted ("glue" clauses, Audemard & Simon 2009); 0 selects 2.
+	GlueLBD int
+	// ReduceInterval is the conflict count between learnt-database
+	// reductions (the interval grows by ReduceInterval/8 after each
+	// reduction); 0 selects 2000.
+	ReduceInterval int64
+}
+
+func (o Options) glueLBD() int {
+	if o.GlueLBD == 0 {
+		return solverutil.DefaultGlueLBD
+	}
+	return o.GlueLBD
+}
+
+func (o Options) reduceInterval() int64 {
+	if o.ReduceInterval == 0 {
+		return solverutil.DefaultReduceInterval
+	}
+	return o.ReduceInterval
 }
 
 // Stats counts search work, mirroring the counters SAT papers report.
@@ -64,6 +93,9 @@ type Stats struct {
 	Conflicts    int64
 	Restarts     int64
 	Learnts      int64
+	Reduces      int64 // learnt-database reductions
+	Removed      int64 // learnt clauses deleted by reductions
+	ArenaGCs     int64 // arena compactions
 	MaxDepth     int
 }
 
@@ -75,49 +107,52 @@ const (
 	lFalse
 )
 
-type clause struct {
-	lits     []cnf.Lit
-	learnt   bool
-	activity float64
+// conflict identifies the clause that falsified the trail: an arena
+// reference, or an inline binary clause (a ∨ b) when cref is CRefUndef.
+type conflict struct {
+	cref solverutil.CRef
+	a, b cnf.Lit
 }
+
+var noConflict = conflict{cref: solverutil.CRefUndef}
+
+func (c conflict) isConflict() bool { return c.cref != solverutil.CRefUndef || c.a != 0 }
 
 // Solver is a CDCL SAT solver over variables 1..NumVars.
 type Solver struct {
 	opts Options
 
-	nVars   int
-	clauses []*clause
-	learnts []*clause
-	watches [][]*clause // indexed by literal index (2 per var)
+	nVars int
+	db    solverutil.ClauseDB
+	nBin  int // problem binary clauses (in the binary watch lists only)
 
-	assign  []lbool // by variable
-	level   []int
-	reason  []*clause
-	trail   []cnf.Lit
-	trailAt []int // decision-level boundaries in trail
-	qhead   int
+	assign    []lbool // by variable
+	level     []int
+	reasonCl  []solverutil.CRef // implying clause, or CRefUndef
+	reasonBin []cnf.Lit         // other literal of an implying binary clause, or 0
+	trail     []cnf.Lit
+	trailAt   []int // decision-level boundaries in trail
+	qhead     int
 
 	activity []float64
 	varInc   float64
 	varDecay float64
-	order    varHeap
+	order    solverutil.VarHeap
 	phase    []bool
 
 	claInc   float64
 	seen     []bool
+	lbdStamp []int64 // per decision level, for LBD counting
+	lbdGen   int64
 	unsatNow bool // empty clause present
 
-	stats Stats
-}
+	// Reusable conflict-analysis buffers (analyze is the second-hottest
+	// path after propagate; none of these may be retained by callers).
+	learntBuf  []cnf.Lit
+	scratchBuf []cnf.Lit
+	cleanupBuf []int
 
-// litIdx maps a literal to the watch-list index: positive literal of v is
-// 2v, negative is 2v+1.
-func litIdx(l cnf.Lit) int {
-	v := l.Var()
-	if l.Sign() {
-		return 2 * v
-	}
-	return 2*v + 1
+	stats Stats
 }
 
 // New builds a solver from a CNF formula. The formula is not modified.
@@ -142,11 +177,13 @@ func NewEmpty(n int, opts Options) *Solver {
 	// watches use two slots per variable including the dummy pair.
 	s.assign = []lbool{lUndef}
 	s.level = []int{0}
-	s.reason = []*clause{nil}
+	s.reasonCl = []solverutil.CRef{solverutil.CRefUndef}
+	s.reasonBin = []cnf.Lit{0}
 	s.activity = []float64{0}
 	s.phase = []bool{false}
 	s.seen = []bool{false}
-	s.watches = [][]*clause{nil, nil}
+	s.lbdStamp = []int64{0}
+	s.db.Init()
 	s.growTo(n)
 	return s
 }
@@ -156,15 +193,17 @@ func (s *Solver) growTo(n int) {
 		s.nVars++
 		s.assign = append(s.assign, lUndef)
 		s.level = append(s.level, 0)
-		s.reason = append(s.reason, nil)
+		s.reasonCl = append(s.reasonCl, solverutil.CRefUndef)
+		s.reasonBin = append(s.reasonBin, 0)
 		s.activity = append(s.activity, 0)
 		s.phase = append(s.phase, false)
 		s.seen = append(s.seen, false)
-		s.watches = append(s.watches, nil, nil)
+		s.lbdStamp = append(s.lbdStamp, 0)
+		s.db.GrowVar()
 	}
 	// Rebuild the order heap lazily at Solve time; for incremental adds,
 	// push new vars now.
-	s.order.ensure(s.nVars, s.activity)
+	s.order.Ensure(s.nVars, s.activity)
 }
 
 // NumVars returns the number of variables known to the solver.
@@ -180,6 +219,18 @@ func (s *Solver) value(l cnf.Lit) lbool {
 		return lUndef
 	}
 	if l.Sign() == (a == lTrue) {
+		return lTrue
+	}
+	return lFalse
+}
+
+// valueEnc is value for an encoded literal (hot path).
+func (s *Solver) valueEnc(u uint32) lbool {
+	a := s.assign[u>>1]
+	if a == lUndef {
+		return lUndef
+	}
+	if (u&1 == 0) == (a == lTrue) {
 		return lTrue
 	}
 	return lFalse
@@ -215,38 +266,42 @@ func (s *Solver) AddClause(lits ...cnf.Lit) bool {
 		s.unsatNow = true
 		return false
 	case 1:
-		if !s.enqueue(kept[0], nil) {
+		if !s.enqueue(kept[0], solverutil.CRefUndef, 0) {
 			s.unsatNow = true
 			return false
 		}
-		if s.propagate() != nil {
+		if s.propagate().isConflict() {
 			s.unsatNow = true
 			return false
 		}
 		return true
+	case 2:
+		s.db.AttachBinary(kept[0], kept[1])
+		s.nBin++
+		return true
 	}
-	c := &clause{lits: append([]cnf.Lit(nil), kept...)}
-	s.clauses = append(s.clauses, c)
-	s.watch(c)
+	c := s.db.Arena.Alloc(kept, false)
+	s.db.Clauses = append(s.db.Clauses, c)
+	s.db.Attach(c)
 	return true
 }
 
-func (s *Solver) watch(c *clause) {
-	// Watch the first two literals.
-	i0, i1 := litIdx(c.lits[0].Neg()), litIdx(c.lits[1].Neg())
-	s.watches[i0] = append(s.watches[i0], c)
-	s.watches[i1] = append(s.watches[i1], c)
-}
-
-// enqueue assigns literal l with the given reason clause. Returns false on
-// an immediate conflict with the existing assignment.
-func (s *Solver) enqueue(l cnf.Lit, from *clause) bool {
+// enqueue assigns literal l with the given reason (arena clause, binary
+// other-literal, or neither). Returns false on an immediate conflict with
+// the existing assignment.
+func (s *Solver) enqueue(l cnf.Lit, fromCl solverutil.CRef, fromBin cnf.Lit) bool {
 	switch s.value(l) {
 	case lTrue:
 		return true
 	case lFalse:
 		return false
 	}
+	s.uncheckedEnqueue(l, fromCl, fromBin)
+	return true
+}
+
+// uncheckedEnqueue assigns a literal known to be unassigned.
+func (s *Solver) uncheckedEnqueue(l cnf.Lit, fromCl solverutil.CRef, fromBin cnf.Lit) {
 	v := l.Var()
 	if l.Sign() {
 		s.assign[v] = lTrue
@@ -255,95 +310,148 @@ func (s *Solver) enqueue(l cnf.Lit, from *clause) bool {
 	}
 	s.phase[v] = l.Sign()
 	s.level[v] = s.decisionLevel()
-	s.reason[v] = from
+	s.reasonCl[v] = fromCl
+	s.reasonBin[v] = fromBin
 	s.trail = append(s.trail, l)
-	return true
 }
 
 func (s *Solver) decisionLevel() int { return len(s.trailAt) }
 
-// propagate performs watched-literal BCP. Returns the conflicting clause or
-// nil.
-func (s *Solver) propagate() *clause {
+// propagate performs watched-literal BCP: binary clauses inline from the
+// binary watch lists, longer clauses through blocker-carrying watchers over
+// the arena. Returns the conflicting clause (noConflict if none).
+func (s *Solver) propagate() conflict {
 	for s.qhead < len(s.trail) {
 		l := s.trail[s.qhead]
 		s.qhead++
 		s.stats.Propagations++
-		wl := litIdx(l) // clauses watching ¬(assigned literal true) i.e. watching l's falsified side
-		ws := s.watches[wl]
-		kept := ws[:0]
-		var confl *clause
-		for wi := 0; wi < len(ws); wi++ {
-			c := ws[wi]
-			if confl != nil {
-				kept = append(kept, c)
+		wl := solverutil.EncodeLit(l)
+		falsified := l.Neg()
+
+		// Inline binary propagation: no arena access at all.
+		for _, imp := range s.db.BinWatches[wl] {
+			switch s.valueEnc(imp) {
+			case lFalse:
+				s.qhead = len(s.trail)
+				return conflict{cref: solverutil.CRefUndef, a: falsified, b: solverutil.DecodeLit(imp)}
+			case lUndef:
+				s.uncheckedEnqueue(solverutil.DecodeLit(imp), solverutil.CRefUndef, falsified)
+			}
+		}
+
+		// Long clauses: two-watched-literal scan with blockers.
+		ws := s.db.Watches[wl]
+		fEnc := solverutil.EncodeLit(falsified)
+		i, j := 0, 0
+		for i < len(ws) {
+			w := ws[i]
+			if s.valueEnc(w.Blocker) == lTrue {
+				ws[j] = w
+				i++
+				j++
 				continue
 			}
+			c := w.CRef
+			lits := s.db.Arena.Lits(c)
 			// Ensure the falsified literal is lits[1].
-			falsified := l.Neg()
-			if c.lits[0] == falsified {
-				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			if lits[0] == fEnc {
+				lits[0], lits[1] = lits[1], lits[0]
 			}
-			// If lits[0] is true, the clause is satisfied.
-			if s.value(c.lits[0]) == lTrue {
-				kept = append(kept, c)
+			first := lits[0]
+			nw := solverutil.Watcher{CRef: c, Blocker: first}
+			// If the other watched literal is true, the clause is satisfied.
+			if first != w.Blocker && s.valueEnc(first) == lTrue {
+				ws[j] = nw
+				i++
+				j++
 				continue
 			}
 			// Look for a new literal to watch.
 			moved := false
-			for k := 2; k < len(c.lits); k++ {
-				if s.value(c.lits[k]) != lFalse {
-					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					ni := litIdx(c.lits[1].Neg())
-					s.watches[ni] = append(s.watches[ni], c)
+			for k := 2; k < len(lits); k++ {
+				if s.valueEnc(lits[k]) != lFalse {
+					lits[1], lits[k] = lits[k], lits[1]
+					s.db.Watches[lits[1]^1] = append(s.db.Watches[lits[1]^1], nw)
 					moved = true
 					break
 				}
 			}
+			i++
 			if moved {
 				continue // watch moved elsewhere; drop from this list
 			}
 			// Unit or conflicting.
-			kept = append(kept, c)
-			if !s.enqueue(c.lits[0], c) {
-				confl = c
+			ws[j] = nw
+			j++
+			if s.valueEnc(first) == lFalse {
+				// Conflict: flush the remaining watchers and bail out.
+				for ; i < len(ws); i++ {
+					ws[j] = ws[i]
+					j++
+				}
+				s.db.Watches[wl] = ws[:j]
+				s.qhead = len(s.trail)
+				return conflict{cref: c}
 			}
+			s.uncheckedEnqueue(solverutil.DecodeLit(first), c, 0)
 		}
-		s.watches[wl] = kept
-		if confl != nil {
-			return confl
-		}
+		s.db.Watches[wl] = ws[:j]
 	}
-	return nil
+	return noConflict
+}
+
+// conflictLits appends the conflict clause's literals to out.
+func (s *Solver) conflictLits(confl conflict, out []cnf.Lit) []cnf.Lit {
+	if confl.cref != solverutil.CRefUndef {
+		if s.db.Arena.Learnt(confl.cref) {
+			s.bumpClause(confl.cref)
+		}
+		for _, u := range s.db.Arena.Lits(confl.cref) {
+			out = append(out, solverutil.DecodeLit(u))
+		}
+		return out
+	}
+	return append(out, confl.a, confl.b)
+}
+
+// reasonLits appends the literals v's assignment was implied from
+// (excluding the implied literal itself) to out.
+func (s *Solver) reasonLits(v int, out []cnf.Lit) []cnf.Lit {
+	if rc := s.reasonCl[v]; rc != solverutil.CRefUndef {
+		if s.db.Arena.Learnt(rc) {
+			s.bumpClause(rc)
+		}
+		lits := s.db.Arena.Lits(rc)
+		// The implied literal of a reason clause is always lits[0]: enqueue
+		// is only ever called with the unit/asserting literal in front, and
+		// propagation never reorders a clause whose lits[0] is true.
+		if lits[0]>>1 != uint32(v) {
+			panic("sat: reason clause invariant violated")
+		}
+		for _, u := range lits[1:] {
+			out = append(out, solverutil.DecodeLit(u))
+		}
+		return out
+	}
+	if rb := s.reasonBin[v]; rb != 0 {
+		return append(out, rb)
+	}
+	panic("sat: missing reason during analysis")
 }
 
 // analyze performs first-UIP conflict analysis, returning the learnt clause
-// (with the asserting literal first) and the backtrack level.
-func (s *Solver) analyze(confl *clause) ([]cnf.Lit, int) {
-	learnt := []cnf.Lit{0} // slot 0 reserved for the asserting literal
+// (with the asserting literal first), the backtrack level, and the LBD of
+// the learnt clause. The returned slice is a reusable buffer, valid until
+// the next analyze call.
+func (s *Solver) analyze(confl conflict) ([]cnf.Lit, int, int) {
+	learnt := append(s.learntBuf[:0], 0) // slot 0 reserved for the asserting literal
+	cleanup := s.cleanupBuf[:0]
 	counter := 0
 	var p cnf.Lit
 	idx := len(s.trail) - 1
-	cleanup := []int{}
 
-	reasonLits := func(c *clause, skipFirst bool) []cnf.Lit {
-		if skipFirst {
-			return c.lits[1:]
-		}
-		return c.lits
-	}
-
-	first := true
+	lits := s.conflictLits(confl, s.scratchBuf[:0])
 	for {
-		var lits []cnf.Lit
-		if first {
-			lits = reasonLits(confl, false)
-		} else {
-			lits = reasonLits(confl, true)
-		}
-		if confl.learnt {
-			s.bumpClause(confl)
-		}
 		for _, q := range lits {
 			v := q.Var()
 			if s.seen[v] || s.level[v] == 0 {
@@ -366,25 +474,16 @@ func (s *Solver) analyze(confl *clause) ([]cnf.Lit, int) {
 		idx--
 		s.seen[p.Var()] = false
 		counter--
-		first = false
 		if counter == 0 {
 			break
 		}
-		confl = s.reason[p.Var()]
-		if confl == nil {
-			panic("sat: missing reason during analysis")
-		}
-		// The implied literal of a reason clause is always lits[0]: enqueue
-		// is only ever called with the unit/asserting literal in front, and
-		// propagation never reorders a clause whose lits[0] is true.
-		if confl.lits[0].Var() != p.Var() {
-			panic("sat: reason clause invariant violated")
-		}
+		lits = s.reasonLits(p.Var(), lits[:0])
 	}
 	learnt[0] = p.Neg()
+	s.scratchBuf = lits[:0]
 
 	// Conflict-clause minimization: drop literals implied by the rest.
-	learnt = s.minimize(learnt, cleanup)
+	learnt = s.minimize(learnt)
 
 	// Compute backtrack level: the second-highest level in the clause.
 	btLevel := 0
@@ -398,41 +497,67 @@ func (s *Solver) analyze(confl *clause) ([]cnf.Lit, int) {
 		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
 		btLevel = s.level[learnt[1].Var()]
 	}
+	lbd := s.computeLBD(learnt)
 	for _, v := range cleanup {
 		s.seen[v] = false
 	}
-	return learnt, btLevel
+	s.learntBuf = learnt
+	s.cleanupBuf = cleanup[:0]
+	return learnt, btLevel, lbd
 }
 
 // minimize removes learnt-clause literals whose reason clauses are fully
-// subsumed by the remaining marked literals (local minimization).
-func (s *Solver) minimize(learnt []cnf.Lit, marked []int) []cnf.Lit {
-	markedSet := make(map[int]bool, len(marked))
-	for _, l := range learnt[1:] {
-		markedSet[l.Var()] = true
-	}
+// subsumed by the remaining marked literals (local minimization). At call
+// time seen[v] is true exactly for the variables of learnt[1:].
+func (s *Solver) minimize(learnt []cnf.Lit) []cnf.Lit {
 	out := learnt[:1]
 	for _, l := range learnt[1:] {
-		r := s.reason[l.Var()]
-		if r == nil {
-			out = append(out, l)
-			continue
-		}
-		redundant := true
-		for _, q := range r.lits {
-			if q.Var() == l.Var() {
-				continue
+		v := l.Var()
+		redundant := false
+		if rc := s.reasonCl[v]; rc != solverutil.CRefUndef {
+			redundant = true
+			for _, u := range s.db.Arena.Lits(rc) {
+				qv := int(u >> 1)
+				if qv == v {
+					continue
+				}
+				if s.level[qv] != 0 && !s.seen[qv] {
+					redundant = false
+					break
+				}
 			}
-			if s.level[q.Var()] != 0 && !markedSet[q.Var()] {
-				redundant = false
-				break
-			}
+		} else if rb := s.reasonBin[v]; rb != 0 {
+			qv := rb.Var()
+			redundant = s.level[qv] == 0 || s.seen[qv]
 		}
 		if !redundant {
 			out = append(out, l)
 		}
 	}
 	return out
+}
+
+// computeLBD returns the number of distinct decision levels among the
+// literals (Audemard & Simon's literal-blocks distance).
+func (s *Solver) computeLBD(lits []cnf.Lit) int {
+	s.lbdGen++
+	n := 0
+	for _, l := range lits {
+		lv := s.level[l.Var()]
+		// Empty assumption levels can push decision levels past nVars, the
+		// stamp array's default size.
+		for lv >= len(s.lbdStamp) {
+			s.lbdStamp = append(s.lbdStamp, 0)
+		}
+		if lv > 0 && s.lbdStamp[lv] != s.lbdGen {
+			s.lbdStamp[lv] = s.lbdGen
+			n++
+		}
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
 }
 
 func (s *Solver) bumpVar(v int) {
@@ -443,14 +568,15 @@ func (s *Solver) bumpVar(v int) {
 		}
 		s.varInc *= 1e-100
 	}
-	s.order.update(v, s.activity)
+	s.order.Update(v, s.activity)
 }
 
-func (s *Solver) bumpClause(c *clause) {
-	c.activity += s.claInc
-	if c.activity > 1e20 {
-		for _, lc := range s.learnts {
-			lc.activity *= 1e-20
+func (s *Solver) bumpClause(c solverutil.CRef) {
+	act := s.db.Arena.Activity(c) + float32(s.claInc)
+	s.db.Arena.SetActivity(c, act)
+	if act > 1e20 {
+		for _, lc := range s.db.Learnts {
+			s.db.Arena.SetActivity(lc, s.db.Arena.Activity(lc)*1e-20)
 		}
 		s.claInc *= 1e-20
 	}
@@ -470,8 +596,9 @@ func (s *Solver) cancelUntil(level int) {
 	for i := len(s.trail) - 1; i >= bound; i-- {
 		v := s.trail[i].Var()
 		s.assign[v] = lUndef
-		s.reason[v] = nil
-		s.order.push(v, s.activity)
+		s.reasonCl[v] = solverutil.CRefUndef
+		s.reasonBin[v] = 0
+		s.order.Push(v, s.activity)
 	}
 	s.trail = s.trail[:bound]
 	s.trailAt = s.trailAt[:level]
@@ -481,7 +608,7 @@ func (s *Solver) cancelUntil(level int) {
 // pickBranchVar selects the unassigned variable with the highest activity.
 func (s *Solver) pickBranchVar() int {
 	for {
-		v := s.order.pop(s.activity)
+		v := s.order.Pop(s.activity)
 		if v == 0 {
 			return 0
 		}
@@ -492,106 +619,57 @@ func (s *Solver) pickBranchVar() int {
 }
 
 // record attaches a learnt clause and enqueues its asserting literal.
-func (s *Solver) record(lits []cnf.Lit) {
-	c := &clause{lits: append([]cnf.Lit(nil), lits...), learnt: true}
-	if len(lits) > 1 {
-		s.learnts = append(s.learnts, c)
-		s.watch(c)
+func (s *Solver) record(lits []cnf.Lit, lbd int) {
+	switch len(lits) {
+	case 1:
+		s.uncheckedEnqueue(lits[0], solverutil.CRefUndef, 0)
+	case 2:
+		s.db.AttachBinary(lits[0], lits[1])
+		s.stats.Learnts++
+		s.uncheckedEnqueue(lits[0], solverutil.CRefUndef, lits[1])
+	default:
+		c := s.db.Arena.Alloc(lits, true)
+		s.db.Arena.SetLBD(c, lbd)
+		s.db.Learnts = append(s.db.Learnts, c)
+		s.db.Attach(c)
 		s.bumpClause(c)
 		s.stats.Learnts++
+		s.uncheckedEnqueue(lits[0], c, 0)
 	}
-	s.enqueue(lits[0], c)
 }
 
-// reduceDB removes the lower half of learnt clauses by activity, keeping
-// binary clauses and current reasons.
+// locked reports whether the clause is the reason of its first literal's
+// current assignment (and must therefore survive reduction and GC).
+func (s *Solver) locked(c solverutil.CRef) bool {
+	v := int(s.db.Arena.Lits(c)[0] >> 1)
+	return s.reasonCl[v] == c && s.assign[v] != lUndef
+}
+
+// reduceDB runs one LBD-based learnt-database reduction, compacting the
+// arena when freed clauses waste more than a quarter of it.
 func (s *Solver) reduceDB() {
-	if len(s.learnts) < 100 {
+	removed := s.db.Reduce(s.opts.glueLBD(), s.locked)
+	if removed == 0 {
 		return
 	}
-	// Partial selection: compute median activity cheaply.
-	acts := make([]float64, len(s.learnts))
-	for i, c := range s.learnts {
-		acts[i] = c.activity
-	}
-	med := quickMedian(acts)
-	inUse := make(map[*clause]bool)
-	for _, r := range s.reason {
-		if r != nil {
-			inUse[r] = true
-		}
-	}
-	kept := s.learnts[:0]
-	for _, c := range s.learnts {
-		if len(c.lits) <= 2 || inUse[c] || c.activity >= med {
-			kept = append(kept, c)
-			continue
-		}
-		s.unwatch(c)
-	}
-	s.learnts = kept
-}
-
-func (s *Solver) unwatch(c *clause) {
-	for _, l := range []cnf.Lit{c.lits[0], c.lits[1]} {
-		wl := litIdx(l.Neg())
-		ws := s.watches[wl]
-		for i, wc := range ws {
-			if wc == c {
-				ws[i] = ws[len(ws)-1]
-				s.watches[wl] = ws[:len(ws)-1]
-				break
-			}
-		}
+	s.stats.Reduces++
+	s.stats.Removed += int64(removed)
+	if s.db.NeedsGC() {
+		s.garbageCollect()
 	}
 }
 
-func quickMedian(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	// Insertion-free approximate median: average of min, max and mean is
-	// too crude; use nth_element-style partial sort on a copy.
-	cp := append([]float64(nil), xs...)
-	k := len(cp) / 2
-	lo, hi := 0, len(cp)-1
-	for lo < hi {
-		pivot := cp[(lo+hi)/2]
-		i, j := lo, hi
-		for i <= j {
-			for cp[i] < pivot {
-				i++
-			}
-			for cp[j] > pivot {
-				j--
-			}
-			if i <= j {
-				cp[i], cp[j] = cp[j], cp[i]
-				i++
-				j--
+// garbageCollect compacts the arena, remapping every live clause reference
+// (clause lists, watchers, reasons).
+func (s *Solver) garbageCollect() {
+	s.db.GC(func(reloc func(solverutil.CRef) solverutil.CRef) {
+		for v := 1; v <= s.nVars; v++ {
+			if s.assign[v] != lUndef && s.reasonCl[v] != solverutil.CRefUndef {
+				s.reasonCl[v] = reloc(s.reasonCl[v])
 			}
 		}
-		if k <= j {
-			hi = j
-		} else if k >= i {
-			lo = i
-		} else {
-			break
-		}
-	}
-	return cp[k]
-}
-
-// luby returns the i-th element (1-based) of the Luby restart sequence.
-func luby(i int64) int64 {
-	for k := int64(1); ; k++ {
-		if i == (int64(1)<<uint(k))-1 {
-			return int64(1) << uint(k-1)
-		}
-		if i >= int64(1)<<uint(k-1) && i < (int64(1)<<uint(k))-1 {
-			return luby(i - (int64(1) << uint(k-1)) + 1)
-		}
-	}
+	})
+	s.stats.ArenaGCs++
 }
 
 // Solve runs the CDCL search. It returns Sat, Unsat, or Unknown when the
@@ -628,15 +706,17 @@ func (s *Solver) SolveAssuming(assumptions []cnf.Lit) Status {
 		}
 	}
 	s.cancelUntil(0)
-	if s.propagate() != nil {
+	if s.propagate().isConflict() {
 		s.unsatNow = true
 		return Unsat
 	}
-	s.order.rebuild(s.nVars, s.activity)
+	s.order.Rebuild(s.nVars, s.activity)
 
 	restartNum := int64(1)
 	conflictsAtRestart := s.stats.Conflicts
-	restartLimit := luby(restartNum) * s.opts.RestartBase
+	restartLimit := solverutil.Luby(restartNum) * s.opts.RestartBase
+	reduceInterval := s.opts.reduceInterval()
+	nextReduce := s.stats.Conflicts + reduceInterval
 	checkBudget := 0
 
 	for {
@@ -651,29 +731,31 @@ func (s *Solver) SolveAssuming(assumptions []cnf.Lit) Status {
 			}
 		}
 		confl := s.propagate()
-		if confl != nil {
+		if confl.isConflict() {
 			s.stats.Conflicts++
 			if s.decisionLevel() == 0 {
 				s.unsatNow = true
 				return Unsat
 			}
-			learnt, btLevel := s.analyze(confl)
+			learnt, btLevel, lbd := s.analyze(confl)
 			s.cancelUntil(btLevel)
-			s.record(learnt)
+			s.record(learnt, lbd)
 			s.decayActivities()
 			if s.opts.MaxConflicts > 0 && s.stats.Conflicts >= s.opts.MaxConflicts {
 				s.cancelUntil(0)
 				return Unknown
 			}
+			if s.stats.Conflicts >= nextReduce {
+				s.reduceDB()
+				reduceInterval += s.opts.reduceInterval() / 8
+				nextReduce = s.stats.Conflicts + reduceInterval
+			}
 			if s.stats.Conflicts-conflictsAtRestart >= restartLimit {
 				s.stats.Restarts++
 				restartNum++
 				conflictsAtRestart = s.stats.Conflicts
-				restartLimit = luby(restartNum) * s.opts.RestartBase
+				restartLimit = solverutil.Luby(restartNum) * s.opts.RestartBase
 				s.cancelUntil(0)
-				if len(s.learnts) > 4000+int(s.stats.Conflicts/10) {
-					s.reduceDB()
-				}
 			}
 			continue
 		}
@@ -689,7 +771,7 @@ func (s *Solver) SolveAssuming(assumptions []cnf.Lit) Status {
 				s.trailAt = append(s.trailAt, len(s.trail)) // empty level
 			default:
 				s.trailAt = append(s.trailAt, len(s.trail))
-				s.enqueue(a, nil)
+				s.uncheckedEnqueue(a, solverutil.CRefUndef, 0)
 			}
 			continue
 		}
@@ -708,7 +790,7 @@ func (s *Solver) SolveAssuming(assumptions []cnf.Lit) Status {
 		} else {
 			l = cnf.NegLit(v)
 		}
-		s.enqueue(l, nil)
+		s.uncheckedEnqueue(l, solverutil.CRefUndef, 0)
 	}
 }
 
@@ -724,5 +806,5 @@ func (s *Solver) Model() cnf.Assignment {
 
 func (s *Solver) String() string {
 	return fmt.Sprintf("sat.Solver{vars=%d clauses=%d learnts=%d conflicts=%d}",
-		s.nVars, len(s.clauses), len(s.learnts), s.stats.Conflicts)
+		s.nVars, len(s.db.Clauses)+s.nBin, len(s.db.Learnts), s.stats.Conflicts)
 }

@@ -282,63 +282,32 @@ func TestGrowToNewVariables(t *testing.T) {
 	}
 }
 
-func TestLuby(t *testing.T) {
-	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
-	for i, w := range want {
-		if got := luby(int64(i + 1)); got != w {
-			t.Fatalf("luby(%d) = %d, want %d", i+1, got, w)
+// TestBinaryClausePropagation pins the inline binary-clause BCP path: a
+// chain of binary implications propagates end to end, and a binary conflict
+// is analyzed like any other (heap/Luby/median helpers now live in
+// internal/solverutil with their own tests).
+func TestBinaryClausePropagation(t *testing.T) {
+	s := NewEmpty(5, Options{})
+	// 1 ⇒ 2 ⇒ 3 ⇒ 4 ⇒ 5 as binary clauses, then assert 1.
+	for v := 1; v < 5; v++ {
+		s.AddClause(nlit(v), lit(v+1))
+	}
+	s.AddClause(lit(1))
+	if s.Solve() != Sat {
+		t.Fatal("want SAT")
+	}
+	m := s.Model()
+	for v := 1; v <= 5; v++ {
+		if !m[v] {
+			t.Fatalf("x%d should be forced true by the binary chain", v)
 		}
 	}
-}
-
-func TestQuickMedian(t *testing.T) {
-	xs := []float64{5, 1, 4, 2, 3}
-	if m := quickMedian(xs); m != 3 {
-		t.Fatalf("median = %v, want 3", m)
+	// Add 5 ⇒ ¬1: now the chain is contradictory with x1.
+	if s.AddClause(nlit(5), nlit(1)) {
+		t.Fatal("binary conflict at level 0 should report UNSAT")
 	}
-	if m := quickMedian(nil); m != 0 {
-		t.Fatalf("median of empty = %v", m)
-	}
-}
-
-func TestVarHeapOrdering(t *testing.T) {
-	act := []float64{0, 5, 1, 9, 3}
-	var h varHeap
-	h.rebuild(4, act)
-	got := []int{}
-	for !h.empty() {
-		got = append(got, h.pop(act))
-	}
-	want := []int{3, 1, 4, 2}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("heap order = %v, want %v", got, want)
-		}
-	}
-}
-
-func TestVarHeapUpdateAndPush(t *testing.T) {
-	act := []float64{0, 1, 2, 3}
-	var h varHeap
-	h.rebuild(3, act)
-	v := h.pop(act) // 3
-	if v != 3 {
-		t.Fatalf("pop = %d", v)
-	}
-	act[1] = 10
-	h.update(1, act)
-	if got := h.pop(act); got != 1 {
-		t.Fatalf("after update pop = %d, want 1", got)
-	}
-	h.push(3, act)
-	h.push(3, act) // duplicate push ignored
-	cnt := 0
-	for !h.empty() {
-		h.pop(act)
-		cnt++
-	}
-	if cnt != 2 { // vars 2 and 3
-		t.Fatalf("heap size = %d, want 2", cnt)
+	if s.Solve() != Unsat {
+		t.Fatal("want UNSAT")
 	}
 }
 

@@ -1,0 +1,182 @@
+package solverutil
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cnf"
+)
+
+// CRef is a clause reference: the word offset of the clause header inside an
+// Arena. CRefUndef marks "no clause".
+type CRef int32
+
+// CRefUndef is the nil clause reference.
+const CRefUndef CRef = -1
+
+// EncodeLit maps a literal to its dense uint32 code: positive literal of v
+// is 2v, negative is 2v+1. The code doubles as the watch-list index, and the
+// code of the complementary literal is code^1.
+func EncodeLit(l cnf.Lit) uint32 {
+	v := l.Var()
+	if l.Sign() {
+		return uint32(2 * v)
+	}
+	return uint32(2*v + 1)
+}
+
+// DecodeLit inverts EncodeLit.
+func DecodeLit(u uint32) cnf.Lit {
+	if u&1 == 0 {
+		return cnf.PosLit(int(u >> 1))
+	}
+	return cnf.NegLit(int(u >> 1))
+}
+
+// Watcher is one watch-list entry: the watched clause plus a blocker
+// literal (the clause's other watched literal, encoded). When the blocker
+// is already true the clause is satisfied and propagation skips it without
+// touching the arena — the cache-locality trick watched-literal solvers in
+// the Glucose lineage rely on.
+type Watcher struct {
+	CRef    CRef
+	Blocker uint32 // encoded literal
+}
+
+// Clause layout inside the store: one header word (size, learnt/reloc/free
+// flags, LBD), one activity word (float32 bits; reused as the forwarding
+// address during GC), then the literals, one encoded literal per word.
+const (
+	hdrWords = 2
+
+	sizeBits = 20
+	sizeMask = 1<<sizeBits - 1
+
+	learntBit = 1 << 20
+	relocBit  = 1 << 21
+	freeBit   = 1 << 22
+
+	lbdShift = 23
+	// MaxLBD is the largest storable LBD; larger values saturate. Reduction
+	// policies only compare LBDs near the glue cutoff, so saturation is
+	// harmless.
+	MaxLBD = 1<<(32-lbdShift) - 1
+)
+
+// Arena is a flat clause store: clauses are spans of uint32 words addressed
+// by CRef, so the clause database is one allocation and watch lists carry
+// int32 offsets instead of pointers. Detached clauses are marked free and
+// their space is reclaimed by an explicit GC pass (BeginGC/Reloc/FinishGC).
+//
+// An Arena must not be shared between solver instances; each engine owns
+// exactly one.
+type Arena struct {
+	store  []uint32
+	wasted int // words occupied by freed clauses
+}
+
+// Alloc appends a clause and returns its reference. Clauses of size < 2 are
+// rejected (units live on the trail, binaries in the binary watch lists).
+func (a *Arena) Alloc(lits []cnf.Lit, learnt bool) CRef {
+	if len(lits) < 2 || len(lits) > sizeMask {
+		panic(fmt.Sprintf("solverutil: clause size %d out of arena range", len(lits)))
+	}
+	c := CRef(len(a.store))
+	hdr := uint32(len(lits))
+	if learnt {
+		hdr |= learntBit
+	}
+	a.store = append(a.store, hdr, 0)
+	for _, l := range lits {
+		a.store = append(a.store, EncodeLit(l))
+	}
+	return c
+}
+
+// Len returns the number of words in use (including freed clauses).
+func (a *Arena) Len() int { return len(a.store) }
+
+// Wasted returns the number of words held by freed clauses.
+func (a *Arena) Wasted() int { return a.wasted }
+
+// Size returns the clause's literal count.
+func (a *Arena) Size(c CRef) int { return int(a.store[c] & sizeMask) }
+
+// Learnt reports whether the clause was learnt.
+func (a *Arena) Learnt(c CRef) bool { return a.store[c]&learntBit != 0 }
+
+// Freed reports whether the clause has been freed.
+func (a *Arena) Freed(c CRef) bool { return a.store[c]&freeBit != 0 }
+
+// LBD returns the clause's literal-blocks-distance score.
+func (a *Arena) LBD(c CRef) int { return int(a.store[c] >> lbdShift) }
+
+// SetLBD stores the clause's LBD, saturating at MaxLBD.
+func (a *Arena) SetLBD(c CRef, lbd int) {
+	if lbd > MaxLBD {
+		lbd = MaxLBD
+	}
+	a.store[c] = a.store[c]&(1<<lbdShift-1) | uint32(lbd)<<lbdShift
+}
+
+// Activity returns the clause's bump activity.
+func (a *Arena) Activity(c CRef) float32 {
+	return math.Float32frombits(a.store[c+1])
+}
+
+// SetActivity stores the clause's bump activity.
+func (a *Arena) SetActivity(c CRef, act float32) {
+	a.store[c+1] = math.Float32bits(act)
+}
+
+// Lits returns the clause's encoded literals as a mutable view into the
+// store. The view is invalidated by Alloc and GC.
+func (a *Arena) Lits(c CRef) []uint32 {
+	n := int(a.store[c] & sizeMask)
+	return a.store[int(c)+hdrWords : int(c)+hdrWords+n : int(c)+hdrWords+n]
+}
+
+// Lit returns the i-th literal of the clause, decoded.
+func (a *Arena) Lit(c CRef, i int) cnf.Lit {
+	return DecodeLit(a.store[int(c)+hdrWords+i])
+}
+
+// Free marks the clause detached; its words are reclaimed at the next GC.
+func (a *Arena) Free(c CRef) {
+	if a.store[c]&freeBit != 0 {
+		return
+	}
+	a.store[c] |= freeBit
+	a.wasted += hdrWords + a.Size(c)
+}
+
+// BeginGC starts a compaction pass, returning the destination arena sized
+// for the live clauses. The caller relocates every live reference with
+// Reloc and then installs the destination with FinishGC.
+func (a *Arena) BeginGC() *Arena {
+	return &Arena{store: make([]uint32, 0, len(a.store)-a.wasted)}
+}
+
+// Reloc moves clause c into the destination arena (once — later calls
+// return the forwarding address) and returns its new reference.
+func (a *Arena) Reloc(to *Arena, c CRef) CRef {
+	hdr := a.store[c]
+	if hdr&relocBit != 0 {
+		return CRef(a.store[c+1])
+	}
+	if hdr&freeBit != 0 {
+		panic("solverutil: relocating a freed clause")
+	}
+	n := int(hdr & sizeMask)
+	nc := CRef(len(to.store))
+	to.store = append(to.store, a.store[int(c):int(c)+hdrWords+n]...)
+	a.store[c] = hdr | relocBit
+	a.store[c+1] = uint32(nc)
+	return nc
+}
+
+// FinishGC replaces the arena's contents with the compacted destination.
+func (a *Arena) FinishGC(to *Arena) {
+	a.store = to.store
+	a.wasted = 0
+}

@@ -1,0 +1,175 @@
+package solverutil
+
+import (
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+func lits(vs ...int) []cnf.Lit {
+	out := make([]cnf.Lit, len(vs))
+	for i, v := range vs {
+		out[i] = cnf.Lit(v)
+	}
+	return out
+}
+
+func TestEncodeDecodeLit(t *testing.T) {
+	for _, l := range lits(1, -1, 7, -7, 123456, -123456) {
+		if got := DecodeLit(EncodeLit(l)); got != l {
+			t.Fatalf("roundtrip %v -> %v", l, got)
+		}
+	}
+	if EncodeLit(cnf.PosLit(3)) != 6 || EncodeLit(cnf.NegLit(3)) != 7 {
+		t.Fatalf("encoding convention changed: +3=%d -3=%d",
+			EncodeLit(cnf.PosLit(3)), EncodeLit(cnf.NegLit(3)))
+	}
+	// Complement is always code^1 (the watch-index identity BCP relies on).
+	for _, l := range lits(5, -5, 9) {
+		if EncodeLit(l.Neg()) != EncodeLit(l)^1 {
+			t.Fatalf("complement of %v is not code^1", l)
+		}
+	}
+}
+
+func TestArenaAllocAndAccessors(t *testing.T) {
+	var a Arena
+	c1 := a.Alloc(lits(1, -2, 3), false)
+	c2 := a.Alloc(lits(-4, 5, 6, -7), true)
+
+	if a.Size(c1) != 3 || a.Size(c2) != 4 {
+		t.Fatalf("sizes: %d %d", a.Size(c1), a.Size(c2))
+	}
+	if a.Learnt(c1) || !a.Learnt(c2) {
+		t.Fatalf("learnt flags: %v %v", a.Learnt(c1), a.Learnt(c2))
+	}
+	if a.Lit(c1, 1) != cnf.NegLit(2) || a.Lit(c2, 3) != cnf.NegLit(7) {
+		t.Fatalf("lits: %v %v", a.Lit(c1, 1), a.Lit(c2, 3))
+	}
+	a.SetLBD(c2, 3)
+	if a.LBD(c2) != 3 {
+		t.Fatalf("LBD = %d, want 3", a.LBD(c2))
+	}
+	if a.Size(c2) != 4 || !a.Learnt(c2) {
+		t.Fatal("SetLBD clobbered size or learnt flag")
+	}
+	a.SetLBD(c2, MaxLBD+100)
+	if a.LBD(c2) != MaxLBD {
+		t.Fatalf("LBD should saturate at %d, got %d", MaxLBD, a.LBD(c2))
+	}
+	a.SetActivity(c1, 2.5)
+	if a.Activity(c1) != 2.5 {
+		t.Fatalf("activity = %v", a.Activity(c1))
+	}
+	// Literal views are mutable and shared with the store.
+	v := a.Lits(c1)
+	v[0], v[2] = v[2], v[0]
+	if a.Lit(c1, 0) != cnf.PosLit(3) {
+		t.Fatalf("swap through view not visible: %v", a.Lit(c1, 0))
+	}
+}
+
+func TestArenaFreeAndGC(t *testing.T) {
+	var a Arena
+	c1 := a.Alloc(lits(1, 2, 3), false)
+	c2 := a.Alloc(lits(4, 5, 6), true)
+	c3 := a.Alloc(lits(-1, -2, -3, -4), true)
+	a.SetLBD(c3, 5)
+	a.SetActivity(c3, 1.5)
+
+	a.Free(c2)
+	a.Free(c2) // double free is a no-op
+	if a.Wasted() != 2+3 {
+		t.Fatalf("wasted = %d, want 5", a.Wasted())
+	}
+
+	to := a.BeginGC()
+	n1 := a.Reloc(to, c1)
+	n3 := a.Reloc(to, c3)
+	if again := a.Reloc(to, c3); again != n3 {
+		t.Fatalf("second Reloc returned %d, want forwarding %d", again, n3)
+	}
+	a.FinishGC(to)
+
+	if a.Wasted() != 0 {
+		t.Fatalf("wasted after GC = %d", a.Wasted())
+	}
+	if a.Len() != (2+3)+(2+4) {
+		t.Fatalf("len after GC = %d", a.Len())
+	}
+	if a.Size(n1) != 3 || a.Learnt(n1) {
+		t.Fatal("c1 corrupted by GC")
+	}
+	if a.Size(n3) != 4 || !a.Learnt(n3) || a.LBD(n3) != 5 || a.Activity(n3) != 1.5 {
+		t.Fatalf("c3 metadata lost: size=%d learnt=%v lbd=%d act=%v",
+			a.Size(n3), a.Learnt(n3), a.LBD(n3), a.Activity(n3))
+	}
+	for i, want := range lits(-1, -2, -3, -4) {
+		if a.Lit(n3, i) != want {
+			t.Fatalf("c3 literal %d = %v, want %v", i, a.Lit(n3, i), want)
+		}
+	}
+}
+
+func TestArenaRelocFreedPanics(t *testing.T) {
+	var a Arena
+	c := a.Alloc(lits(1, 2, 3), true)
+	a.Free(c)
+	to := a.BeginGC()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("relocating a freed clause should panic")
+		}
+	}()
+	a.Reloc(to, c)
+}
+
+func TestVarHeapOrdering(t *testing.T) {
+	act := []float64{0, 5, 1, 9, 3}
+	var h VarHeap
+	h.Rebuild(4, act)
+	got := []int{}
+	for !h.Empty() {
+		got = append(got, h.Pop(act))
+	}
+	want := []int{3, 1, 4, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("heap order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestVarHeapUpdateAndPush(t *testing.T) {
+	act := []float64{0, 1, 2, 3}
+	var h VarHeap
+	h.Rebuild(3, act)
+	v := h.Pop(act) // 3
+	if v != 3 {
+		t.Fatalf("pop = %d", v)
+	}
+	act[1] = 10
+	h.Update(1, act)
+	if got := h.Pop(act); got != 1 {
+		t.Fatalf("after update pop = %d, want 1", got)
+	}
+	h.Push(3, act)
+	h.Push(3, act) // duplicate push ignored
+	cnt := 0
+	for !h.Empty() {
+		h.Pop(act)
+		cnt++
+	}
+	if cnt != 2 { // vars 2 and 3
+		t.Fatalf("heap size = %d, want 2", cnt)
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := Luby(int64(i + 1)); got != w {
+			t.Fatalf("Luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-baseline bench-compare fmt vet
+.PHONY: build test race fuzz bench bench-baseline bench-compare fmt vet
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# fuzz runs each native fuzz target briefly against the committed seed
+# corpora (the CI smoke configuration; raise FUZZTIME for a longer hunt).
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzSATSolve$$' -fuzztime $(FUZZTIME) ./internal/sat
+	$(GO) test -run '^$$' -fuzz '^FuzzCanonicalForm$$' -fuzztime $(FUZZTIME) ./internal/autom
 
 fmt:
 	gofmt -l -w .

@@ -52,6 +52,9 @@ func main() {
 	glueLBD := flag.Int("glue-lbd", 0, "LBD at or below which learnt clauses are kept forever (0 = default 2)")
 	reduceInterval := flag.Int64("reduce-interval", 0, "conflicts between learnt-database reductions (0 = default 2000)")
 	restartBase := flag.Int64("restart-base", 0, "Luby restart unit in conflicts (0 = engine default)")
+	chrono := flag.Int("chrono", 0, "chronological backtracking threshold in levels (0 = disabled)")
+	vivify := flag.Int64("vivify", 0, "clause-vivification propagation budget per restart (0 = disabled)")
+	dynamicLBD := flag.Bool("dynamic-lbd", false, "recompute learnt-clause LBDs during conflict analysis")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -96,6 +99,8 @@ func main() {
 	spec := service.JobSpec{
 		K: *k, SBP: kind, Engine: eng, Portfolio: *portfolio,
 		InstanceDependent: *instDep, Timeout: *timeout,
+		ChronoThreshold: *chrono, VivifyBudget: *vivify, DynamicLBD: *dynamicLBD,
+		GlueLBD: *glueLBD, ReduceInterval: *reduceInterval, RestartBase: *restartBase,
 	}
 
 	if *batch != "" {
@@ -131,6 +136,7 @@ func main() {
 		K: *k, SBP: kind, InstanceDependent: *instDep,
 		Engine: eng, Portfolio: *portfolio, Timeout: *timeout,
 		GlueLBD: *glueLBD, ReduceInterval: *reduceInterval, RestartBase: *restartBase,
+		ChronoThreshold: *chrono, VivifyBudget: *vivify, DynamicLBD: *dynamicLBD,
 	})
 	fmt.Printf("encoding: %d vars, %d clauses, %d PB constraints (SBP=%v)\n",
 		out.EncodeStats.Vars, out.EncodeStats.CNF, out.EncodeStats.PB, kind)
@@ -154,6 +160,9 @@ func main() {
 	default:
 		fmt.Printf("UNKNOWN: budget exhausted with no solution\n")
 	}
+	st := out.Result.Stats
+	fmt.Printf("search: %d decisions, %d restarts, %d chrono backtracks, %d vivified lits, %d LBD updates\n",
+		st.Decisions, st.Restarts, st.ChronoBacktracks, st.VivifiedLits, st.LBDUpdates)
 	if *showColoring && out.Coloring != nil {
 		fmt.Println("coloring:", out.Coloring)
 	}

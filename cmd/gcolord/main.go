@@ -98,6 +98,15 @@ type jobRequest struct {
 	Portfolio         bool   `json:"portfolio,omitempty"`
 	InstanceDependent bool   `json:"instance_dependent,omitempty"`
 	Timeout           string `json:"timeout,omitempty"`
+
+	// Per-job solver search knobs (see service.JobSpec); all optional and
+	// excluded from the isomorphism result cache's key.
+	ChronoThreshold int   `json:"chrono_threshold,omitempty"`
+	VivifyBudget    int64 `json:"vivify_budget,omitempty"`
+	DynamicLBD      bool  `json:"dynamic_lbd,omitempty"`
+	GlueLBD         int   `json:"glue_lbd,omitempty"`
+	ReduceInterval  int64 `json:"reduce_interval,omitempty"`
+	RestartBase     int64 `json:"restart_base,omitempty"`
 }
 
 func (r *jobRequest) graph() (*graph.Graph, error) {
@@ -148,6 +157,9 @@ func (r *jobRequest) spec() (service.JobSpec, error) {
 	spec = service.JobSpec{
 		K: r.K, SBP: kind, Engine: eng,
 		Portfolio: r.Portfolio, InstanceDependent: r.InstanceDependent,
+		ChronoThreshold: r.ChronoThreshold, VivifyBudget: r.VivifyBudget,
+		DynamicLBD: r.DynamicLBD,
+		GlueLBD:    r.GlueLBD, ReduceInterval: r.ReduceInterval, RestartBase: r.RestartBase,
 	}
 	if r.Timeout != "" {
 		d, err := time.ParseDuration(r.Timeout)

@@ -1,0 +1,79 @@
+package autom
+
+import (
+	"bytes"
+	"testing"
+)
+
+// graphFromFuzz decodes fuzz input into a small graph plus a permutation
+// of its vertices, deterministically. Byte 0 picks the vertex count; the
+// following n*(n-1)/2 bits (MSB-first across bytes) select edges; the
+// remaining bytes drive Fisher-Yates swaps for the permutation.
+func graphFromFuzz(data []byte) (*Graph, Perm, bool) {
+	if len(data) < 2 {
+		return nil, nil, false
+	}
+	n := 2 + int(data[0]%10)
+	g := NewGraph(n)
+	bit := 0
+	rest := data[1:]
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			byteIdx := bit / 8
+			if byteIdx < len(rest) && rest[byteIdx]&(1<<(7-bit%8)) != 0 {
+				g.AddEdge(a, b)
+			}
+			bit++
+		}
+	}
+	perm := Identity(n)
+	permBytes := rest
+	if bit/8+1 < len(rest) {
+		permBytes = rest[bit/8+1:]
+	}
+	for i, b := range permBytes {
+		j := i % n
+		k := int(b) % n
+		perm[j], perm[k] = perm[k], perm[j]
+	}
+	return g, perm, true
+}
+
+// FuzzCanonicalForm checks the canonical-labeling invariant the service's
+// isomorphism cache depends on: relabeling a graph by any permutation must
+// canonicalize to the identical encoding, and the reported Perm must be a
+// valid permutation.
+func FuzzCanonicalForm(f *testing.F) {
+	f.Add([]byte{3, 0xFF, 1, 2})
+	f.Add([]byte{5, 0xA5, 0x5A, 3, 1, 4})
+	f.Add([]byte{9, 0x12, 0x34, 0x56, 0x78, 0x9A, 7, 2, 5, 0, 1})
+	f.Add([]byte{2, 0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, perm, ok := graphFromFuzz(data)
+		if !ok {
+			return
+		}
+		// Graphs with many interchangeable vertices (e.g. isolated ones)
+		// can exhaust even a generous node budget; the cache-consistency
+		// invariant is only promised for exact searches, so truncated
+		// ones are skipped (their Perm must still be valid, below).
+		opts := CanonicalOptions{MaxNodes: 2_000_000}
+		c1 := CanonicalForm(g, opts)
+		h := relabel(g, perm)
+		c2 := CanonicalForm(h, opts)
+		if c1.Exact && c2.Exact {
+			if !bytes.Equal(c1.Bytes, c2.Bytes) || c1.Hash != c2.Hash {
+				t.Fatalf("isomorphic graphs canonicalized differently (n=%d, perm=%v)", g.N(), perm)
+			}
+		}
+		for _, c := range []*Canonical{c1, c2} {
+			seen := make([]bool, g.N())
+			for _, p := range c.Perm {
+				if p < 0 || p >= g.N() || seen[p] {
+					t.Fatalf("canonical Perm %v is not a permutation of %d vertices", c.Perm, g.N())
+				}
+				seen[p] = true
+			}
+		}
+	})
+}

@@ -57,6 +57,17 @@ type Config struct {
 	// RestartBase overrides the Luby restart unit in conflicts (0 = engine
 	// default: 100, or 50 for Pueblo).
 	RestartBase int64
+	// ChronoThreshold enables chronological backtracking: backjumps that
+	// would undo more than this many levels retreat a single level
+	// instead (0 = disabled, always backjump).
+	ChronoThreshold int
+	// VivifyBudget enables clause vivification at restarts, spending up
+	// to this many propagations per restart shrinking long clauses whose
+	// suffix is implied (0 = disabled).
+	VivifyBudget int64
+	// DynamicLBD recomputes learnt-clause LBDs during conflict analysis,
+	// re-tiering glue clauses as the search evolves.
+	DynamicLBD bool
 	// SymMaxNodes and SymTimeout bound symmetry detection.
 	SymMaxNodes int64
 	SymTimeout  time.Duration
@@ -135,6 +146,9 @@ func Solve(ctx context.Context, g *graph.Graph, cfg Config) Outcome {
 		GlueLBD:             cfg.GlueLBD,
 		ReduceInterval:      cfg.ReduceInterval,
 		RestartBaseOverride: cfg.RestartBase,
+		ChronoThreshold:     cfg.ChronoThreshold,
+		VivifyBudget:        cfg.VivifyBudget,
+		DynamicLBD:          cfg.DynamicLBD,
 	}
 	if cfg.Portfolio {
 		pres := pbsolver.PortfolioSolve(ctx, enc.F, pbsolver.PortfolioOptions{Base: sOpts})

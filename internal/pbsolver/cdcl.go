@@ -49,14 +49,20 @@ type cdclEngine struct {
 
 	claInc   float64
 	seen     []bool
-	lbdStamp []int64
-	lbdGen   int64
+	lbd      solverutil.LBDCounter
 	unsatNow bool
 
 	// Reusable conflict-analysis buffers (never retained by callers).
 	learntBuf  []cnf.Lit
 	scratchBuf []cnf.Lit
 	cleanupBuf []int
+
+	// Vivification cursors: where the next restart's pass resumes in the
+	// problem and learnt clause lists (round-robin under the budget).
+	vivHeadCl int
+	vivHeadLt int
+	vivBuf    []cnf.Lit
+	probing   bool // vivification probe in progress: don't save phases
 
 	stats Stats
 }
@@ -118,7 +124,6 @@ func newCDCL(opts Options) *cdclEngine {
 	e.activity = []float64{0}
 	e.phase = []bool{false}
 	e.seen = []bool{false}
-	e.lbdStamp = []int64{0}
 	e.db.Init()
 	e.occ = [][]occRef{nil, nil}
 	return e
@@ -136,7 +141,6 @@ func (e *cdclEngine) growTo(n int) {
 		e.activity = append(e.activity, 0)
 		e.phase = append(e.phase, false)
 		e.seen = append(e.seen, false)
-		e.lbdStamp = append(e.lbdStamp, 0)
 		e.db.GrowVar()
 		e.occ = append(e.occ, nil, nil)
 	}
@@ -302,7 +306,11 @@ func (e *cdclEngine) uncheckedEnqueue(l cnf.Lit, from reasonRef) {
 	} else {
 		e.assign[v] = lFalse
 	}
-	e.phase[v] = l.Sign()
+	if !e.probing {
+		// Vivification's artificial probe assignments must not overwrite
+		// polarities saved from the real search trajectory.
+		e.phase[v] = l.Sign()
+	}
 	e.level[v] = e.decisionLevel()
 	e.reasonCl[v] = from.cl
 	e.reasonBin[v] = from.bin
@@ -449,6 +457,7 @@ func (e *cdclEngine) conflictLits(confl conflict, out []cnf.Lit) []cnf.Lit {
 	case confl.cref != solverutil.CRefUndef:
 		if e.db.Arena.Learnt(confl.cref) {
 			e.bumpClause(confl.cref)
+			e.updateLBD(confl.cref)
 		}
 		for _, u := range e.db.Arena.Lits(confl.cref) {
 			out = append(out, solverutil.DecodeLit(u))
@@ -472,6 +481,7 @@ func (e *cdclEngine) reasonLits(v int, out []cnf.Lit) []cnf.Lit {
 	if rc := e.reasonCl[v]; rc != solverutil.CRefUndef {
 		if e.db.Arena.Learnt(rc) {
 			e.bumpClause(rc)
+			e.updateLBD(rc)
 		}
 		lits := e.db.Arena.Lits(rc)
 		if lits[0]>>1 != uint32(v) {
@@ -565,22 +575,20 @@ func (e *cdclEngine) analyze(confl conflict) ([]cnf.Lit, int, int) {
 // computeLBD returns the number of distinct decision levels among the
 // literals (Audemard & Simon's literal-blocks distance).
 func (e *cdclEngine) computeLBD(lits []cnf.Lit) int {
-	e.lbdGen++
-	n := 0
-	for _, l := range lits {
-		lv := e.level[l.Var()]
-		for lv >= len(e.lbdStamp) {
-			e.lbdStamp = append(e.lbdStamp, 0)
-		}
-		if lv > 0 && e.lbdStamp[lv] != e.lbdGen {
-			e.lbdStamp[lv] = e.lbdGen
-			n++
-		}
+	return e.lbd.CountLits(lits, e.level)
+}
+
+// updateLBD recomputes a learnt clause's LBD against the current level
+// structure and lowers the stored value when it improved (dynamic LBD;
+// no-op unless Options.DynamicLBD is set).
+func (e *cdclEngine) updateLBD(c solverutil.CRef) {
+	if !e.opts.DynamicLBD {
+		return
 	}
-	if n == 0 {
-		n = 1
+	if n := e.lbd.Count(e.db.Arena.Lits(c), e.level); n < e.db.Arena.LBD(c) {
+		e.db.Arena.SetLBD(c, n)
+		e.stats.LBDUpdates++
 	}
-	return n
 }
 
 func (e *cdclEngine) bumpVar(v int) {
@@ -781,6 +789,17 @@ func (e *cdclEngine) solveDecision(budget *budget) Status {
 				return StatusUnsat
 			}
 			learnt, btLevel, lbd := e.analyze(confl)
+			// Chronological backtracking: when the backjump would undo
+			// more than ChronoThreshold levels, retreat one level instead
+			// and assert the learnt clause there (all its other literals
+			// sit at levels ≤ the computed backjump level and stay false).
+			// Simple variant — the literal is recorded at the retreat
+			// level, not its true assertion level; see internal/sat for
+			// the tradeoff.
+			if t := e.opts.ChronoThreshold; t > 0 && btLevel > 0 && e.decisionLevel()-btLevel > t {
+				btLevel = e.decisionLevel() - 1
+				e.stats.ChronoBacktracks++
+			}
 			e.cancelUntil(btLevel)
 			e.record(learnt, lbd)
 			if e.opts.Engine == EngineGalena && confl.pc != nil {
@@ -802,6 +821,10 @@ func (e *cdclEngine) solveDecision(budget *budget) Status {
 				conflictsAtRestart = e.stats.Conflicts
 				restartLimit = solverutil.Luby(restartNum) * e.opts.restartBase()
 				e.cancelUntil(0)
+				if e.opts.VivifyBudget > 0 && !e.vivify(e.opts.VivifyBudget) {
+					e.unsatNow = true
+					return StatusUnsat
+				}
 			}
 			continue
 		}

@@ -125,6 +125,19 @@ type Options struct {
 	// reductions (the interval grows by ReduceInterval/8 after each
 	// reduction); 0 selects 2000.
 	ReduceInterval int64
+	// ChronoThreshold enables chronological backtracking (Nadel & Ryvchin
+	// 2018): when the backjump level is more than this many levels below
+	// the conflict level, backtrack a single level instead and assert the
+	// learnt clause there. 0 disables. Ignored by EngineBnB (which is
+	// chronological by construction).
+	ChronoThreshold int
+	// VivifyBudget enables clause vivification at restarts: up to this
+	// many propagations are spent per restart shrinking long clauses
+	// whose suffix is implied. 0 disables. Ignored by EngineBnB.
+	VivifyBudget int64
+	// DynamicLBD recomputes learnt-clause LBDs during conflict analysis,
+	// re-tiering glue clauses as the search evolves. Ignored by EngineBnB.
+	DynamicLBD bool
 }
 
 func (o Options) varDecay() float64 {
@@ -185,8 +198,16 @@ type Stats struct {
 	Reduces      int64 // learnt-database reductions
 	Removed      int64 // learnt clauses deleted by reductions
 	ArenaGCs     int64 // clause-arena compactions
-	SolverCalls  int64
-	Nodes        int64 // BnB decision nodes
+	// ChronoBacktracks counts conflicts resolved by a one-level
+	// chronological backtrack instead of a full backjump.
+	ChronoBacktracks int64
+	// VivifiedLits counts literals removed from clauses by vivification.
+	VivifiedLits int64
+	// LBDUpdates counts learnt clauses whose LBD improved during dynamic
+	// recomputation.
+	LBDUpdates  int64
+	SolverCalls int64
+	Nodes       int64 // BnB decision nodes
 }
 
 func (s *Stats) add(o Stats) {
@@ -199,6 +220,9 @@ func (s *Stats) add(o Stats) {
 	s.Reduces += o.Reduces
 	s.Removed += o.Removed
 	s.ArenaGCs += o.ArenaGCs
+	s.ChronoBacktracks += o.ChronoBacktracks
+	s.VivifiedLits += o.VivifiedLits
+	s.LBDUpdates += o.LBDUpdates
 	s.Nodes += o.Nodes
 }
 

@@ -1,0 +1,114 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+// vivifyGadget returns a formula whose long clause (a ∨ b ∨ c ∨ d) is
+// shrinkable: the binary clause (a ∨ b) makes the suffix c, d redundant
+// (¬a propagates b, satisfying the long clause at its second literal).
+// Variables are offset so the gadget can ride along any other instance.
+func vivifyGadget(f *cnf.Formula, base int) {
+	a, b, c, d := base+1, base+2, base+3, base+4
+	f.AddClause(lit(a), lit(b))
+	f.AddClause(lit(a), lit(b), lit(c), lit(d))
+}
+
+func TestChronoBacktracksCounted(t *testing.T) {
+	f := pigeonhole(6, 5)
+	s := New(f, Options{ChronoThreshold: 1})
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("PHP(6,5) with chrono = %v, want UNSAT", got)
+	}
+	if s.Stats().ChronoBacktracks == 0 {
+		t.Fatal("ChronoThreshold=1 on PHP(6,5) never backtracked chronologically")
+	}
+}
+
+func TestChronoDisabledByDefault(t *testing.T) {
+	f := pigeonhole(6, 5)
+	s := New(f, Options{})
+	s.Solve()
+	if n := s.Stats().ChronoBacktracks; n != 0 {
+		t.Fatalf("default options produced %d chrono backtracks, want 0", n)
+	}
+}
+
+func TestVivificationShrinksRedundantSuffix(t *testing.T) {
+	f := pigeonhole(5, 4) // conflict-rich so restarts (and passes) happen
+	vivifyGadget(f, f.NumVars)
+	s := New(f, Options{RestartBase: 1, VivifyBudget: 10000})
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("PHP(5,4)+gadget = %v, want UNSAT", got)
+	}
+	if s.Stats().VivifiedLits < 2 {
+		t.Fatalf("VivifiedLits = %d, want >= 2 (gadget suffix c, d is implied redundant)",
+			s.Stats().VivifiedLits)
+	}
+}
+
+func TestDynamicLBDRetiersClauses(t *testing.T) {
+	f := pigeonhole(7, 6)
+	s := New(f, Options{DynamicLBD: true})
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("PHP(7,6) = %v, want UNSAT", got)
+	}
+	if s.Stats().LBDUpdates == 0 {
+		t.Fatal("DynamicLBD on PHP(7,6) never improved a stored LBD")
+	}
+}
+
+// TestKnobsAgreeWithBruteForce cross-checks every knob combination against
+// exhaustive enumeration on random small instances: the knobs steer the
+// search, never the answer.
+func TestKnobsAgreeWithBruteForce(t *testing.T) {
+	knobSets := []Options{
+		{ChronoThreshold: 1},
+		{ChronoThreshold: 3},
+		{VivifyBudget: 500, RestartBase: 1},
+		{DynamicLBD: true},
+		{ChronoThreshold: 1, VivifyBudget: 500, DynamicLBD: true, RestartBase: 1},
+	}
+	rng := rand.New(rand.NewSource(20260726))
+	for iter := 0; iter < 60; iter++ {
+		f := randomCNF(rng, 8+rng.Intn(5), 30+rng.Intn(25), 3)
+		want := bruteForce(f)
+		for ki, opts := range knobSets {
+			s := New(f, opts)
+			got := s.Solve()
+			if (got == Sat) != want || got == Unknown {
+				t.Fatalf("iter %d knobs %d: got %v, brute force says sat=%t", iter, ki, got, want)
+			}
+			if got == Sat && !f.Satisfies(s.Model()) {
+				t.Fatalf("iter %d knobs %d: model does not satisfy the formula", iter, ki)
+			}
+		}
+	}
+}
+
+// TestKnobsWithAssumptions exercises chrono + vivify under the incremental
+// assumption interface (the chromatic-probe path).
+func TestKnobsWithAssumptions(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 25; iter++ {
+		f := randomCNF(rng, 10, 35, 3)
+		s := New(f, Options{ChronoThreshold: 1, VivifyBudget: 200, DynamicLBD: true, RestartBase: 1})
+		a := cnf.PosLit(1 + rng.Intn(10))
+		got := s.SolveAssuming([]cnf.Lit{a})
+		// Reference: brute force on f ∧ a.
+		fa := &cnf.Formula{NumVars: f.NumVars, Clauses: append(append([]cnf.Clause{}, f.Clauses...), cnf.Clause{a})}
+		want := bruteForce(fa)
+		if (got == Sat) != want || got == Unknown {
+			t.Fatalf("iter %d: SolveAssuming(%v) = %v, brute force says sat=%t", iter, a, got, want)
+		}
+		if got == Sat {
+			m := s.Model()
+			if !fa.Satisfies(m) {
+				t.Fatalf("iter %d: assuming model invalid", iter)
+			}
+		}
+	}
+}

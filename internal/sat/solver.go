@@ -70,6 +70,21 @@ type Options struct {
 	// reductions (the interval grows by ReduceInterval/8 after each
 	// reduction); 0 selects 2000.
 	ReduceInterval int64
+	// ChronoThreshold enables chronological backtracking (Nadel & Ryvchin
+	// 2018): when the backjump level is more than this many levels below
+	// the conflict level, backtrack a single level instead and assert the
+	// learnt clause there, keeping the rest of the trail intact. 0
+	// disables (always backjump).
+	ChronoThreshold int
+	// VivifyBudget enables clause vivification at restarts: up to this
+	// many propagations are spent per restart probing long clauses (the
+	// negation of each literal is propagated in turn) and shrinking
+	// clauses whose suffix is implied by the prefix. 0 disables.
+	VivifyBudget int64
+	// DynamicLBD recomputes the LBD of learnt clauses each time they
+	// participate in conflict analysis, re-tiering glue clauses as the
+	// search's level structure evolves (Audemard & Simon's LBD update).
+	DynamicLBD bool
 }
 
 func (o Options) glueLBD() int {
@@ -96,7 +111,15 @@ type Stats struct {
 	Reduces      int64 // learnt-database reductions
 	Removed      int64 // learnt clauses deleted by reductions
 	ArenaGCs     int64 // arena compactions
-	MaxDepth     int
+	// ChronoBacktracks counts conflicts resolved by a one-level
+	// chronological backtrack instead of a full backjump.
+	ChronoBacktracks int64
+	// VivifiedLits counts literals removed from clauses by vivification.
+	VivifiedLits int64
+	// LBDUpdates counts learnt clauses whose LBD improved during dynamic
+	// recomputation.
+	LBDUpdates int64
+	MaxDepth   int
 }
 
 type lbool int8
@@ -142,8 +165,7 @@ type Solver struct {
 
 	claInc   float64
 	seen     []bool
-	lbdStamp []int64 // per decision level, for LBD counting
-	lbdGen   int64
+	lbd      solverutil.LBDCounter
 	unsatNow bool // empty clause present
 
 	// Reusable conflict-analysis buffers (analyze is the second-hottest
@@ -151,6 +173,13 @@ type Solver struct {
 	learntBuf  []cnf.Lit
 	scratchBuf []cnf.Lit
 	cleanupBuf []int
+
+	// Vivification cursors: where the next restart's pass resumes in the
+	// problem and learnt clause lists (round-robin under the budget).
+	vivHeadCl int
+	vivHeadLt int
+	vivBuf    []cnf.Lit
+	probing   bool // vivification probe in progress: don't save phases
 
 	stats Stats
 }
@@ -182,7 +211,6 @@ func NewEmpty(n int, opts Options) *Solver {
 	s.activity = []float64{0}
 	s.phase = []bool{false}
 	s.seen = []bool{false}
-	s.lbdStamp = []int64{0}
 	s.db.Init()
 	s.growTo(n)
 	return s
@@ -198,7 +226,6 @@ func (s *Solver) growTo(n int) {
 		s.activity = append(s.activity, 0)
 		s.phase = append(s.phase, false)
 		s.seen = append(s.seen, false)
-		s.lbdStamp = append(s.lbdStamp, 0)
 		s.db.GrowVar()
 	}
 	// Rebuild the order heap lazily at Solve time; for incremental adds,
@@ -308,7 +335,11 @@ func (s *Solver) uncheckedEnqueue(l cnf.Lit, fromCl solverutil.CRef, fromBin cnf
 	} else {
 		s.assign[v] = lFalse
 	}
-	s.phase[v] = l.Sign()
+	if !s.probing {
+		// Vivification's artificial probe assignments must not overwrite
+		// polarities saved from the real search trajectory.
+		s.phase[v] = l.Sign()
+	}
 	s.level[v] = s.decisionLevel()
 	s.reasonCl[v] = fromCl
 	s.reasonBin[v] = fromBin
@@ -405,6 +436,7 @@ func (s *Solver) conflictLits(confl conflict, out []cnf.Lit) []cnf.Lit {
 	if confl.cref != solverutil.CRefUndef {
 		if s.db.Arena.Learnt(confl.cref) {
 			s.bumpClause(confl.cref)
+			s.updateLBD(confl.cref)
 		}
 		for _, u := range s.db.Arena.Lits(confl.cref) {
 			out = append(out, solverutil.DecodeLit(u))
@@ -420,6 +452,7 @@ func (s *Solver) reasonLits(v int, out []cnf.Lit) []cnf.Lit {
 	if rc := s.reasonCl[v]; rc != solverutil.CRefUndef {
 		if s.db.Arena.Learnt(rc) {
 			s.bumpClause(rc)
+			s.updateLBD(rc)
 		}
 		lits := s.db.Arena.Lits(rc)
 		// The implied literal of a reason clause is always lits[0]: enqueue
@@ -540,24 +573,20 @@ func (s *Solver) minimize(learnt []cnf.Lit) []cnf.Lit {
 // computeLBD returns the number of distinct decision levels among the
 // literals (Audemard & Simon's literal-blocks distance).
 func (s *Solver) computeLBD(lits []cnf.Lit) int {
-	s.lbdGen++
-	n := 0
-	for _, l := range lits {
-		lv := s.level[l.Var()]
-		// Empty assumption levels can push decision levels past nVars, the
-		// stamp array's default size.
-		for lv >= len(s.lbdStamp) {
-			s.lbdStamp = append(s.lbdStamp, 0)
-		}
-		if lv > 0 && s.lbdStamp[lv] != s.lbdGen {
-			s.lbdStamp[lv] = s.lbdGen
-			n++
-		}
+	return s.lbd.CountLits(lits, s.level)
+}
+
+// updateLBD recomputes a learnt clause's LBD against the current level
+// structure and lowers the stored value when it improved (dynamic LBD;
+// no-op unless Options.DynamicLBD is set).
+func (s *Solver) updateLBD(c solverutil.CRef) {
+	if !s.opts.DynamicLBD {
+		return
 	}
-	if n == 0 {
-		n = 1
+	if n := s.lbd.Count(s.db.Arena.Lits(c), s.level); n < s.db.Arena.LBD(c) {
+		s.db.Arena.SetLBD(c, n)
+		s.stats.LBDUpdates++
 	}
-	return n
 }
 
 func (s *Solver) bumpVar(v int) {
@@ -738,6 +767,21 @@ func (s *Solver) SolveAssuming(assumptions []cnf.Lit) Status {
 				return Unsat
 			}
 			learnt, btLevel, lbd := s.analyze(confl)
+			// Chronological backtracking: when the backjump would undo
+			// more than ChronoThreshold levels, retreat one level instead
+			// and assert the learnt clause there. The clause stays
+			// asserting (all literals but learnt[0] are at levels ≤ the
+			// computed backjump level, hence still false), and the rest of
+			// the trail — often unrelated to the conflict — is kept. This
+			// is the simple variant: the literal is recorded at the
+			// retreat level rather than its true assertion level, so a
+			// later backtrack below the retreat level drops the
+			// implication until the watches rediscover it (sound; Nadel &
+			// Ryvchin's out-of-order trail would keep it).
+			if t := s.opts.ChronoThreshold; t > 0 && btLevel > 0 && s.decisionLevel()-btLevel > t {
+				btLevel = s.decisionLevel() - 1
+				s.stats.ChronoBacktracks++
+			}
 			s.cancelUntil(btLevel)
 			s.record(learnt, lbd)
 			s.decayActivities()
@@ -756,6 +800,10 @@ func (s *Solver) SolveAssuming(assumptions []cnf.Lit) Status {
 				conflictsAtRestart = s.stats.Conflicts
 				restartLimit = solverutil.Luby(restartNum) * s.opts.RestartBase
 				s.cancelUntil(0)
+				if s.opts.VivifyBudget > 0 && !s.vivify(s.opts.VivifyBudget) {
+					s.unsatNow = true
+					return Unsat
+				}
 			}
 			continue
 		}

@@ -1,0 +1,153 @@
+package sat
+
+import (
+	"repro/internal/solverutil"
+)
+
+// vivify runs one budgeted vivification pass over the long problem and
+// learnt clauses (Piette, Hamadi & Saïs 2008; the "clause distillation" of
+// Lintao Zhang's lineage). Must be called at decision level 0 with the
+// trail propagated to fixpoint. For each clause (l1 ∨ … ∨ ln) the negated
+// literals are assumed one at a time and propagated:
+//
+//   - a later literal becomes true  → the clause shrinks to prefix ∨ lit
+//     (F ∧ ¬prefix ⊨ lit, so the shorter clause is implied by F alone);
+//   - a later literal becomes false → that literal is redundant and is
+//     dropped (any model violating the shrunk clause would violate F);
+//   - propagation conflicts         → the prefix itself is implied.
+//
+// The pass spends at most budget propagations, resuming at the stored
+// cursors on the next restart. Returns false when the formula was proven
+// unsatisfiable at level 0.
+func (s *Solver) vivify(budget int64) bool {
+	// The restart may fire in the same iteration that enqueued a level-0
+	// asserting literal; reach the fixpoint before probing so that probe
+	// levels never swallow level-0 implications.
+	if s.propagate().isConflict() {
+		return false
+	}
+	s.probing = true
+	defer func() { s.probing = false }()
+	start := s.stats.Propagations
+	for pass := 0; pass < 2; pass++ {
+		list, cur := &s.db.Clauses, &s.vivHeadCl
+		if pass == 1 {
+			list, cur = &s.db.Learnts, &s.vivHeadLt
+		}
+		if *cur >= len(*list) {
+			*cur = 0
+		}
+		for *cur < len(*list) {
+			if s.stats.Propagations-start >= budget {
+				return true
+			}
+			c := (*list)[*cur]
+			if s.locked(c) {
+				*cur++
+				continue
+			}
+			nc, ok := s.vivifyClause(c, pass == 1)
+			if !ok {
+				return false
+			}
+			if nc == solverutil.CRefUndef {
+				// Removed entirely (root-satisfied, or shrunk below the
+				// arena tier): swap-delete and revisit this slot.
+				(*list)[*cur] = (*list)[len(*list)-1]
+				*list = (*list)[:len(*list)-1]
+				continue
+			}
+			(*list)[*cur] = nc
+			*cur++
+		}
+		*cur = 0
+	}
+	if s.db.NeedsGC() {
+		s.garbageCollect()
+	}
+	return true
+}
+
+// vivifyClause probes one clause as described on vivify. It returns the
+// clause's replacement reference (the clause itself when unchanged,
+// CRefUndef when the clause was removed or re-tiered to binary/unit) and
+// reports false when the probe proved the formula unsatisfiable at the
+// root.
+func (s *Solver) vivifyClause(c solverutil.CRef, learnt bool) (solverutil.CRef, bool) {
+	origSize := s.db.Arena.Size(c)
+	// Detach before probing: the clause must not participate in its own
+	// strengthening (self-subsumption through propagation is circular).
+	s.db.Detach(c)
+	out := s.vivBuf[:0]
+	satisfiedAtRoot := false
+probe:
+	for i := 0; i < origSize; i++ {
+		l := solverutil.DecodeLit(s.db.Arena.Lits(c)[i])
+		switch s.value(l) {
+		case lTrue:
+			if s.level[l.Var()] == 0 {
+				satisfiedAtRoot = true
+			} else {
+				// F ∧ ¬prefix ⊨ l: keep prefix ∨ l, drop the rest.
+				out = append(out, l)
+			}
+			break probe
+		case lFalse:
+			continue // root-false or implied-false under ¬prefix: drop
+		}
+		out = append(out, l)
+		if i == origSize-1 {
+			break // last literal: nothing left to shrink
+		}
+		s.trailAt = append(s.trailAt, len(s.trail))
+		s.uncheckedEnqueue(l.Neg(), solverutil.CRefUndef, 0)
+		if s.propagate().isConflict() {
+			break // F ∧ ¬prefix is contradictory: the prefix is implied
+		}
+	}
+	s.cancelUntil(0)
+	s.vivBuf = out
+	if satisfiedAtRoot {
+		s.db.Arena.Free(c)
+		return solverutil.CRefUndef, true
+	}
+	if len(out) == origSize {
+		s.db.Attach(c)
+		return c, true
+	}
+	s.stats.VivifiedLits += int64(origSize - len(out))
+	switch len(out) {
+	case 0:
+		// Every literal was false at level 0: the clause (and so the
+		// formula) is unsatisfiable.
+		s.db.Arena.Free(c)
+		return solverutil.CRefUndef, false
+	case 1:
+		s.db.Arena.Free(c)
+		if !s.enqueue(out[0], solverutil.CRefUndef, 0) || s.propagate().isConflict() {
+			return solverutil.CRefUndef, false
+		}
+		return solverutil.CRefUndef, true
+	case 2:
+		s.db.AttachBinary(out[0], out[1])
+		if !learnt {
+			s.nBin++
+		}
+		s.db.Arena.Free(c)
+		return solverutil.CRefUndef, true
+	default:
+		lbd := s.db.Arena.LBD(c)
+		act := s.db.Arena.Activity(c)
+		nc := s.db.Arena.Alloc(out, learnt)
+		if learnt {
+			if lbd > len(out)-1 {
+				lbd = len(out) - 1
+			}
+			s.db.Arena.SetLBD(nc, lbd)
+			s.db.Arena.SetActivity(nc, act)
+		}
+		s.db.Arena.Free(c)
+		s.db.Attach(nc)
+		return nc, true
+	}
+}

@@ -14,7 +14,11 @@ import (
 // changes the answer or its provenance) plus the canonical-form hash.
 // Equal canonical encodings imply isomorphic graphs even when the
 // canonical search was truncated, so keying on the hash is always sound;
-// truncation only costs dedup opportunities.
+// truncation only costs dedup opportunities. Timeout and all six tuning
+// knobs (ChronoThreshold, VivifyBudget, DynamicLBD, GlueLBD,
+// ReduceInterval, RestartBase) are deliberately left out: they change how
+// fast a definitive answer is reached, never which answer, so differently
+// tuned submissions safely share entries.
 func cacheKey(spec JobSpec, canon *autom.Canonical) string {
 	return fmt.Sprintf("k=%d sbp=%d eng=%d pf=%t id=%t %x",
 		spec.K, spec.SBP, spec.Engine, spec.Portfolio, spec.InstanceDependent,
@@ -35,6 +39,9 @@ type entry struct {
 	hasWinner bool
 	runtime   time.Duration
 	conflicts int64
+	chrono    int64
+	vivified  int64
+	lbdUpd    int64
 }
 
 func newEntry() *entry { return &entry{done: make(chan struct{})} }
@@ -56,6 +63,9 @@ func (e *entry) publish(out core.Outcome, spec JobSpec, canon *autom.Canonical, 
 	e.chi = out.Chi
 	e.runtime = out.Result.Runtime
 	e.conflicts = out.Result.Stats.Conflicts
+	e.chrono = out.Result.Stats.ChronoBacktracks
+	e.vivified = out.Result.Stats.VivifiedLits
+	e.lbdUpd = out.Result.Stats.LBDUpdates
 	if spec.Portfolio {
 		e.winner = out.Winner
 		e.hasWinner = solved || out.Result.Status == pbsolver.StatusSat
@@ -82,13 +92,16 @@ func (e *entry) materialize(g *graph.Graph, canon *autom.Canonical) *Result {
 		return nil
 	}
 	res := &Result{
-		Status:     e.status,
-		Solved:     e.solved,
-		Chi:        e.chi,
-		Runtime:    e.runtime,
-		Conflicts:  e.conflicts,
-		CacheHit:   true,
-		CanonExact: canon.Exact,
+		Status:           e.status,
+		Solved:           e.solved,
+		Chi:              e.chi,
+		Runtime:          e.runtime,
+		Conflicts:        e.conflicts,
+		ChronoBacktracks: e.chrono,
+		VivifiedLits:     e.vivified,
+		LBDUpdates:       e.lbdUpd,
+		CacheHit:         true,
+		CanonExact:       canon.Exact,
 	}
 	if e.hasWinner {
 		res.Winner = e.winner.String()

@@ -36,9 +36,11 @@ var (
 
 // JobSpec holds the solver-relevant parameters of a submission. The spec is
 // part of the cache key: two jobs share a result only when both their
-// canonical graph forms and their specs agree. Timeout is the exception —
-// it is excluded from the key, since only definitive (budget-independent)
-// results are ever cached.
+// canonical graph forms and their specs agree. The exceptions are Timeout
+// and the search knobs (ChronoThreshold, VivifyBudget, DynamicLBD) — they
+// steer the search without ever changing a definitive answer, so excluding
+// them from the key is safe and lets differently tuned submissions share
+// results; only definitive (budget-independent) results are ever cached.
 type JobSpec struct {
 	// K is the color bound (0 = max degree + 1, as in core.Solve).
 	K int `json:"k"`
@@ -52,6 +54,24 @@ type JobSpec struct {
 	InstanceDependent bool `json:"instance_dependent"`
 	// Timeout bounds this job's solve; 0 = the service default.
 	Timeout time.Duration `json:"timeout"`
+	// ChronoThreshold enables chronological backtracking in the CDCL
+	// engines: backjumps undoing more than this many levels retreat one
+	// level instead (0 = disabled). Excluded from the cache key.
+	ChronoThreshold int `json:"chrono_threshold,omitempty"`
+	// VivifyBudget enables clause vivification at restarts, bounded by
+	// this many propagations per pass (0 = disabled). Excluded from the
+	// cache key.
+	VivifyBudget int64 `json:"vivify_budget,omitempty"`
+	// DynamicLBD recomputes learnt-clause LBDs during conflict analysis.
+	// Excluded from the cache key.
+	DynamicLBD bool `json:"dynamic_lbd,omitempty"`
+	// GlueLBD, ReduceInterval and RestartBase override the engines'
+	// learnt-database and restart defaults (0 = engine default). Like the
+	// search knobs above, they steer the search without changing answers
+	// and are excluded from the cache key.
+	GlueLBD        int   `json:"glue_lbd,omitempty"`
+	ReduceInterval int64 `json:"reduce_interval,omitempty"`
+	RestartBase    int64 `json:"restart_base,omitempty"`
 }
 
 // State is a job's lifecycle phase.
@@ -99,6 +119,14 @@ type Result struct {
 	Runtime time.Duration `json:"runtime"`
 	// Conflicts is the solver conflict count (original solve's).
 	Conflicts int64 `json:"conflicts"`
+	// ChronoBacktracks, VivifiedLits and LBDUpdates report the solver's
+	// search-improvement counters. Like Runtime and Conflicts they are
+	// the original solve's: a knob-blind cache hit reports the counters
+	// of whichever submission actually solved, regardless of this job's
+	// own knob settings.
+	ChronoBacktracks int64 `json:"chrono_backtracks,omitempty"`
+	VivifiedLits     int64 `json:"vivified_lits,omitempty"`
+	LBDUpdates       int64 `json:"lbd_updates,omitempty"`
 	// CacheHit reports the result was served from the canonical cache
 	// (including joins on an in-flight isomorphic solve).
 	CacheHit bool `json:"cache_hit"`
@@ -139,6 +167,12 @@ func DefaultSolve(ctx context.Context, g *graph.Graph, spec JobSpec) core.Outcom
 		Portfolio:         spec.Portfolio,
 		InstanceDependent: spec.InstanceDependent,
 		Timeout:           spec.Timeout,
+		ChronoThreshold:   spec.ChronoThreshold,
+		VivifyBudget:      spec.VivifyBudget,
+		DynamicLBD:        spec.DynamicLBD,
+		GlueLBD:           spec.GlueLBD,
+		ReduceInterval:    spec.ReduceInterval,
+		RestartBase:       spec.RestartBase,
 	})
 }
 
@@ -540,13 +574,16 @@ func (j *job) info() JobInfo {
 // graph's numbering) to a service result.
 func resultFromOutcome(out core.Outcome, spec JobSpec, canonExact bool) *Result {
 	res := &Result{
-		Status:     out.Result.Status,
-		Solved:     out.Solved(),
-		Chi:        out.Chi,
-		Coloring:   out.Coloring,
-		Runtime:    out.Result.Runtime,
-		Conflicts:  out.Result.Stats.Conflicts,
-		CanonExact: canonExact,
+		Status:           out.Result.Status,
+		Solved:           out.Solved(),
+		Chi:              out.Chi,
+		Coloring:         out.Coloring,
+		Runtime:          out.Result.Runtime,
+		Conflicts:        out.Result.Stats.Conflicts,
+		ChronoBacktracks: out.Result.Stats.ChronoBacktracks,
+		VivifiedLits:     out.Result.Stats.VivifiedLits,
+		LBDUpdates:       out.Result.Stats.LBDUpdates,
+		CanonExact:       canonExact,
 	}
 	if spec.Portfolio {
 		if res.Solved || res.Status == pbsolver.StatusSat {

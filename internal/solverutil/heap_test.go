@@ -1,0 +1,166 @@
+package solverutil
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// checkHeapInvariants verifies the max-heap ordering and the heap/pos
+// cross-indexing after any sequence of operations.
+func checkHeapInvariants(t *testing.T, h *VarHeap, act []float64) {
+	t.Helper()
+	for i, v := range h.heap {
+		if h.pos[v] != i {
+			t.Fatalf("pos[%d] = %d, but heap[%d] = %d", v, h.pos[v], i, v)
+		}
+		if i > 0 {
+			parent := h.heap[(i-1)/2]
+			if act[parent] < act[v] {
+				t.Fatalf("heap order violated: parent %d (%.2f) < child %d (%.2f)",
+					parent, act[parent], v, act[v])
+			}
+		}
+	}
+	inHeap := 0
+	for v := 1; v < len(h.pos); v++ {
+		if h.pos[v] != -1 {
+			inHeap++
+		}
+	}
+	if inHeap != len(h.heap) {
+		t.Fatalf("pos marks %d vars present, heap holds %d", inHeap, len(h.heap))
+	}
+}
+
+func TestVarHeapPopsInActivityOrder(t *testing.T) {
+	const n = 50
+	rng := rand.New(rand.NewSource(11))
+	act := make([]float64, n+1)
+	for v := 1; v <= n; v++ {
+		act[v] = rng.Float64() * 100
+	}
+	var h VarHeap
+	h.Rebuild(n, act)
+	checkHeapInvariants(t, &h, act)
+
+	var popped []float64
+	for !h.Empty() {
+		v := h.Pop(act)
+		popped = append(popped, act[v])
+		checkHeapInvariants(t, &h, act)
+	}
+	if len(popped) != n {
+		t.Fatalf("popped %d vars, want %d", len(popped), n)
+	}
+	if !sort.IsSorted(sort.Reverse(sort.Float64Slice(popped))) {
+		t.Fatal("Pop did not return variables in descending activity order")
+	}
+	if h.Pop(act) != 0 {
+		t.Fatal("Pop on empty heap should return 0")
+	}
+}
+
+func TestVarHeapDuplicatePushIgnored(t *testing.T) {
+	act := []float64{0, 5, 3}
+	var h VarHeap
+	h.Rebuild(2, act)
+	h.Push(1, act) // already present
+	if len(h.heap) != 2 {
+		t.Fatalf("duplicate Push grew the heap to %d entries", len(h.heap))
+	}
+	if v := h.Pop(act); v != 1 {
+		t.Fatalf("Pop = %d, want 1 (highest activity)", v)
+	}
+	h.Push(1, act) // re-insert after pop
+	if len(h.heap) != 2 {
+		t.Fatalf("re-Push after Pop: heap has %d entries, want 2", len(h.heap))
+	}
+}
+
+func TestVarHeapUpdateAfterBump(t *testing.T) {
+	const n = 20
+	act := make([]float64, n+1)
+	var h VarHeap
+	h.Rebuild(n, act)
+	// Bump a low variable past everyone else, as bumpVar does.
+	act[17] = 42
+	h.Update(17, act)
+	checkHeapInvariants(t, &h, act)
+	if v := h.Pop(act); v != 17 {
+		t.Fatalf("Pop = %d after bumping var 17, want 17", v)
+	}
+	// Updating an absent variable is a no-op.
+	h.Update(17, act)
+	checkHeapInvariants(t, &h, act)
+}
+
+// TestVarHeapSurvivesActivityRescale mirrors the engines' VSIDS rescale:
+// when every activity is multiplied by 1e-100 the relative order (and so
+// the heap structure) is preserved, and subsequent bumps still reorder
+// correctly.
+func TestVarHeapSurvivesActivityRescale(t *testing.T) {
+	const n = 30
+	rng := rand.New(rand.NewSource(13))
+	act := make([]float64, n+1)
+	for v := 1; v <= n; v++ {
+		act[v] = rng.Float64() * 1e100
+	}
+	var h VarHeap
+	h.Rebuild(n, act)
+	top := h.heap[0]
+	for v := 1; v <= n; v++ {
+		act[v] *= 1e-100
+	}
+	// The heap is untouched by the rescale (order preserved), so the max
+	// must not change and invariants must still hold.
+	checkHeapInvariants(t, &h, act)
+	if h.heap[0] != top {
+		t.Fatalf("rescale changed the max from %d to %d", top, h.heap[0])
+	}
+	act[5] += 1e10 // a post-rescale bump dominates
+	h.Update(5, act)
+	if v := h.Pop(act); v != 5 {
+		t.Fatalf("Pop = %d after post-rescale bump, want 5", v)
+	}
+}
+
+func TestVarHeapEnsureGrows(t *testing.T) {
+	act := make([]float64, 8)
+	var h VarHeap
+	h.Ensure(3, act)
+	if len(h.heap) != 3 {
+		t.Fatalf("Ensure(3) queued %d vars, want 3", len(h.heap))
+	}
+	h.Ensure(7, act)
+	if len(h.heap) != 7 {
+		t.Fatalf("Ensure(7) queued %d vars, want 7", len(h.heap))
+	}
+	checkHeapInvariants(t, &h, act)
+	// Ensure with a smaller n must not shrink anything.
+	h.Ensure(2, act)
+	if len(h.heap) != 7 {
+		t.Fatal("Ensure with smaller n mutated the heap")
+	}
+}
+
+func TestVarHeapRandomizedOperations(t *testing.T) {
+	const n = 40
+	rng := rand.New(rand.NewSource(17))
+	act := make([]float64, n+1)
+	var h VarHeap
+	h.Rebuild(n, act)
+	for op := 0; op < 2000; op++ {
+		v := 1 + rng.Intn(n)
+		switch rng.Intn(3) {
+		case 0:
+			act[v] += rng.Float64() * 10
+			h.Update(v, act)
+		case 1:
+			h.Push(v, act)
+		case 2:
+			h.Pop(act)
+		}
+		checkHeapInvariants(t, &h, act)
+	}
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-baseline bench-compare fmt vet
+.PHONY: build test race fuzz bench bench-baseline bench-compare fmt vet linkcheck docs
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,19 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# linkcheck verifies every intra-repo Markdown link and heading anchor
+# resolves (external URLs are not fetched; the job stays hermetic).
+linkcheck:
+	$(GO) run ./cmd/linkcheck
+
+# docs is the documentation gate CI runs: link integrity plus the
+# vet/gofmt hygiene of everything the docs reference.
+docs: linkcheck vet
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+	@echo docs gate OK
 
 # bench runs the full suite once with allocation reporting (the CI smoke
 # configuration, with timing output kept for eyeballing).

@@ -25,6 +25,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
 	"syscall"
 	"text/tabwriter"
 	"time"
@@ -34,6 +35,7 @@ import (
 	"repro/internal/heuristic"
 	"repro/internal/pbsolver"
 	"repro/internal/service"
+	"repro/internal/solverutil"
 )
 
 func main() {
@@ -55,6 +57,8 @@ func main() {
 	chrono := flag.Int("chrono", 0, "chronological backtracking threshold in levels (0 = disabled)")
 	vivify := flag.Int64("vivify", 0, "clause-vivification propagation budget per restart (0 = disabled)")
 	dynamicLBD := flag.Bool("dynamic-lbd", false, "recompute learnt-clause LBDs during conflict analysis")
+	progress := flag.Bool("progress", false, "print live search progress to stderr while solving")
+	storeDir := flag.String("store.dir", "", "batch mode: persist the result cache in this directory (snapshot+WAL)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -107,10 +111,13 @@ func main() {
 		if *bench != "" || *file != "" {
 			fatal(fmt.Errorf("-batch excludes -bench and -file"))
 		}
-		if err := runBatch(ctx, strings.Split(*batch, ","), spec, *workers); err != nil {
+		if err := runBatch(ctx, strings.Split(*batch, ","), spec, *workers, *storeDir, *progress); err != nil {
 			fatal(err)
 		}
 		return
+	}
+	if *storeDir != "" {
+		fatal(fmt.Errorf("-store.dir requires -batch (single solves bypass the service cache)"))
 	}
 
 	g, err := loadGraph(*bench, *file)
@@ -132,12 +139,17 @@ func main() {
 		return
 	}
 
-	out := core.Solve(ctx, g, core.Config{
+	cfg := core.Config{
 		K: *k, SBP: kind, InstanceDependent: *instDep,
 		Engine: eng, Portfolio: *portfolio, Timeout: *timeout,
 		GlueLBD: *glueLBD, ReduceInterval: *reduceInterval, RestartBase: *restartBase,
 		ChronoThreshold: *chrono, VivifyBudget: *vivify, DynamicLBD: *dynamicLBD,
-	})
+	}
+	if *progress {
+		cfg.Progress = liveProgressPrinter()
+		cfg.ProgressInterval = 500 * time.Millisecond
+	}
+	out := core.Solve(ctx, g, cfg)
 	fmt.Printf("encoding: %d vars, %d clauses, %d PB constraints (SBP=%v)\n",
 		out.EncodeStats.Vars, out.EncodeStats.CNF, out.EncodeStats.PB, kind)
 	if out.Sym != nil {
@@ -168,10 +180,63 @@ func main() {
 	}
 }
 
+// liveProgressPrinter builds a -progress callback printing one line per
+// snapshot to stderr. Safe for concurrent use (portfolio engines share
+// it).
+func liveProgressPrinter() func(p solverutil.Progress) {
+	var mu sync.Mutex
+	return func(p solverutil.Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		best := "-"
+		if p.Incumbent >= 0 {
+			best = fmt.Sprintf("%d", p.Incumbent)
+		}
+		fmt.Fprintf(os.Stderr,
+			"progress: engine=%s best=%s conflicts=%d restarts=%d learnts=%d vivified=%d lbd-updates=%d\n",
+			p.Engine, best, p.Conflicts, p.Restarts, p.Learnts, p.VivifiedLits, p.LBDUpdates)
+	}
+}
+
+// watchJobProgress streams one batch job's progress snapshots to stderr
+// until the job reaches a terminal state.
+func watchJobProgress(svc *service.Service, id, name string) {
+	var seq int64
+	for {
+		p, more, err := svc.NextProgress(context.Background(), id, seq)
+		if err != nil {
+			return
+		}
+		if p.Seq > seq {
+			seq = p.Seq
+			best := "-"
+			if p.Incumbent >= 0 {
+				best = fmt.Sprintf("%d", p.Incumbent)
+			}
+			fmt.Fprintf(os.Stderr, "%s %s: k=%d engine=%s best=%s conflicts=%d restarts=%d\n",
+				id, name, p.K, p.Engine, best, p.Conflicts, p.Restarts)
+		}
+		if !more {
+			return
+		}
+	}
+}
+
 // runBatch solves every named instance through the coloring service and
-// prints a per-job summary once all finish (or ctx is cancelled).
-func runBatch(ctx context.Context, names []string, spec service.JobSpec, workers int) error {
-	svc := service.New(service.Config{Workers: workers, DefaultTimeout: spec.Timeout})
+// prints a per-job summary once all finish (or ctx is cancelled). With
+// storeDir set, the result cache is persisted there, so a later batch run
+// (or gcolord) over the same directory reuses every definitive answer.
+func runBatch(ctx context.Context, names []string, spec service.JobSpec, workers int, storeDir string, progress bool) error {
+	cfg := service.Config{Workers: workers, DefaultTimeout: spec.Timeout}
+	if storeDir != "" {
+		backend, err := service.OpenDiskBackend(storeDir)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "persistent cache at %s: %d records loaded\n", storeDir, backend.Len())
+		cfg.Backend = backend
+	}
+	svc := service.New(cfg)
 	defer svc.Close()
 
 	ids := make([]string, 0, len(names))
@@ -189,6 +254,9 @@ func runBatch(ctx context.Context, names []string, spec service.JobSpec, workers
 			return fmt.Errorf("submit %s: %w", name, err)
 		}
 		ids = append(ids, id)
+		if progress {
+			go watchJobProgress(svc, id, g.Name())
+		}
 	}
 
 	go func() {

@@ -6,21 +6,29 @@
 // Usage:
 //
 //	gcolord -addr :8080 -workers 8 -timeout 60s
-//	gcolord -pprof            # additionally expose /debug/pprof
+//	gcolord -store.dir /var/lib/gcolord   # restart-safe result cache
+//	gcolord -pprof                        # additionally expose /debug/pprof
 //
-// API:
+// API (full reference in docs/API.md):
 //
-//	POST   /v1/jobs            submit a job (see jobRequest); returns {"id": ...}
-//	GET    /v1/jobs            list all jobs
-//	GET    /v1/jobs/{id}       job status snapshot
+//	POST   /v1/jobs              submit a job (see jobRequest); returns {"id": ...}
+//	GET    /v1/jobs              list all jobs
+//	GET    /v1/jobs/{id}         job status snapshot
 //	GET    /v1/jobs/{id}/result  result (202 while pending)
-//	DELETE /v1/jobs/{id}       cancel the job
-//	GET    /v1/stats           service counters
-//	GET    /healthz            liveness probe
+//	GET    /v1/jobs/{id}/events  NDJSON stream: progress, heartbeats, result
+//	DELETE /v1/jobs/{id}         cancel the job
+//	GET    /v1/stats             service counters
+//	GET    /v1/store             persistent-store counters (with -store.dir)
+//	GET    /healthz              liveness probe
 //
 // A job names its graph one of three ways: "bench" (a named benchmark
 // instance), "dimacs" (an inline DIMACS .col document), or "n" plus
 // "edges" (an explicit edge list).
+//
+// With -store.dir the canonical result cache is backed by an append-only
+// snapshot+WAL store in that directory, so a restarted daemon answers
+// isomorphic resubmissions of anything it ever solved without running a
+// solver (see docs/API.md for the on-disk format).
 package main
 
 import (
@@ -47,17 +55,31 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	queueDepth := flag.Int("queue", 1024, "max queued jobs before submissions are rejected")
 	timeout := flag.Duration("timeout", time.Minute, "default per-job solve budget")
-	cacheCap := flag.Int("cache", 4096, "canonical result cache capacity")
+	cacheCap := flag.Int("cache", 4096, "canonical result cache capacity (memory backend)")
+	storeDir := flag.String("store.dir", "", "persist the result cache in this directory (snapshot+WAL); empty = memory only")
+	heartbeat := flag.Duration("heartbeat", 10*time.Second, "idle heartbeat interval on /v1/jobs/{id}/events streams")
 	enablePprof := flag.Bool("pprof", false, "expose /debug/pprof (profiling) on the same listener")
 	flag.Parse()
 
+	var backend service.Backend
+	var disk *service.DiskBackend
+	if *storeDir != "" {
+		var err error
+		disk, err = service.OpenDiskBackend(*storeDir)
+		if err != nil {
+			log.Fatalf("gcolord: open store: %v", err)
+		}
+		backend = disk
+		log.Printf("gcolord: persistent cache at %s (%d records loaded)", *storeDir, disk.Len())
+	}
 	svc := service.New(service.Config{
 		Workers:        *workers,
 		QueueDepth:     *queueDepth,
 		DefaultTimeout: *timeout,
 		CacheCapacity:  *cacheCap,
+		Backend:        backend,
 	})
-	handler := newHandler(svc, *enablePprof)
+	handler := newHandler(svc, disk, *heartbeat, *enablePprof)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
@@ -171,7 +193,10 @@ func (r *jobRequest) spec() (service.JobSpec, error) {
 	return spec, nil
 }
 
-func newHandler(svc *service.Service, enablePprof bool) http.Handler {
+func newHandler(svc *service.Service, disk *service.DiskBackend, heartbeat time.Duration, enablePprof bool) http.Handler {
+	if heartbeat <= 0 {
+		heartbeat = 10 * time.Second
+	}
 	mux := http.NewServeMux()
 	if enablePprof {
 		// Opt-in only: profiling endpoints leak operational detail, so they
@@ -187,6 +212,13 @@ func newHandler(svc *service.Service, enablePprof bool) http.Handler {
 	})
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, svc.Stats())
+	})
+	mux.HandleFunc("/v1/store", func(w http.ResponseWriter, r *http.Request) {
+		if disk == nil {
+			httpError(w, http.StatusNotFound, "no persistent store configured (run with -store.dir)")
+			return
+		}
+		writeJSON(w, http.StatusOK, disk.Stats())
 	})
 	mux.HandleFunc("/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		switch r.Method {
@@ -215,6 +247,8 @@ func newHandler(svc *service.Service, enablePprof bool) http.Handler {
 				return
 			}
 			writeJSON(w, http.StatusOK, info)
+		case r.Method == http.MethodGet && sub == "events":
+			streamEvents(svc, w, r, id, heartbeat)
 		case r.Method == http.MethodGet && sub == "result":
 			info, err := svc.Job(id)
 			if err != nil {
@@ -263,6 +297,69 @@ func submit(svc *service.Service, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+}
+
+// event is one NDJSON line on a /v1/jobs/{id}/events stream.
+type event struct {
+	// Type is "progress" (live solver counters), "heartbeat" (stream
+	// keep-alive while the search is between reports), or "result" (the
+	// terminal event: the job's final snapshot; the stream closes after
+	// it).
+	Type     string            `json:"type"`
+	Progress *service.Progress `json:"progress,omitempty"`
+	Job      *service.JobInfo  `json:"job,omitempty"`
+}
+
+// streamEvents serves the NDJSON progress stream for one job: progress
+// events as the solver reports, heartbeats while idle, one terminal result
+// event, then EOF. An already-finished job yields just the result event.
+func streamEvents(svc *service.Service, w http.ResponseWriter, r *http.Request, id string, heartbeat time.Duration) {
+	if _, err := svc.Job(id); err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	emit := func(ev event) bool {
+		if err := enc.Encode(ev); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	var seq int64
+	for {
+		hbCtx, cancel := context.WithTimeout(r.Context(), heartbeat)
+		p, more, err := svc.NextProgress(hbCtx, id, seq)
+		cancel()
+		switch {
+		case err == nil && more:
+			seq = p.Seq
+			if !emit(event{Type: "progress", Progress: &p}) {
+				return
+			}
+		case err == nil && !more:
+			info, jerr := svc.Job(id)
+			if jerr != nil {
+				return // pruned between calls
+			}
+			emit(event{Type: "result", Job: &info})
+			return
+		case errors.Is(err, context.DeadlineExceeded) && r.Context().Err() == nil:
+			if !emit(event{Type: "heartbeat"}) {
+				return
+			}
+		default:
+			return // client went away, or the job record was pruned
+		}
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

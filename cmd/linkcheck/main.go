@@ -1,0 +1,213 @@
+// Command linkcheck verifies intra-repository Markdown links: every
+// relative link target must exist, and every fragment (`#anchor`) must
+// match a heading in the linked file, using GitHub's heading-to-anchor
+// slug rules. External links (http, https, mailto) are not fetched — the
+// docs CI job must stay hermetic — so only repository-local rot is
+// caught, which is the kind a PR can actually introduce.
+//
+// Usage:
+//
+//	linkcheck [-root .] [paths...]
+//
+// With no paths, every *.md under root is checked (skipping .git and
+// testdata). Exit status 1 lists the broken links.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+var (
+	// linkRe matches inline links/images: [text](target) — target taken up
+	// to the first closing paren (Markdown titles `](x "t")` are split off
+	// later).
+	linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+	// headingRe matches ATX headings.
+	headingRe = regexp.MustCompile(`^(#{1,6})\s+(.*?)\s*#*\s*$`)
+	// inlineCodeRe and mdDecorRe strip formatting from heading text before
+	// slugification.
+	inlineCodeRe = regexp.MustCompile("`([^`]*)`")
+	mdDecorRe    = regexp.MustCompile(`[*_]{1,3}([^*_]+)[*_]{1,3}`)
+	// slugDropRe removes everything GitHub drops from anchors: anything
+	// that is not a letter, digit, space, hyphen, or underscore.
+	slugDropRe = regexp.MustCompile(`[^\p{L}\p{N} \-_]`)
+	fenceRe    = regexp.MustCompile("^(```|~~~)")
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root to scan for *.md files")
+	flag.Parse()
+
+	files := flag.Args()
+	if len(files) == 0 {
+		var err error
+		files, err = findMarkdown(*root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "linkcheck:", err)
+			os.Exit(2)
+		}
+	}
+
+	broken := 0
+	anchors := map[string]map[string]bool{} // md path -> anchor set
+	for _, f := range files {
+		for _, problem := range checkFile(f, anchors) {
+			fmt.Println(problem)
+			broken++
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s) in %d file(s) scanned\n", broken, len(files))
+		os.Exit(1)
+	}
+	fmt.Printf("linkcheck: OK (%d files)\n", len(files))
+}
+
+// findMarkdown lists every .md under root, skipping VCS and test fixtures.
+func findMarkdown(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata", "node_modules":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(path), ".md") {
+			out = append(out, path)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// checkFile returns one message per broken link in the file.
+func checkFile(path string, anchorCache map[string]map[string]bool) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", path, err)}
+	}
+	var problems []string
+	dir := filepath.Dir(path)
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		if fenceRe.MatchString(strings.TrimSpace(line)) {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if msg := checkTarget(path, dir, target, anchorCache); msg != "" {
+				problems = append(problems, fmt.Sprintf("%s:%d: %s", path, i+1, msg))
+			}
+		}
+	}
+	return problems
+}
+
+// checkTarget validates one link target; "" means OK.
+func checkTarget(file, dir, target string, anchorCache map[string]map[string]bool) string {
+	switch {
+	case strings.Contains(target, "://"),
+		strings.HasPrefix(target, "mailto:"),
+		strings.HasPrefix(target, "tel:"):
+		return "" // external: not checked (hermetic CI)
+	}
+	rawPath, frag, _ := strings.Cut(target, "#")
+	resolved := file // self-link for pure fragments
+	if rawPath != "" {
+		resolved = filepath.Join(dir, filepath.FromSlash(rawPath))
+		st, err := os.Stat(resolved)
+		if err != nil {
+			return fmt.Sprintf("broken link %q: %v", target, err)
+		}
+		if frag != "" && st.IsDir() {
+			return fmt.Sprintf("broken link %q: fragment on a directory", target)
+		}
+	}
+	if frag == "" {
+		return ""
+	}
+	if !strings.EqualFold(filepath.Ext(resolved), ".md") {
+		return "" // anchors into non-Markdown files are not checkable
+	}
+	set, err := headingAnchors(resolved, anchorCache)
+	if err != nil {
+		return fmt.Sprintf("broken link %q: %v", target, err)
+	}
+	if !set[strings.ToLower(frag)] {
+		return fmt.Sprintf("broken anchor %q: no heading slugs to #%s in %s", target, frag, resolved)
+	}
+	return ""
+}
+
+// headingAnchors returns the set of GitHub-style anchors for a Markdown
+// file's headings, memoized.
+func headingAnchors(path string, cache map[string]map[string]bool) (map[string]bool, error) {
+	if set, ok := cache[path]; ok {
+		return set, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	set := map[string]bool{}
+	seen := map[string]int{}
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if fenceRe.MatchString(strings.TrimSpace(line)) {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		m := headingRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		slug := slugify(m[2])
+		// GitHub disambiguates duplicate headings with -1, -2, ...
+		if n := seen[slug]; n > 0 {
+			set[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			set[slug] = true
+		}
+		seen[slug]++
+	}
+	cache[path] = set
+	return set, nil
+}
+
+// slugify converts heading text to a GitHub anchor: strip inline
+// formatting, lowercase, drop punctuation, and turn spaces into hyphens.
+func slugify(text string) string {
+	text = inlineCodeRe.ReplaceAllString(text, "$1")
+	text = mdDecorRe.ReplaceAllString(text, "$1")
+	// Headings that are themselves links anchor on their text (or image
+	// alt text).
+	text = linkRe.ReplaceAllStringFunc(text, func(s string) string {
+		inner := s[:strings.Index(s, "](")]
+		if img := strings.TrimPrefix(inner, "!["); img != inner {
+			return img
+		}
+		return strings.TrimPrefix(inner, "[")
+	})
+	text = strings.ToLower(text)
+	text = slugDropRe.ReplaceAllString(text, "")
+	text = strings.ReplaceAll(text, " ", "-")
+	return text
+}

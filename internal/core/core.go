@@ -20,6 +20,7 @@ import (
 	"repro/internal/pbsolver"
 	"repro/internal/sat"
 	"repro/internal/sbp"
+	"repro/internal/solverutil"
 	"repro/internal/symgraph"
 )
 
@@ -73,6 +74,16 @@ type Config struct {
 	SymTimeout  time.Duration
 	// SBPMaxSupport truncates each lex-leader chain (0 = full).
 	SBPMaxSupport int
+	// Progress, when non-nil, receives rate-limited snapshots of the
+	// solver's search counters while Solve runs: conflicts, restarts,
+	// learnt-clause and LBD statistics, and the best color count found so
+	// far (Progress.Incumbent). With Portfolio set, every racing engine
+	// reports through the same callback (tagged by Progress.Engine), so
+	// the callback must be safe for concurrent use.
+	Progress solverutil.ProgressFunc
+	// ProgressInterval is the minimum time between Progress calls per
+	// engine; 0 selects solverutil.DefaultProgressInterval (200ms).
+	ProgressInterval time.Duration
 }
 
 // SymmetryStats reports the symmetry detection and breaking step
@@ -119,15 +130,7 @@ func (o Outcome) Solved() bool {
 // solve (and symmetry detection) promptly; the outcome then reports the
 // best result reached.
 func Solve(ctx context.Context, g *graph.Graph, cfg Config) Outcome {
-	if cfg.K == 0 {
-		maxDeg := 0
-		for v := 0; v < g.N(); v++ {
-			if d := g.Degree(v); d > maxDeg {
-				maxDeg = d
-			}
-		}
-		cfg.K = maxDeg + 1
-	}
+	cfg.K = EffectiveK(g, cfg.K)
 	enc := encode.Build(g, cfg.K, cfg.SBP)
 	out := Outcome{
 		Instance:    g.Name(),
@@ -149,6 +152,8 @@ func Solve(ctx context.Context, g *graph.Graph, cfg Config) Outcome {
 		ChronoThreshold:     cfg.ChronoThreshold,
 		VivifyBudget:        cfg.VivifyBudget,
 		DynamicLBD:          cfg.DynamicLBD,
+		Progress:            cfg.Progress,
+		ProgressInterval:    cfg.ProgressInterval,
 	}
 	if cfg.Portfolio {
 		pres := pbsolver.PortfolioSolve(ctx, enc.F, pbsolver.PortfolioOptions{Base: sOpts})
@@ -167,6 +172,21 @@ func Solve(ctx context.Context, g *graph.Graph, cfg Config) Outcome {
 		}
 	}
 	return out
+}
+
+// EffectiveK resolves the color bound Solve actually uses: k itself when
+// positive, max degree + 1 (the greedy upper bound) when k is 0.
+func EffectiveK(g *graph.Graph, k int) int {
+	if k != 0 {
+		return k
+	}
+	maxDeg := 0
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	return maxDeg + 1
 }
 
 // breakSymmetries detects symmetries of the formula and appends lex-leader

@@ -138,6 +138,9 @@ func (s *bnbSearcher) search(bgt *budget, optimize bool) Status {
 			if bgt.expired() {
 				return StatusUnknown
 			}
+			if e.prog.Ready() {
+				e.prog.Emit(e.progressSnapshot())
+			}
 		}
 		if bgt.conflictsExceeded() {
 			return StatusUnknown
@@ -172,6 +175,7 @@ func (s *bnbSearcher) search(bgt *budget, optimize bool) Status {
 			}
 			if !s.hasBest || z < s.bestZ {
 				s.best, s.bestZ, s.hasBest = m, z, true
+				e.noteIncumbent(z)
 			}
 			if z == 0 {
 				return StatusOptimal

@@ -64,6 +64,11 @@ type cdclEngine struct {
 	vivBuf    []cnf.Lit
 	probing   bool // vivification probe in progress: don't save phases
 
+	prog solverutil.ProgressEmitter
+	// incumbent mirrors the surrounding optimization loop's best objective
+	// so far (-1 = none yet) for progress snapshots.
+	incumbent int
+
 	stats Stats
 }
 
@@ -114,7 +119,8 @@ func litIdx(l cnf.Lit) int {
 }
 
 func newCDCL(opts Options) *cdclEngine {
-	e := &cdclEngine{opts: opts, varInc: 1, claInc: 1}
+	e := &cdclEngine{opts: opts, varInc: 1, claInc: 1, incumbent: -1}
+	e.prog = solverutil.NewProgressEmitter(opts.Progress, opts.ProgressInterval)
 	e.assign = []lbool{lUndef}
 	e.level = []int{0}
 	e.reasonCl = []solverutil.CRef{solverutil.CRefUndef}
@@ -779,6 +785,9 @@ func (e *cdclEngine) solveDecision(budget *budget) Status {
 				e.cancelUntil(0)
 				return StatusUnknown
 			}
+			if e.prog.Ready() {
+				e.prog.Emit(e.progressSnapshot())
+			}
 		}
 		confl := e.propagate()
 		if confl.isConflict() {
@@ -841,6 +850,36 @@ func (e *cdclEngine) solveDecision(budget *budget) Status {
 			l = cnf.NegLit(v)
 		}
 		e.uncheckedEnqueue(l, noReason)
+	}
+}
+
+// progressSnapshot assembles the engine's counters for a progress
+// callback, tagged with the engine name and the optimization loop's
+// current incumbent.
+func (e *cdclEngine) progressSnapshot() solverutil.Progress {
+	return solverutil.Progress{
+		Engine:           e.opts.Engine.String(),
+		Incumbent:        e.incumbent,
+		Conflicts:        e.stats.Conflicts,
+		Decisions:        e.stats.Decisions,
+		Propagations:     e.stats.Propagations,
+		Restarts:         e.stats.Restarts,
+		Learnts:          e.stats.Learnts,
+		Reduces:          e.stats.Reduces,
+		Removed:          e.stats.Removed,
+		ChronoBacktracks: e.stats.ChronoBacktracks,
+		VivifiedLits:     e.stats.VivifiedLits,
+		LBDUpdates:       e.stats.LBDUpdates,
+	}
+}
+
+// noteIncumbent records an improved objective and reports it immediately
+// (incumbent improvements are milestone events, exempt from rate
+// limiting).
+func (e *cdclEngine) noteIncumbent(z int) {
+	e.incumbent = z
+	if e.prog.Enabled() {
+		e.prog.Emit(e.progressSnapshot())
 	}
 }
 

@@ -138,6 +138,18 @@ type Options struct {
 	// DynamicLBD recomputes learnt-clause LBDs during conflict analysis,
 	// re-tiering glue clauses as the search evolves. Ignored by EngineBnB.
 	DynamicLBD bool
+	// Progress, when non-nil, receives rate-limited snapshots of the
+	// search counters from the solving goroutine: the engine's conflict /
+	// restart / learnt / LBD counters plus the optimization loop's best
+	// objective so far (Incumbent). Under PortfolioSolve every racing
+	// engine invokes the same callback concurrently, each tagging its
+	// snapshots with its Engine name, so implementations must be safe for
+	// concurrent use and fast (slow callbacks stall the search).
+	Progress solverutil.ProgressFunc
+	// ProgressInterval is the minimum time between Progress calls per
+	// engine; 0 selects solverutil.DefaultProgressInterval (200ms).
+	// Improved incumbents are additionally reported immediately.
+	ProgressInterval time.Duration
 }
 
 func (o Options) varDecay() float64 {
@@ -324,6 +336,7 @@ func optimizeLinear(f *pb.Formula, opts Options, bgt *budget, start time.Time) R
 			res.Model = m
 			res.Objective = z
 			res.Status = StatusSat
+			e.noteIncumbent(z)
 			if z == 0 {
 				res.Status = StatusOptimal
 				res.Runtime = time.Since(start)
@@ -356,6 +369,9 @@ func optimizeBinary(f *pb.Formula, opts Options, bgt *budget, start time.Time) R
 		e := buildCDCL(f, opts)
 		if e == nil {
 			return StatusUnsat, nil
+		}
+		if res.Status == StatusSat {
+			e.incumbent = res.Objective // carry the incumbent across probes
 		}
 		if withBound && !addObjectiveBound(e, f.Objective, bound) {
 			return StatusUnsat, nil

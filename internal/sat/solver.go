@@ -85,6 +85,14 @@ type Options struct {
 	// participate in conflict analysis, re-tiering glue clauses as the
 	// search's level structure evolves (Audemard & Simon's LBD update).
 	DynamicLBD bool
+	// Progress, when non-nil, receives rate-limited snapshots of the
+	// search counters, called from the solving goroutine on the same
+	// amortized schedule as the budget checks. Implementations must be
+	// fast; slow callbacks stall the search.
+	Progress solverutil.ProgressFunc
+	// ProgressInterval is the minimum time between Progress calls; 0
+	// selects solverutil.DefaultProgressInterval (200ms).
+	ProgressInterval time.Duration
 }
 
 func (o Options) glueLBD() int {
@@ -181,6 +189,7 @@ type Solver struct {
 	vivBuf    []cnf.Lit
 	probing   bool // vivification probe in progress: don't save phases
 
+	prog  solverutil.ProgressEmitter
 	stats Stats
 }
 
@@ -202,6 +211,7 @@ func NewEmpty(n int, opts Options) *Solver {
 		opts.RestartBase = 100
 	}
 	s := &Solver{opts: opts, varInc: 1, varDecay: opts.VarDecay, claInc: 1}
+	s.prog = solverutil.NewProgressEmitter(opts.Progress, opts.ProgressInterval)
 	// Index 0 is unused in all variable-indexed slices (variables are 1..n);
 	// watches use two slots per variable including the dummy pair.
 	s.assign = []lbool{lUndef}
@@ -758,6 +768,9 @@ func (s *Solver) SolveAssuming(assumptions []cnf.Lit) Status {
 				s.cancelUntil(0)
 				return Unknown
 			}
+			if s.prog.Ready() {
+				s.prog.Emit(s.progressSnapshot())
+			}
 		}
 		confl := s.propagate()
 		if confl.isConflict() {
@@ -839,6 +852,23 @@ func (s *Solver) SolveAssuming(assumptions []cnf.Lit) Status {
 			l = cnf.NegLit(v)
 		}
 		s.uncheckedEnqueue(l, solverutil.CRefUndef, 0)
+	}
+}
+
+// progressSnapshot assembles the current counters for a progress callback.
+func (s *Solver) progressSnapshot() solverutil.Progress {
+	return solverutil.Progress{
+		Incumbent:        -1, // decision solver: no objective
+		Conflicts:        s.stats.Conflicts,
+		Decisions:        s.stats.Decisions,
+		Propagations:     s.stats.Propagations,
+		Restarts:         s.stats.Restarts,
+		Learnts:          s.stats.Learnts,
+		Reduces:          s.stats.Reduces,
+		Removed:          s.stats.Removed,
+		ChronoBacktracks: s.stats.ChronoBacktracks,
+		VivifiedLits:     s.stats.VivifiedLits,
+		LBDUpdates:       s.stats.LBDUpdates,
 	}
 }
 

@@ -2,12 +2,10 @@ package service
 
 import (
 	"fmt"
-	"time"
 
 	"repro/internal/autom"
 	"repro/internal/core"
 	"repro/internal/graph"
-	"repro/internal/pbsolver"
 )
 
 // cacheKey derives the result-cache key: the job spec (everything that
@@ -18,98 +16,104 @@ import (
 // knobs (ChronoThreshold, VivifyBudget, DynamicLBD, GlueLBD,
 // ReduceInterval, RestartBase) are deliberately left out: they change how
 // fast a definitive answer is reached, never which answer, so differently
-// tuned submissions safely share entries.
+// tuned submissions safely share entries. The same key addresses both the
+// in-flight singleflight table and the durable Backend, so its format is
+// part of the on-disk store contract (see docs/API.md).
 func cacheKey(spec JobSpec, canon *autom.Canonical) string {
 	return fmt.Sprintf("k=%d sbp=%d eng=%d pf=%t id=%t %x",
 		spec.K, spec.SBP, spec.Engine, spec.Portfolio, spec.InstanceDependent,
 		canon.Hash)
 }
 
-// entry is one singleflight cache slot: the first job to claim a key
-// solves and publishes; concurrent isomorphic jobs wait on done.
+// entry is one singleflight slot in the in-flight table: the first job to
+// claim a key solves and publishes; concurrent isomorphic jobs wait on
+// done. Completed results do not live here — they move to the Backend the
+// moment they are published.
 type entry struct {
 	done chan struct{}
 
-	// All fields below are written once before done is closed.
-	status    pbsolver.Status
-	solved    bool
-	chi       int
-	canonCol  []int // witness coloring indexed by canonical position
-	winner    pbsolver.Engine
-	hasWinner bool
-	runtime   time.Duration
-	conflicts int64
-	chrono    int64
-	vivified  int64
-	lbdUpd    int64
+	// rec and ok are written once before done is closed.
+	rec CacheRecord
+	ok  bool
 }
 
 func newEntry() *entry { return &entry{done: make(chan struct{})} }
 
-func (e *entry) ready() bool {
-	select {
-	case <-e.done:
-		return true
-	default:
-		return false
-	}
-}
-
-// publish records the leader's outcome in canonical vertex space and wakes
-// all waiters. canon is the leader graph's canonical form.
-func (e *entry) publish(out core.Outcome, spec JobSpec, canon *autom.Canonical, solved bool) {
-	e.status = out.Result.Status
-	e.solved = solved
-	e.chi = out.Chi
-	e.runtime = out.Result.Runtime
-	e.conflicts = out.Result.Stats.Conflicts
-	e.chrono = out.Result.Stats.ChronoBacktracks
-	e.vivified = out.Result.Stats.VivifiedLits
-	e.lbdUpd = out.Result.Stats.LBDUpdates
-	if spec.Portfolio {
-		e.winner = out.Winner
-		e.hasWinner = solved || out.Result.Status == pbsolver.StatusSat
-	} else {
-		e.winner = spec.Engine
-		e.hasWinner = true
-	}
-	if out.Coloring != nil {
-		e.canonCol = make([]int, len(out.Coloring))
-		for v, c := range out.Coloring {
-			e.canonCol[canon.Perm[v]] = c
-		}
-	}
+// publishRecord hands the leader's definitive result to every waiter.
+func (e *entry) publishRecord(rec CacheRecord) {
+	e.rec = rec
+	e.ok = true
 	close(e.done)
 }
 
-// materialize translates the cached canonical-space result into the given
-// graph's own numbering. It returns nil when the entry cannot serve this
-// job — the cached result is not definitive, or the translated coloring
-// fails the (defensive) propriety check — in which case the caller solves
-// directly.
+// publishNone wakes the waiters with no result (the leader's solve was not
+// definitive); each waiter then solves on its own.
+func (e *entry) publishNone() { close(e.done) }
+
+// materialize translates the published record into the given graph's own
+// numbering; nil when no definitive result was published.
 func (e *entry) materialize(g *graph.Graph, canon *autom.Canonical) *Result {
-	if !e.solved {
+	if !e.ok {
 		return nil
 	}
+	return materializeRecord(e.rec, g, canon)
+}
+
+// recordFromOutcome converts a definitive solve outcome into a cache
+// record in canonical vertex space. canon is the solving graph's canonical
+// form.
+func recordFromOutcome(out core.Outcome, spec JobSpec, canon *autom.Canonical) CacheRecord {
+	rec := CacheRecord{
+		Status:           out.Result.Status,
+		Chi:              out.Chi,
+		Runtime:          out.Result.Runtime,
+		Conflicts:        out.Result.Stats.Conflicts,
+		ChronoBacktracks: out.Result.Stats.ChronoBacktracks,
+		VivifiedLits:     out.Result.Stats.VivifiedLits,
+		LBDUpdates:       out.Result.Stats.LBDUpdates,
+	}
+	// Records are only built from definitive outcomes, so the portfolio
+	// winner is always meaningful here.
+	if spec.Portfolio {
+		rec.Winner = out.Winner.String()
+	} else {
+		rec.Winner = spec.Engine.String()
+	}
+	if out.Coloring != nil {
+		rec.CanonColoring = make([]int, len(out.Coloring))
+		for v, c := range out.Coloring {
+			rec.CanonColoring[canon.Perm[v]] = c
+		}
+	}
+	return rec
+}
+
+// materializeRecord translates a cached canonical-space record into the
+// given graph's own numbering. It returns nil when the record cannot serve
+// this job — the coloring's length does not match or the translated
+// coloring fails the (defensive) propriety check, e.g. a stale or
+// hash-colliding disk record — in which case the caller solves directly.
+func materializeRecord(rec CacheRecord, g *graph.Graph, canon *autom.Canonical) *Result {
 	res := &Result{
-		Status:           e.status,
-		Solved:           e.solved,
-		Chi:              e.chi,
-		Runtime:          e.runtime,
-		Conflicts:        e.conflicts,
-		ChronoBacktracks: e.chrono,
-		VivifiedLits:     e.vivified,
-		LBDUpdates:       e.lbdUpd,
+		Status:           rec.Status,
+		Solved:           true,
+		Chi:              rec.Chi,
+		Winner:           rec.Winner,
+		Runtime:          rec.Runtime,
+		Conflicts:        rec.Conflicts,
+		ChronoBacktracks: rec.ChronoBacktracks,
+		VivifiedLits:     rec.VivifiedLits,
+		LBDUpdates:       rec.LBDUpdates,
 		CacheHit:         true,
 		CanonExact:       canon.Exact,
 	}
-	if e.hasWinner {
-		res.Winner = e.winner.String()
-	}
-	if e.canonCol != nil {
+	if rec.CanonColoring != nil {
+		if len(rec.CanonColoring) != g.N() {
+			return nil
+		}
 		col := make([]int, g.N())
 		for v := range col {
-			col[v] = e.canonCol[canon.Perm[v]]
+			col[v] = rec.CanonColoring[canon.Perm[v]]
 		}
 		if !g.IsProperColoring(col) {
 			return nil
@@ -117,60 +121,4 @@ func (e *entry) materialize(g *graph.Graph, canon *autom.Canonical) *Result {
 		res.Coloring = col
 	}
 	return res
-}
-
-// canonCache maps cache keys to entries with FIFO eviction of completed
-// entries. It is not self-locking: the Service serializes access under its
-// own mutex (waiting on an entry's done channel happens outside the lock).
-type canonCache struct {
-	capacity int
-	entries  map[string]*entry
-	order    []string // insertion order, for eviction
-}
-
-func newCanonCache(capacity int) *canonCache {
-	return &canonCache{capacity: capacity, entries: make(map[string]*entry)}
-}
-
-func (c *canonCache) len() int { return len(c.entries) }
-
-func (c *canonCache) get(key string) (*entry, bool) {
-	e, ok := c.entries[key]
-	return e, ok
-}
-
-func (c *canonCache) put(key string, e *entry) {
-	c.entries[key] = e
-	c.order = append(c.order, key)
-	// Evict the oldest completed entries; in-flight entries are skipped
-	// (their leaders still need to publish to waiters).
-	for len(c.entries) > c.capacity {
-		evicted := false
-		for i, k := range c.order {
-			old, ok := c.entries[k]
-			if !ok {
-				continue // already removed
-			}
-			if !old.ready() {
-				continue
-			}
-			delete(c.entries, k)
-			c.order = append(c.order[:i], c.order[i+1:]...)
-			evicted = true
-			break
-		}
-		if !evicted {
-			break // everything in flight; allow temporary overshoot
-		}
-	}
-}
-
-func (c *canonCache) remove(key string) {
-	delete(c.entries, key)
-	for i, k := range c.order {
-		if k == key {
-			c.order = append(c.order[:i], c.order[i+1:]...)
-			break
-		}
-	}
 }

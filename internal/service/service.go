@@ -25,6 +25,7 @@ import (
 	"repro/internal/encode"
 	"repro/internal/graph"
 	"repro/internal/pbsolver"
+	"repro/internal/solverutil"
 )
 
 // Errors returned by Submit and the accessors.
@@ -86,6 +87,8 @@ const (
 	StateCanceled
 )
 
+// String returns the lowercase wire name of the state ("queued",
+// "running", "done", "failed", "canceled"), the form JobInfo serializes.
 func (s State) String() string {
 	switch s {
 	case StateQueued:
@@ -142,38 +145,59 @@ type Stats struct {
 	Failed     int64 `json:"failed"`
 	Canceled   int64 `json:"canceled"`
 	SolverRuns int64 `json:"solver_runs"`
-	// CacheHits counts results served from a completed cache entry;
-	// DedupJoins counts submissions that waited on an identical in-flight
-	// solve instead of starting their own.
+	// CacheHits counts results served from the cache backend (memory or
+	// disk); DedupJoins counts submissions that waited on an identical
+	// in-flight solve instead of starting their own.
 	CacheHits  int64 `json:"cache_hits"`
 	DedupJoins int64 `json:"dedup_joins"`
+	// StoreErrors counts failed backend writes; the cache stays
+	// best-effort (the result is still returned, just not persisted).
+	StoreErrors int64 `json:"store_errors"`
 	// CanonInexact counts canonical searches that hit their node budget.
 	CanonInexact int64 `json:"canon_inexact"`
-	CacheEntries int   `json:"cache_entries"`
-	QueueDepth   int   `json:"queue_depth"`
-	Running      int   `json:"running"`
+	// CacheEntries is the number of definitive records in the backend;
+	// InFlight is the number of solves currently leading a singleflight
+	// group.
+	CacheEntries int `json:"cache_entries"`
+	InFlight     int `json:"in_flight"`
+	QueueDepth   int `json:"queue_depth"`
+	Running      int `json:"running"`
 }
 
 // SolveFunc produces the outcome for one job; tests inject counters and
-// stubs here. The default is DefaultSolve.
-type SolveFunc func(ctx context.Context, g *graph.Graph, spec JobSpec) core.Outcome
+// stubs here. The default is DefaultSolve. progress may be nil; when
+// non-nil, implementations should forward it to the solver so the job
+// reports live search counters.
+type SolveFunc func(ctx context.Context, g *graph.Graph, spec JobSpec, progress solverutil.ProgressFunc) core.Outcome
 
-// DefaultSolve runs core.Solve with the spec's parameters.
-func DefaultSolve(ctx context.Context, g *graph.Graph, spec JobSpec) core.Outcome {
-	return core.Solve(ctx, g, core.Config{
-		K:                 spec.K,
-		SBP:               spec.SBP,
-		Engine:            spec.Engine,
-		Portfolio:         spec.Portfolio,
-		InstanceDependent: spec.InstanceDependent,
-		Timeout:           spec.Timeout,
-		ChronoThreshold:   spec.ChronoThreshold,
-		VivifyBudget:      spec.VivifyBudget,
-		DynamicLBD:        spec.DynamicLBD,
-		GlueLBD:           spec.GlueLBD,
-		ReduceInterval:    spec.ReduceInterval,
-		RestartBase:       spec.RestartBase,
-	})
+// DefaultSolve runs core.Solve with the spec's parameters and the default
+// progress pacing (solverutil.DefaultProgressInterval).
+func DefaultSolve(ctx context.Context, g *graph.Graph, spec JobSpec, progress solverutil.ProgressFunc) core.Outcome {
+	return defaultSolve(0)(ctx, g, spec, progress)
+}
+
+// defaultSolve builds the core.Solve-backed SolveFunc with the given
+// progress interval (0 = the solverutil default). The service uses this to
+// honor Config.ProgressInterval; custom SolveFuncs pace themselves.
+func defaultSolve(progressInterval time.Duration) SolveFunc {
+	return func(ctx context.Context, g *graph.Graph, spec JobSpec, progress solverutil.ProgressFunc) core.Outcome {
+		return core.Solve(ctx, g, core.Config{
+			K:                 spec.K,
+			SBP:               spec.SBP,
+			Engine:            spec.Engine,
+			Portfolio:         spec.Portfolio,
+			InstanceDependent: spec.InstanceDependent,
+			Timeout:           spec.Timeout,
+			ChronoThreshold:   spec.ChronoThreshold,
+			VivifyBudget:      spec.VivifyBudget,
+			DynamicLBD:        spec.DynamicLBD,
+			GlueLBD:           spec.GlueLBD,
+			ReduceInterval:    spec.ReduceInterval,
+			RestartBase:       spec.RestartBase,
+			Progress:          progress,
+			ProgressInterval:  progressInterval,
+		})
+	}
 }
 
 // Config configures a Service.
@@ -188,9 +212,21 @@ type Config struct {
 	// CanonMaxNodes bounds each canonical labeling search (0 = the
 	// autom package default).
 	CanonMaxNodes int64
-	// CacheCapacity bounds completed cache entries (default 4096); the
-	// oldest completed entries are evicted first.
+	// CacheCapacity bounds the default in-memory backend's completed
+	// cache entries (default 4096); the oldest entries are evicted first.
+	// Ignored when Backend is set.
 	CacheCapacity int
+	// Backend stores definitive results under their canonical cache key.
+	// nil selects an in-memory backend bounded by CacheCapacity; use
+	// NewDiskBackend / OpenDiskBackend for a cache that survives
+	// restarts. The service assumes ownership and closes the backend in
+	// Close.
+	Backend Backend
+	// ProgressInterval is the minimum spacing of a job's progress
+	// snapshots per reporting engine (0 selects
+	// solverutil.DefaultProgressInterval, 200ms). It applies to the
+	// built-in solver; a custom Solve paces its own reports.
+	ProgressInterval time.Duration
 	// MaxJobs bounds retained job records (default 16384). When exceeded,
 	// the oldest *finished* jobs are forgotten — their ids then return
 	// ErrNoSuchJob — so a long-running daemon does not grow without bound.
@@ -215,7 +251,42 @@ type job struct {
 	result    *Result
 	canceled  bool // explicit Cancel call (vs timeout)
 
+	// Live progress: the latest snapshot, a monotonically increasing
+	// sequence number, and a wake channel closed (and replaced) on every
+	// update so streamers can block without polling.
+	prog     Progress
+	progWake chan struct{}
+
 	done chan struct{}
+}
+
+// Progress is a live view of a running job's search, assembled from the
+// solver's rate-limited progress callbacks. Seq increases with every
+// snapshot; a Seq of 0 means the job has not reported yet.
+type Progress struct {
+	// Seq orders snapshots within one job.
+	Seq int64 `json:"seq"`
+	// K is the effective color bound the job is solving under (the
+	// submitted K, or max degree + 1 when the submission left it 0).
+	K int `json:"k"`
+	// Elapsed is the time since the job started running.
+	Elapsed time.Duration `json:"elapsed"`
+	solverutil.Progress
+}
+
+// recordProgress stores a new snapshot and wakes all watchers. Called from
+// solver goroutines — under a portfolio, several concurrently.
+func (j *job) recordProgress(effK int, p solverutil.Progress) {
+	j.mu.Lock()
+	j.prog = Progress{
+		Seq:      j.prog.Seq + 1,
+		K:        effK,
+		Elapsed:  time.Since(j.started),
+		Progress: p,
+	}
+	close(j.progWake)
+	j.progWake = make(chan struct{})
+	j.mu.Unlock()
 }
 
 // JobInfo is a point-in-time snapshot of a job.
@@ -233,15 +304,20 @@ type JobInfo struct {
 
 // Service is the concurrent coloring scheduler.
 type Service struct {
-	cfg   Config
-	solve SolveFunc
-	queue chan *job
-	wg    sync.WaitGroup
+	cfg     Config
+	solve   SolveFunc
+	backend Backend
+	queue   chan *job
+	wg      sync.WaitGroup
 
 	mu       sync.Mutex
 	jobs     map[string]*job
 	finished []string // finished job ids, oldest first, for pruning
-	cache    *canonCache
+	// inflight maps cache keys to singleflight entries (guarded by mu;
+	// waiting on an entry's done channel happens outside the lock). Its
+	// size is bounded by the worker count — leaders remove their entry
+	// the moment they publish.
+	inflight map[string]*entry
 	closed   bool
 
 	nextID     atomic.Int64
@@ -252,6 +328,7 @@ type Service struct {
 	solverRuns atomic.Int64
 	cacheHits  atomic.Int64
 	dedupJoins atomic.Int64
+	storeErrs  atomic.Int64
 	inexact    atomic.Int64
 	running    atomic.Int64
 }
@@ -271,14 +348,18 @@ func New(cfg Config) *Service {
 		cfg.MaxJobs = 16384
 	}
 	s := &Service{
-		cfg:   cfg,
-		solve: cfg.Solve,
-		queue: make(chan *job, cfg.QueueDepth),
-		jobs:  make(map[string]*job),
-		cache: newCanonCache(cfg.CacheCapacity),
+		cfg:      cfg,
+		solve:    cfg.Solve,
+		backend:  cfg.Backend,
+		queue:    make(chan *job, cfg.QueueDepth),
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]*entry),
 	}
 	if s.solve == nil {
-		s.solve = DefaultSolve
+		s.solve = defaultSolve(cfg.ProgressInterval)
+	}
+	if s.backend == nil {
+		s.backend = NewMemoryBackend(cfg.CacheCapacity)
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -299,6 +380,7 @@ func (s *Service) Submit(g *graph.Graph, spec JobSpec) (string, error) {
 		cancel:    cancel,
 		state:     StateQueued,
 		submitted: time.Now(),
+		progWake:  make(chan struct{}),
 		done:      make(chan struct{}),
 	}
 	s.mu.Lock()
@@ -378,7 +460,7 @@ func (s *Service) Jobs() []JobInfo {
 // Stats returns the cumulative service counters.
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
-	entries := s.cache.len()
+	inflight := len(s.inflight)
 	s.mu.Unlock()
 	return Stats{
 		Submitted:    s.submitted.Load(),
@@ -388,15 +470,18 @@ func (s *Service) Stats() Stats {
 		SolverRuns:   s.solverRuns.Load(),
 		CacheHits:    s.cacheHits.Load(),
 		DedupJoins:   s.dedupJoins.Load(),
+		StoreErrors:  s.storeErrs.Load(),
 		CanonInexact: s.inexact.Load(),
-		CacheEntries: entries,
+		CacheEntries: s.backend.Len(),
+		InFlight:     inflight,
 		QueueDepth:   len(s.queue),
 		Running:      int(s.running.Load()),
 	}
 }
 
 // Close stops accepting submissions, waits for queued and running jobs to
-// finish, and returns. Use CancelAll first for a fast shutdown.
+// finish, closes the cache backend, and returns. Use CancelAll first for a
+// fast shutdown.
 func (s *Service) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -408,6 +493,9 @@ func (s *Service) Close() {
 	s.mu.Unlock()
 	close(s.queue)
 	s.wg.Wait()
+	if err := s.backend.Close(); err != nil {
+		s.storeErrs.Add(1)
+	}
 }
 
 // CancelAll cancels every job that has not finished yet.
@@ -437,8 +525,9 @@ func (s *Service) worker() {
 	}
 }
 
-// run executes one job: canonicalize, consult the cache (joining an
-// in-flight isomorphic solve when one exists), otherwise solve and publish.
+// run executes one job: canonicalize, join an in-flight isomorphic solve
+// when one exists, otherwise consult the durable backend, and only when
+// both miss run a solver and publish the result to waiters and backend.
 func (s *Service) run(j *job) {
 	if j.ctx.Err() != nil {
 		s.finish(j, nil, nil)
@@ -470,15 +559,16 @@ func (s *Service) run(j *job) {
 	key := cacheKey(j.spec, canon)
 
 	s.mu.Lock()
-	e, ok := s.cache.get(key)
-	if !ok {
+	e, joined := s.inflight[key]
+	if !joined {
 		e = newEntry()
-		s.cache.put(key, e)
+		s.inflight[key] = e
 	}
 	s.mu.Unlock()
 
-	if ok {
-		joined := !e.ready()
+	if joined {
+		// Another worker is solving this equivalence class right now:
+		// wait for its answer instead of duplicating the work.
 		select {
 		case <-e.done:
 		case <-ctx.Done(): // job cancelled, or its own timeout expired
@@ -486,33 +576,136 @@ func (s *Service) run(j *job) {
 			return
 		}
 		if res := e.materialize(j.g, canon); res != nil {
-			if joined {
-				s.dedupJoins.Add(1)
-			} else {
-				s.cacheHits.Add(1)
-			}
+			s.dedupJoins.Add(1)
 			s.finish(j, res, nil)
 			return
 		}
-		// The entry could not serve this job (non-definitive leader
-		// outcome, or the defensive coloring check tripped): solve
-		// directly.
+		// The leader's solve was not definitive (or the defensive
+		// coloring check tripped): solve directly, without becoming a
+		// leader ourselves — re-registering here could livelock with
+		// other disappointed waiters. A definitive answer still goes to
+		// the backend so the equivalence class is not lost to the cache.
+		s.runSolver(ctx, j, canon, key)
+		return
 	}
 
-	out := s.solve(ctx, j.g, j.spec)
-	s.solverRuns.Add(1)
+	// Leader for this key. A durable backend may already hold the answer
+	// from an earlier run of this process — or, with a disk backend, an
+	// earlier life of this service.
+	if rec, ok := s.backend.Get(key); ok {
+		if res := materializeRecord(rec, j.g, canon); res != nil {
+			e.publishRecord(rec)
+			s.unregister(key)
+			s.cacheHits.Add(1)
+			s.finish(j, res, nil)
+			return
+		}
+		// Unusable record (e.g. foreign or stale disk state): fall
+		// through and re-solve; the fresh result overwrites it.
+	}
+
+	out := s.runSolverOutcome(ctx, j)
 	res := resultFromOutcome(out, j.spec, canon.Exact)
-	if !ok {
-		e.publish(out, j.spec, canon, res.Solved)
-		if !res.Solved {
-			// Do not let a budget-exhausted result poison future
-			// submissions that may carry a larger budget.
-			s.mu.Lock()
-			s.cache.remove(key)
-			s.mu.Unlock()
+	if res.Solved {
+		rec := recordFromOutcome(out, j.spec, canon)
+		e.publishRecord(rec)
+		if err := s.backend.Put(key, rec); err != nil {
+			// Best-effort persistence: the result still stands, the
+			// entry is just not durable.
+			s.storeErrs.Add(1)
+		}
+	} else {
+		// Do not let a budget-exhausted result poison future submissions
+		// that may carry a larger budget.
+		e.publishNone()
+	}
+	s.unregister(key)
+	s.finish(j, res, nil)
+}
+
+// unregister removes a published singleflight entry from the in-flight
+// table.
+func (s *Service) unregister(key string) {
+	s.mu.Lock()
+	delete(s.inflight, key)
+	s.mu.Unlock()
+}
+
+// runSolver solves the job directly (the non-leader path) and finishes
+// it, persisting a definitive outcome under key so later isomorphic
+// submissions still hit the cache.
+func (s *Service) runSolver(ctx context.Context, j *job, canon *autom.Canonical, key string) {
+	out := s.runSolverOutcome(ctx, j)
+	res := resultFromOutcome(out, j.spec, canon.Exact)
+	if res.Solved {
+		if err := s.backend.Put(key, recordFromOutcome(out, j.spec, canon)); err != nil {
+			s.storeErrs.Add(1)
 		}
 	}
 	s.finish(j, res, nil)
+}
+
+// runSolverOutcome invokes the solver with this job's progress sink.
+func (s *Service) runSolverOutcome(ctx context.Context, j *job) core.Outcome {
+	effK := core.EffectiveK(j.g, j.spec.K)
+	progress := func(p solverutil.Progress) { j.recordProgress(effK, p) }
+	out := s.solve(ctx, j.g, j.spec, progress)
+	s.solverRuns.Add(1)
+	return out
+}
+
+// Progress returns the job's latest progress snapshot. A Seq of 0 means
+// the job has not reported yet (still queued, done before the first
+// report, or served from the cache without running a solver).
+func (s *Service) Progress(id string) (Progress, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Progress{}, ErrNoSuchJob
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.prog, nil
+}
+
+// NextProgress blocks until the job publishes a progress snapshot with
+// Seq > afterSeq, the job reaches a terminal state, or ctx is done. It
+// returns (snapshot, true, nil) for a new snapshot and (last, false, nil)
+// once the job is terminal — the streaming consumer then reads the final
+// JobInfo. Pass the returned Seq back in to iterate.
+func (s *Service) NextProgress(ctx context.Context, id string, afterSeq int64) (Progress, bool, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Progress{}, false, ErrNoSuchJob
+	}
+	for {
+		j.mu.Lock()
+		if j.prog.Seq > afterSeq {
+			p := j.prog
+			j.mu.Unlock()
+			return p, true, nil
+		}
+		wake := j.progWake
+		j.mu.Unlock()
+		select {
+		case <-wake:
+			continue
+		case <-j.done:
+			// Terminal; report a snapshot that raced the finish, if any.
+			j.mu.Lock()
+			p := j.prog
+			j.mu.Unlock()
+			if p.Seq > afterSeq {
+				return p, true, nil
+			}
+			return p, false, nil
+		case <-ctx.Done():
+			return Progress{}, false, ctx.Err()
+		}
+	}
 }
 
 // finish moves a job to its terminal state. A nil result means the job was

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// lockDir is a no-op on platforms without flock semantics; single-process
+// use per directory is then the operator's responsibility.
+func lockDir(dir string) (*os.File, error) { return nil, nil }
+
+func unlockDir(f *os.File) {}

@@ -1,0 +1,524 @@
+// Package store implements the durable layer under the service's canonical
+// result cache: an append-only, CRC-checked key/value log with snapshot +
+// write-ahead-log (WAL) files and background compaction.
+//
+// The design goal is restart safety for a cache whose entries are expensive
+// to recompute (one entry is one definitive solve of an isomorphism class)
+// but individually cheap to lose: every Put appends one self-checking
+// record to the WAL, Open replays snapshot then WAL with last-write-wins
+// semantics, and a corrupt or truncated WAL tail — the normal residue of a
+// crash mid-append — is cut off rather than treated as fatal. When the WAL
+// outgrows the snapshot, a background compaction rotates the WAL aside,
+// rewrites the snapshot from the in-memory map, and removes the rotated
+// segment; a crash at any point of that sequence leaves a state Open knows
+// how to finish.
+//
+// On-disk layout inside the store directory:
+//
+//	snapshot.gcs   full key/value dump as of the last compaction
+//	wal.gcs        records appended since the snapshot
+//	wal.old.gcs    rotated WAL, present only mid-compaction (or post-crash)
+//	snapshot.tmp   snapshot being rewritten, present only mid-compaction
+//
+// Every file starts with the 8-byte magic "GCSTORE1" followed by records:
+//
+//	uint32 key length (little-endian)
+//	uint32 value length
+//	key bytes
+//	value bytes
+//	uint32 CRC-32 (IEEE) over everything above
+//
+// Records never mutate in place; a later record for the same key supersedes
+// the earlier one at replay. The store keeps the full map in memory (values
+// are a few hundred bytes per solved equivalence class), so Get never
+// touches disk.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+const (
+	magic = "GCSTORE1"
+
+	snapshotName = "snapshot.gcs"
+	walName      = "wal.gcs"
+	walOldName   = "wal.old.gcs"
+	snapTmpName  = "snapshot.tmp"
+
+	// maxKeyLen and maxValueLen bound a single record; lengths beyond them
+	// mean the header itself is garbage, not merely a big record.
+	maxKeyLen   = 1 << 20
+	maxValueLen = 1 << 28
+
+	recordOverhead = 4 + 4 + 4 // two length words + CRC
+)
+
+// Options tune a Store.
+type Options struct {
+	// CompactMinWALBytes is the WAL size below which compaction is never
+	// triggered automatically (0 selects 1 MiB). Compaction also requires
+	// the WAL to have outgrown the snapshot, so steady-state rewrite cost
+	// stays proportional to churn.
+	CompactMinWALBytes int64
+	// SyncWrites fsyncs the WAL after every Put. Off by default: the cache
+	// is a performance layer, and losing the final records of a hard crash
+	// only costs re-solves, never correctness.
+	SyncWrites bool
+}
+
+func (o Options) compactMin() int64 {
+	if o.CompactMinWALBytes <= 0 {
+		return 1 << 20
+	}
+	return o.CompactMinWALBytes
+}
+
+// Stats report a store's state and lifetime counters.
+type Stats struct {
+	Entries       int   `json:"entries"`
+	WALBytes      int64 `json:"wal_bytes"`
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+	// TailDropped counts records discarded at Open because the tail of a
+	// file failed its CRC or was truncated mid-record.
+	TailDropped int   `json:"tail_dropped"`
+	Compactions int64 `json:"compactions"`
+}
+
+// Store is a crash-safe key/value map backed by snapshot + WAL files. All
+// methods are safe for concurrent use.
+type Store struct {
+	opts Options
+	dir  string
+
+	mu         sync.Mutex
+	entries    map[string][]byte
+	lock       *os.File // exclusive directory lock, held until Close
+	wal        *os.File
+	walBytes   int64
+	snapBytes  int64
+	tailDrops  int
+	compacts   int64
+	compacting bool
+	compactErr error
+	closed     bool
+	compactWG  sync.WaitGroup
+}
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// Open loads (or creates) the store under dir, replaying the snapshot and
+// WAL. Corrupt or truncated file tails are dropped, never fatal: the store
+// opens with every record up to the first bad one, and the WAL is truncated
+// back to its last intact record so subsequent appends start clean. An
+// interrupted compaction (a leftover rotated WAL) is completed before Open
+// returns. The directory is locked exclusively (flock) for the life of the
+// store: a second process opening the same directory fails here rather
+// than interleaving WAL appends with the first.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			unlockDir(lock)
+		}
+	}()
+	s := &Store{opts: opts, dir: dir, entries: make(map[string][]byte), lock: lock}
+
+	snapBytes, drops, err := s.loadFile(filepath.Join(dir, snapshotName))
+	if err != nil {
+		return nil, err
+	}
+	s.snapBytes = snapBytes
+	s.tailDrops += drops
+
+	walOld := filepath.Join(dir, walOldName)
+	oldExists := false
+	if _, statErr := os.Stat(walOld); statErr == nil {
+		oldExists = true
+		if _, drops, err = s.loadFile(walOld); err != nil {
+			return nil, err
+		}
+		s.tailDrops += drops
+	}
+
+	walPath := filepath.Join(dir, walName)
+	walGood, drops, err := s.loadFile(walPath)
+	if err != nil {
+		return nil, err
+	}
+	s.tailDrops += drops
+
+	if oldExists {
+		// A compaction died between rotating the WAL and removing the
+		// rotated segment. Finish it now: the in-memory map already merges
+		// snapshot + rotated WAL + current WAL, so a fresh snapshot of the
+		// map supersedes the rotated segment (the current WAL replays on
+		// top idempotently).
+		if err := s.writeSnapshot(); err != nil {
+			return nil, err
+		}
+		if err := os.Remove(walOld); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+
+	wal, err := os.OpenFile(walPath, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if walGood == 0 {
+		// New or fully corrupt file: start from a clean header.
+		if err := wal.Truncate(0); err != nil {
+			wal.Close()
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		if _, err := wal.Write([]byte(magic)); err != nil {
+			wal.Close()
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		walGood = int64(len(magic))
+	} else if err := wal.Truncate(walGood); err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if _, err := wal.Seek(walGood, io.SeekStart); err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s.wal = wal
+	s.walBytes = walGood
+	ok = true
+	return s, nil
+}
+
+// loadFile replays one record file into the map (last write wins). It
+// returns the offset just past the last intact record (0 when the file is
+// missing or its header is bad) and the number of tail records dropped.
+// Only I/O errors other than a short tail are returned as errors.
+func (s *Store) loadFile(path string) (good int64, dropped int, err error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("store: %w", err)
+	}
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		if len(data) > 0 {
+			dropped++
+		}
+		return 0, dropped, nil
+	}
+	off := int64(len(magic))
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			return off, dropped, nil
+		}
+		if len(rest) < 8 {
+			return off, dropped + 1, nil
+		}
+		keyLen := binary.LittleEndian.Uint32(rest[0:4])
+		valLen := binary.LittleEndian.Uint32(rest[4:8])
+		if keyLen > maxKeyLen || valLen > maxValueLen {
+			return off, dropped + 1, nil
+		}
+		recLen := int64(recordOverhead) + int64(keyLen) + int64(valLen)
+		if int64(len(rest)) < recLen {
+			return off, dropped + 1, nil
+		}
+		body := rest[:recLen-4]
+		want := binary.LittleEndian.Uint32(rest[recLen-4 : recLen])
+		if crc32.ChecksumIEEE(body) != want {
+			return off, dropped + 1, nil
+		}
+		key := string(rest[8 : 8+keyLen])
+		val := make([]byte, valLen)
+		copy(val, rest[8+keyLen:8+int64(keyLen)+int64(valLen)])
+		s.entries[key] = val
+		off += recLen
+	}
+}
+
+// appendRecord writes one record to w.
+func appendRecord(w io.Writer, key string, val []byte) (int64, error) {
+	buf := make([]byte, 0, recordOverhead+len(key)+len(val))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(val)))
+	buf = append(buf, key...)
+	buf = append(buf, val...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+// Get returns the stored value for key. The returned slice is shared and
+// must not be modified by the caller.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.entries[key]
+	return v, ok
+}
+
+// Put durably records key → val (val is copied). When the WAL has outgrown
+// both the compaction threshold and the snapshot, a background compaction
+// is started.
+func (s *Store) Put(key string, val []byte) error {
+	if len(key) > maxKeyLen || len(val) > maxValueLen {
+		return fmt.Errorf("store: record too large (key %d, value %d bytes)", len(key), len(val))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	// The in-memory entry is installed even when the append fails below:
+	// a durability error must not also disable same-process caching.
+	s.entries[key] = append([]byte(nil), val...)
+	n, err := appendRecord(s.wal, key, val)
+	if err != nil {
+		// Cut a partial append back off the WAL: left in place it would
+		// end replay at the next Open, silently dropping every good
+		// record written after it.
+		if s.wal.Truncate(s.walBytes) == nil {
+			s.wal.Seek(s.walBytes, io.SeekStart)
+		} else {
+			s.walBytes += n // truncate failed; account for the torn bytes
+		}
+		return fmt.Errorf("store: %w", err)
+	}
+	s.walBytes += n
+	if s.opts.SyncWrites {
+		if err := s.wal.Sync(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	if !s.compacting && s.walBytes >= s.opts.compactMin() && s.walBytes > s.snapBytes {
+		s.startCompactionLocked()
+	}
+	return nil
+}
+
+// Len returns the number of live entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Stats returns a point-in-time snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Entries:       len(s.entries),
+		WALBytes:      s.walBytes,
+		SnapshotBytes: s.snapBytes,
+		TailDropped:   s.tailDrops,
+		Compactions:   s.compacts,
+	}
+}
+
+// Err reports the last background-compaction failure, if any. A failed
+// compaction never loses data (the rotated WAL stays on disk and replays at
+// the next Open); it only postpones space reclamation.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactErr
+}
+
+// Compact synchronously rewrites the snapshot from the in-memory map and
+// resets the WAL. Safe to call concurrently with Puts.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if s.compacting {
+		// A background pass is already running; wait for it.
+		s.mu.Unlock()
+		s.compactWG.Wait()
+		return s.Err()
+	}
+	if err := s.rotateWALLocked(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	s.compactWG.Add(1)
+	s.mu.Unlock()
+	defer s.compactWG.Done()
+	return s.finishCompaction()
+}
+
+// startCompactionLocked rotates the WAL and kicks off the snapshot rewrite
+// in the background. Caller holds s.mu.
+func (s *Store) startCompactionLocked() {
+	if err := s.rotateWALLocked(); err != nil {
+		s.compactErr = err
+		return
+	}
+	s.compactWG.Add(1)
+	go func() {
+		defer s.compactWG.Done()
+		if err := s.finishCompaction(); err != nil {
+			s.mu.Lock()
+			s.compactErr = err
+			s.mu.Unlock()
+		}
+	}()
+}
+
+// rotateWALLocked moves the live WAL aside and opens a fresh one, marking
+// the store as compacting. Caller holds s.mu. On any failure it restores a
+// usable append handle on the un-rotated WAL, so a transient error (disk
+// full, EMFILE) degrades to "compaction postponed", never to a wedged
+// store whose every Put fails against a closed file.
+func (s *Store) rotateWALLocked() error {
+	walPath := filepath.Join(s.dir, walName)
+	oldPath := filepath.Join(s.dir, walOldName)
+	reopen := func() {
+		if f, err := os.OpenFile(walPath, os.O_CREATE|os.O_RDWR, 0o644); err == nil {
+			if _, err := f.Seek(0, io.SeekEnd); err == nil {
+				s.wal = f
+				return
+			}
+			f.Close()
+		}
+	}
+	if err := s.wal.Close(); err != nil {
+		reopen()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(walPath, oldPath); err != nil {
+		reopen()
+		return fmt.Errorf("store: %w", err)
+	}
+	wal, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err == nil {
+		if _, werr := wal.Write([]byte(magic)); werr != nil {
+			wal.Close()
+			os.Remove(walPath)
+			err = werr
+		}
+	}
+	if err != nil {
+		// Undo the rotation and resume appending to the original WAL.
+		os.Rename(oldPath, walPath)
+		reopen()
+		return fmt.Errorf("store: %w", err)
+	}
+	s.wal = wal
+	s.walBytes = int64(len(magic))
+	s.compacting = true
+	return nil
+}
+
+// finishCompaction writes the snapshot and removes the rotated WAL.
+func (s *Store) finishCompaction() error {
+	err := s.writeSnapshot()
+	if err == nil {
+		err = os.Remove(filepath.Join(s.dir, walOldName))
+		if err != nil {
+			err = fmt.Errorf("store: %w", err)
+		}
+	}
+	s.mu.Lock()
+	s.compacting = false
+	if err == nil {
+		s.compacts++
+		s.compactErr = nil
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// writeSnapshot dumps the current map to snapshot.tmp and renames it over
+// the snapshot atomically.
+func (s *Store) writeSnapshot() error {
+	s.mu.Lock()
+	dump := make(map[string][]byte, len(s.entries))
+	for k, v := range s.entries {
+		dump[k] = v
+	}
+	s.mu.Unlock()
+
+	tmpPath := filepath.Join(s.dir, snapTmpName)
+	f, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	var bytes int64 = int64(len(magic))
+	if _, err := f.Write([]byte(magic)); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	for k, v := range dump {
+		n, err := appendRecord(f, k, v)
+		bytes += n
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmpPath, filepath.Join(s.dir, snapshotName)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	// Make the rename durable before the caller deletes the rotated WAL:
+	// without the directory fsync, a power cut could persist the WAL
+	// removal but not the snapshot rename, losing the rotated records.
+	// Best-effort — not every platform supports fsync on directories.
+	if d, err := os.Open(s.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	s.mu.Lock()
+	s.snapBytes = bytes
+	s.mu.Unlock()
+	return nil
+}
+
+// Close waits for any in-flight compaction, flushes, and closes the WAL.
+// The store is unusable afterwards.
+func (s *Store) Close() error {
+	s.compactWG.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	defer unlockDir(s.lock)
+	if err := s.wal.Sync(); err != nil {
+		s.wal.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := s.wal.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,268 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+func put(t *testing.T, s *Store, key, val string) {
+	t.Helper()
+	if err := s.Put(key, []byte(val)); err != nil {
+		t.Fatalf("Put(%s): %v", key, err)
+	}
+}
+
+func expect(t *testing.T, s *Store, key, val string) {
+	t.Helper()
+	got, ok := s.Get(key)
+	if !ok {
+		t.Fatalf("Get(%s): missing", key)
+	}
+	if string(got) != val {
+		t.Fatalf("Get(%s) = %q, want %q", key, got, val)
+	}
+}
+
+func expectMissing(t *testing.T, s *Store, key string) {
+	t.Helper()
+	if _, ok := s.Get(key); ok {
+		t.Fatalf("Get(%s): present, want missing", key)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for i := 0; i < 100; i++ {
+		put(t, s, fmt.Sprintf("key-%d", i), fmt.Sprintf("value-%d", i))
+	}
+	put(t, s, "key-7", "rewritten") // last write wins
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s = mustOpen(t, dir, Options{})
+	defer s.Close()
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", s.Len())
+	}
+	expect(t, s, "key-0", "value-0")
+	expect(t, s, "key-7", "rewritten")
+	expect(t, s, "key-99", "value-99")
+}
+
+func TestTruncatedWALTail(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	put(t, s, "alpha", "1")
+	put(t, s, "beta", "2")
+	put(t, s, "gamma", "3")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Chop the last record in half: the crash-mid-append shape.
+	walPath := filepath.Join(dir, walName)
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, data[:len(data)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s = mustOpen(t, dir, Options{})
+	expect(t, s, "alpha", "1")
+	expect(t, s, "beta", "2")
+	expectMissing(t, s, "gamma")
+	if st := s.Stats(); st.TailDropped == 0 {
+		t.Fatalf("TailDropped = 0, want > 0")
+	}
+
+	// The WAL was truncated back to its last intact record, so new appends
+	// land cleanly after it.
+	put(t, s, "delta", "4")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s = mustOpen(t, dir, Options{})
+	defer s.Close()
+	expect(t, s, "beta", "2")
+	expect(t, s, "delta", "4")
+}
+
+func TestBitFlippedCRC(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	put(t, s, "alpha", "1")
+	put(t, s, "beta", "2")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one bit inside the *last* record's value; its CRC check must
+	// reject the record while everything before it survives.
+	walPath := filepath.Join(dir, walName)
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-6] ^= 0x40
+	if err := os.WriteFile(walPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s = mustOpen(t, dir, Options{})
+	defer s.Close()
+	expect(t, s, "alpha", "1")
+	expectMissing(t, s, "beta")
+	if st := s.Stats(); st.TailDropped != 1 {
+		t.Fatalf("TailDropped = %d, want 1", st.TailDropped)
+	}
+}
+
+func TestCorruptHeaderIsNotFatal(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	put(t, s, "alpha", "1")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, walName), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s = mustOpen(t, dir, Options{})
+	defer s.Close()
+	expectMissing(t, s, "alpha")
+	put(t, s, "beta", "2") // store still usable
+	expect(t, s, "beta", "2")
+}
+
+func TestSnapshotReplayEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for i := 0; i < 50; i++ {
+		put(t, s, fmt.Sprintf("key-%d", i), fmt.Sprintf("v%d", i))
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if st := s.Stats(); st.Compactions != 1 || st.SnapshotBytes == 0 {
+		t.Fatalf("after compact: %+v", st)
+	}
+	// Post-compaction records land in the fresh WAL on top of the snapshot.
+	put(t, s, "key-3", "overwritten")
+	put(t, s, "extra", "tail")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s = mustOpen(t, dir, Options{})
+	defer s.Close()
+	if s.Len() != 51 {
+		t.Fatalf("Len = %d, want 51", s.Len())
+	}
+	expect(t, s, "key-3", "overwritten")
+	expect(t, s, "key-49", "v49")
+	expect(t, s, "extra", "tail")
+}
+
+func TestInterruptedCompactionRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	put(t, s, "alpha", "1")
+	put(t, s, "beta", "2")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash after the WAL rotation but before the snapshot
+	// rewrite finished: the data lives only in wal.old.gcs.
+	if err := os.Rename(filepath.Join(dir, walName), filepath.Join(dir, walOldName)); err != nil {
+		t.Fatal(err)
+	}
+
+	s = mustOpen(t, dir, Options{})
+	defer s.Close()
+	expect(t, s, "alpha", "1")
+	expect(t, s, "beta", "2")
+	if _, err := os.Stat(filepath.Join(dir, walOldName)); !os.IsNotExist(err) {
+		t.Fatalf("wal.old.gcs still present after recovery (err=%v)", err)
+	}
+	// The completed recovery snapshot holds the data on its own.
+	if st := s.Stats(); st.SnapshotBytes == 0 {
+		t.Fatalf("snapshot empty after recovery: %+v", st)
+	}
+}
+
+func TestAutomaticBackgroundCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{CompactMinWALBytes: 256})
+	for i := 0; i < 200; i++ {
+		put(t, s, fmt.Sprintf("key-%d", i%10), fmt.Sprintf("value-%d", i))
+	}
+	if err := s.Close(); err != nil { // Close waits for background passes
+		t.Fatal(err)
+	}
+	if err := func() error {
+		s := mustOpen(t, dir, Options{})
+		defer s.Close()
+		if s.Len() != 10 {
+			return fmt.Errorf("Len = %d, want 10", s.Len())
+		}
+		return nil
+	}(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", s.Len())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s = mustOpen(t, dir, Options{})
+	defer s.Close()
+	expectMissing(t, s, "anything")
+}
+
+func TestSecondOpenOfLockedDirFails(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	defer s.Close()
+	if s2, err := Open(dir, Options{}); err == nil {
+		s2.Close()
+		t.Fatal("second Open of a locked directory succeeded")
+	}
+	// After Close the directory is free again.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3 := mustOpen(t, dir, Options{})
+	s3.Close()
+}
+
+func TestPutAfterCloseFails(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("v")); err != ErrClosed {
+		t.Fatalf("Put after Close = %v, want ErrClosed", err)
+	}
+}

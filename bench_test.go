@@ -324,6 +324,31 @@ func BenchmarkSolverSearchKnobs(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelSolve compares the sequential engine against the
+// cube-and-conquer subsystem on a DSJC-style random instance (dense
+// enough that the optimality proof dominates). The sub-benchmarks share
+// one instance, so `make bench-compare` records sequential-vs-parallel
+// wall clock side by side; on a multi-core runner the parallel variant
+// shows the speedup (on a single core it only measures the subsystem's
+// overhead).
+func BenchmarkParallelSolve(b *testing.B) {
+	g := graph.Random("DSJC-style-34", 34, 280, 7)
+	run := func(b *testing.B, parallel int) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out := core.Solve(context.Background(), g, core.Config{
+				K: 11, SBP: encode.SBPNU, Engine: pbsolver.EnginePBS,
+				Parallel: parallel, Timeout: 2 * time.Minute,
+			})
+			if out.Chi != 8 {
+				b.Fatalf("chi=%d status=%v", out.Chi, out.Result.Status)
+			}
+		}
+	}
+	b.Run("sequential", func(b *testing.B) { run(b, 0) })
+	b.Run("parallel-4", func(b *testing.B) { run(b, 4) })
+}
+
 // BenchmarkSymmetryDetection times the Saucy-analogue on a full-size
 // encoding (anna, K=20).
 func BenchmarkSymmetryDetection(b *testing.B) {

@@ -36,6 +36,7 @@ import (
 	"repro/internal/pbsolver"
 	"repro/internal/service"
 	"repro/internal/solverutil"
+	"repro/internal/store"
 )
 
 func main() {
@@ -48,6 +49,9 @@ func main() {
 	instDep := flag.Bool("instdep", false, "detect and break instance-dependent symmetries")
 	engineName := flag.String("engine", "pbs2", "solver engine: pbs2,galena,pueblo,bnb")
 	portfolio := flag.Bool("portfolio", false, "race all engines, keep the first definitive answer")
+	parallel := flag.Int("parallel", 0, "cube-and-conquer worker count (>1 enables the parallel subsystem)")
+	cubeDepth := flag.Int("cube-depth", 0, "cube branching depth (0 = auto, ~8 cubes per worker)")
+	shareLBD := flag.Int("share-lbd", 0, "learnt-clause exchange LBD threshold (0 = default 2, negative disables sharing)")
 	timeout := flag.Duration("timeout", time.Minute, "solve budget per instance")
 	exact := flag.Bool("exact", false, "use the problem-specific DSATUR branch-and-bound instead")
 	showColoring := flag.Bool("coloring", false, "print the witness coloring")
@@ -59,6 +63,8 @@ func main() {
 	dynamicLBD := flag.Bool("dynamic-lbd", false, "recompute learnt-clause LBDs during conflict analysis")
 	progress := flag.Bool("progress", false, "print live search progress to stderr while solving")
 	storeDir := flag.String("store.dir", "", "batch mode: persist the result cache in this directory (snapshot+WAL)")
+	storeMaxAge := flag.Duration("store.maxage", 0, "drop persisted records older than this at compaction (0 = keep forever)")
+	storeMaxBytes := flag.Int64("store.maxbytes", 0, "target on-disk size of the persistent cache; oldest records dropped at compaction (0 = unbounded)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -105,13 +111,15 @@ func main() {
 		InstanceDependent: *instDep, Timeout: *timeout,
 		ChronoThreshold: *chrono, VivifyBudget: *vivify, DynamicLBD: *dynamicLBD,
 		GlueLBD: *glueLBD, ReduceInterval: *reduceInterval, RestartBase: *restartBase,
+		Parallel: *parallel, CubeDepth: *cubeDepth, ShareLBD: *shareLBD,
 	}
 
 	if *batch != "" {
 		if *bench != "" || *file != "" {
 			fatal(fmt.Errorf("-batch excludes -bench and -file"))
 		}
-		if err := runBatch(ctx, strings.Split(*batch, ","), spec, *workers, *storeDir, *progress); err != nil {
+		sc := storeConfig{dir: *storeDir, maxAge: *storeMaxAge, maxBytes: *storeMaxBytes}
+		if err := runBatch(ctx, strings.Split(*batch, ","), spec, *workers, sc, *progress); err != nil {
 			fatal(err)
 		}
 		return
@@ -144,6 +152,7 @@ func main() {
 		Engine: eng, Portfolio: *portfolio, Timeout: *timeout,
 		GlueLBD: *glueLBD, ReduceInterval: *reduceInterval, RestartBase: *restartBase,
 		ChronoThreshold: *chrono, VivifyBudget: *vivify, DynamicLBD: *dynamicLBD,
+		Parallel: *parallel, CubeDepth: *cubeDepth, ShareLBD: *shareLBD,
 	}
 	if *progress {
 		cfg.Progress = liveProgressPrinter()
@@ -175,6 +184,10 @@ func main() {
 	st := out.Result.Stats
 	fmt.Printf("search: %d decisions, %d restarts, %d chrono backtracks, %d vivified lits, %d LBD updates\n",
 		st.Decisions, st.Restarts, st.ChronoBacktracks, st.VivifiedLits, st.LBDUpdates)
+	if p := out.Par; p != nil {
+		fmt.Printf("parallel: %d workers, %d cubes (%d refuted by lookahead, %d conquered), %d clauses shared, %d imported\n",
+			p.Workers, p.CubesGenerated, p.CubesRefuted, p.CubesClosed, p.ClausesExported, p.ClausesImported)
+	}
 	if *showColoring && out.Coloring != nil {
 		fmt.Println("coloring:", out.Coloring)
 	}
@@ -222,18 +235,28 @@ func watchJobProgress(svc *service.Service, id, name string) {
 	}
 }
 
+// storeConfig carries the persistent-cache flags into batch mode.
+type storeConfig struct {
+	dir      string
+	maxAge   time.Duration
+	maxBytes int64
+}
+
 // runBatch solves every named instance through the coloring service and
 // prints a per-job summary once all finish (or ctx is cancelled). With
-// storeDir set, the result cache is persisted there, so a later batch run
+// store.dir set, the result cache is persisted there, so a later batch run
 // (or gcolord) over the same directory reuses every definitive answer.
-func runBatch(ctx context.Context, names []string, spec service.JobSpec, workers int, storeDir string, progress bool) error {
+func runBatch(ctx context.Context, names []string, spec service.JobSpec, workers int, sc storeConfig, progress bool) error {
 	cfg := service.Config{Workers: workers, DefaultTimeout: spec.Timeout}
-	if storeDir != "" {
-		backend, err := service.OpenDiskBackend(storeDir)
+	if sc.dir != "" {
+		backend, err := service.OpenDiskBackendOptions(sc.dir, store.Options{
+			MaxAge:   sc.maxAge,
+			MaxBytes: sc.maxBytes,
+		})
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "persistent cache at %s: %d records loaded\n", storeDir, backend.Len())
+		fmt.Fprintf(os.Stderr, "persistent cache at %s: %d records loaded\n", sc.dir, backend.Len())
 		cfg.Backend = backend
 	}
 	svc := service.New(cfg)

@@ -1,0 +1,192 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMetricsEndpoint: /metrics serves the Prometheus text format with
+// the service counters, reflecting real activity.
+func TestMetricsEndpoint(t *testing.T) {
+	srv, svc := startDaemon(t, "")
+	id := submitJob(t, srv, `{"bench":"myciel3","k":6,"engine":"pbs2"}`)
+	waitDone(t, srv, id)
+	_ = svc
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE gcolord_jobs_submitted_total counter",
+		"gcolord_jobs_submitted_total 1",
+		"gcolord_solver_runs_total 1",
+		"# TYPE gcolord_queue_depth gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, text)
+		}
+	}
+	// No store configured: no store metrics.
+	if strings.Contains(text, "gcolord_store_wal_bytes") {
+		t.Fatalf("store metrics exposed without -store.dir:\n%s", text)
+	}
+}
+
+// TestMetricsEndpointWithStore includes the persistent-store gauges.
+func TestMetricsEndpointWithStore(t *testing.T) {
+	srv, _ := startDaemon(t, t.TempDir())
+	id := submitJob(t, srv, `{"bench":"myciel3","k":6}`)
+	waitDone(t, srv, id)
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{"gcolord_store_entries", "gcolord_store_wal_bytes", "gcolord_store_gc_dropped_total"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestEventsResumeAfter: ?after=<seq> suppresses already-seen snapshots —
+// a finished job streamed with a huge after yields only the result event,
+// and a malformed after is a 400.
+func TestEventsResumeAfter(t *testing.T) {
+	srv, _ := startDaemon(t, "")
+	id := submitJob(t, srv, `{"bench":"myciel4","k":8,"timeout":"2s"}`)
+
+	// First stream: collect at least one progress seq, then disconnect.
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastSeq int64
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev struct {
+			Type     string `json:"type"`
+			Progress *struct {
+				Seq int64 `json:"seq"`
+			} `json:"progress"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Type == "progress" {
+			lastSeq = ev.Progress.Seq
+			break
+		}
+	}
+	resp.Body.Close()
+	if lastSeq == 0 {
+		t.Fatal("no progress event on the first stream")
+	}
+	waitDone(t, srv, id)
+
+	// Reconnect past everything: only the terminal result may arrive.
+	resp, err = http.Get(srv.URL + "/v1/jobs/" + id + "/events?after=1000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc = bufio.NewScanner(resp.Body)
+	var types []string
+	for sc.Scan() {
+		var ev struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Type != "heartbeat" {
+			types = append(types, ev.Type)
+		}
+	}
+	if len(types) != 1 || types[0] != "result" {
+		t.Fatalf("resume past end: want only [result], got %v", types)
+	}
+
+	// Malformed after.
+	resp, err = http.Get(srv.URL + "/v1/jobs/" + id + "/events?after=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("after=bogus: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestParallelJobOverHTTP submits a cube-and-conquer job through the JSON
+// API and reads its cube counters back from the result.
+func TestParallelJobOverHTTP(t *testing.T) {
+	srv, _ := startDaemon(t, "")
+	id := submitJob(t, srv, `{"bench":"myciel4","k":8,"sbp":"NU","parallel":3,"cube_depth":4,"share_lbd":6}`)
+	waitDone(t, srv, id)
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var res struct {
+		Status     int   `json:"status"`
+		Chi        int   `json:"chi"`
+		ParWorkers int   `json:"par_workers"`
+		Cubes      int64 `json:"cubes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Chi != 5 || res.ParWorkers != 3 || res.Cubes == 0 {
+		t.Fatalf("parallel result over HTTP: %+v", res)
+	}
+}
+
+// waitDone polls the job snapshot until it reaches a terminal state.
+func waitDone(t *testing.T, srv *httptest.Server, id string) {
+	t.Helper()
+	deadline := time.Now().Add(time.Minute)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(srv.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var info struct {
+			State string `json:"state"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&info)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch info.State {
+		case "done", "failed", "canceled":
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish in time", id)
+}

@@ -16,9 +16,11 @@
 //	GET    /v1/jobs/{id}         job status snapshot
 //	GET    /v1/jobs/{id}/result  result (202 while pending)
 //	GET    /v1/jobs/{id}/events  NDJSON stream: progress, heartbeats, result
+//	                             (?after=<seq> resumes past already-seen snapshots)
 //	DELETE /v1/jobs/{id}         cancel the job
 //	GET    /v1/stats             service counters
 //	GET    /v1/store             persistent-store counters (with -store.dir)
+//	GET    /metrics              Prometheus text exposition of the same counters
 //	GET    /healthz              liveness probe
 //
 // A job names its graph one of three ways: "bench" (a named benchmark
@@ -42,12 +44,14 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/graph"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
@@ -57,6 +61,8 @@ func main() {
 	timeout := flag.Duration("timeout", time.Minute, "default per-job solve budget")
 	cacheCap := flag.Int("cache", 4096, "canonical result cache capacity (memory backend)")
 	storeDir := flag.String("store.dir", "", "persist the result cache in this directory (snapshot+WAL); empty = memory only")
+	storeMaxAge := flag.Duration("store.maxage", 0, "drop persisted records older than this at compaction (0 = keep forever)")
+	storeMaxBytes := flag.Int64("store.maxbytes", 0, "target on-disk size of the persistent cache; oldest records dropped at compaction (0 = unbounded)")
 	heartbeat := flag.Duration("heartbeat", 10*time.Second, "idle heartbeat interval on /v1/jobs/{id}/events streams")
 	enablePprof := flag.Bool("pprof", false, "expose /debug/pprof (profiling) on the same listener")
 	flag.Parse()
@@ -65,7 +71,10 @@ func main() {
 	var disk *service.DiskBackend
 	if *storeDir != "" {
 		var err error
-		disk, err = service.OpenDiskBackend(*storeDir)
+		disk, err = service.OpenDiskBackendOptions(*storeDir, store.Options{
+			MaxAge:   *storeMaxAge,
+			MaxBytes: *storeMaxBytes,
+		})
 		if err != nil {
 			log.Fatalf("gcolord: open store: %v", err)
 		}
@@ -129,6 +138,13 @@ type jobRequest struct {
 	GlueLBD         int   `json:"glue_lbd,omitempty"`
 	ReduceInterval  int64 `json:"reduce_interval,omitempty"`
 	RestartBase     int64 `json:"restart_base,omitempty"`
+
+	// Cube-and-conquer knobs: Parallel > 1 solves the job with that many
+	// workers over generated cubes; CubeDepth and ShareLBD tune the split
+	// and the learnt-clause exchange. Also excluded from the cache key.
+	Parallel  int `json:"parallel,omitempty"`
+	CubeDepth int `json:"cube_depth,omitempty"`
+	ShareLBD  int `json:"share_lbd,omitempty"`
 }
 
 func (r *jobRequest) graph() (*graph.Graph, error) {
@@ -182,6 +198,7 @@ func (r *jobRequest) spec() (service.JobSpec, error) {
 		ChronoThreshold: r.ChronoThreshold, VivifyBudget: r.VivifyBudget,
 		DynamicLBD: r.DynamicLBD,
 		GlueLBD:    r.GlueLBD, ReduceInterval: r.ReduceInterval, RestartBase: r.RestartBase,
+		Parallel: r.Parallel, CubeDepth: r.CubeDepth, ShareLBD: r.ShareLBD,
 	}
 	if r.Timeout != "" {
 		d, err := time.ParseDuration(r.Timeout)
@@ -210,6 +227,7 @@ func newHandler(svc *service.Service, disk *service.DiskBackend, heartbeat time.
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("/metrics", metricsHandler(svc, disk))
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, svc.Stats())
 	})
@@ -313,10 +331,23 @@ type event struct {
 // streamEvents serves the NDJSON progress stream for one job: progress
 // events as the solver reports, heartbeats while idle, one terminal result
 // event, then EOF. An already-finished job yields just the result event.
+// A reconnecting client passes ?after=<seq> (the Seq of the last progress
+// event it saw) to resume without replaying: only snapshots newer than
+// that are sent. The service keeps the latest snapshot per job, so
+// "resume" means "skip stale", never "replay history".
 func streamEvents(svc *service.Service, w http.ResponseWriter, r *http.Request, id string, heartbeat time.Duration) {
 	if _, err := svc.Job(id); err != nil {
 		httpError(w, http.StatusNotFound, err.Error())
 		return
+	}
+	var after int64
+	if v := r.URL.Query().Get("after"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "after must be a non-negative integer sequence number")
+			return
+		}
+		after = n
 	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
@@ -334,7 +365,7 @@ func streamEvents(svc *service.Service, w http.ResponseWriter, r *http.Request, 
 		fl.Flush()
 		return true
 	}
-	var seq int64
+	seq := after
 	for {
 		hbCtx, cancel := context.WithTimeout(r.Context(), heartbeat)
 		p, more, err := svc.NextProgress(hbCtx, id, seq)

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/service"
+)
+
+// metricsHandler serves GET /metrics in the Prometheus text exposition
+// format (version 0.0.4): the cumulative service counters, the scheduler
+// gauges, and — when a persistent store is configured — the store's
+// file-size and GC counters. Everything here mirrors the JSON under
+// /v1/stats and /v1/store; the text form exists so a stock Prometheus
+// scrape needs no adapter.
+func metricsHandler(svc *service.Service, disk *service.DiskBackend) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		st := svc.Stats()
+		counter := func(name, help string, v int64) {
+			fmt.Fprintf(w, "# HELP gcolord_%s %s\n# TYPE gcolord_%s counter\ngcolord_%s %d\n", name, help, name, name, v)
+		}
+		gauge := func(name, help string, v int64) {
+			fmt.Fprintf(w, "# HELP gcolord_%s %s\n# TYPE gcolord_%s gauge\ngcolord_%s %d\n", name, help, name, name, v)
+		}
+		counter("jobs_submitted_total", "Jobs accepted by POST /v1/jobs.", st.Submitted)
+		counter("jobs_completed_total", "Jobs finished with a result.", st.Completed)
+		counter("jobs_failed_total", "Jobs that failed.", st.Failed)
+		counter("jobs_canceled_total", "Jobs canceled or timed out before a result.", st.Canceled)
+		counter("solver_runs_total", "Actual solver invocations (cache misses).", st.SolverRuns)
+		counter("cache_hits_total", "Results served from the cache backend.", st.CacheHits)
+		counter("dedup_joins_total", "Submissions that joined an identical in-flight solve.", st.DedupJoins)
+		counter("store_errors_total", "Failed cache-backend writes.", st.StoreErrors)
+		counter("canon_inexact_total", "Canonical searches truncated by their node budget.", st.CanonInexact)
+		gauge("cache_entries", "Definitive records in the cache backend.", int64(st.CacheEntries))
+		gauge("in_flight", "Solves currently leading a singleflight group.", int64(st.InFlight))
+		gauge("queue_depth", "Jobs queued but not yet started.", int64(st.QueueDepth))
+		gauge("running", "Jobs currently solving.", int64(st.Running))
+		if disk != nil {
+			ds := disk.Stats()
+			gauge("store_entries", "Live records in the persistent store.", int64(ds.Entries))
+			gauge("store_wal_bytes", "Current WAL size in bytes.", ds.WALBytes)
+			gauge("store_snapshot_bytes", "Current snapshot size in bytes.", ds.SnapshotBytes)
+			counter("store_tail_dropped_total", "Corrupt or truncated tail records dropped at startup.", int64(ds.TailDropped))
+			counter("store_compactions_total", "Completed WAL-into-snapshot compactions.", ds.Compactions)
+			counter("store_gc_dropped_total", "Records removed by the TTL/size GC policy.", ds.GCDropped)
+		}
+	}
+}

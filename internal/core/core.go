@@ -16,6 +16,7 @@ import (
 	"repro/internal/cnf"
 	"repro/internal/encode"
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/pb"
 	"repro/internal/pbsolver"
 	"repro/internal/sat"
@@ -39,8 +40,23 @@ type Config struct {
 	// BnB-as-CPLEX). Ignored when Portfolio is set.
 	Engine pbsolver.Engine
 	// Portfolio races all engines on the instance and keeps the first
-	// definitive answer (the service layer's default solve mode).
+	// definitive answer (the service layer's default solve mode). Ignored
+	// when Parallel > 1 (cube-and-conquer takes precedence).
 	Portfolio bool
+	// Parallel enables the cube-and-conquer subsystem (internal/par) when
+	// > 1: the encoded instance is split into cubes and conquered by this
+	// many workers sharing incumbents and glue-grade learnt clauses. 0 or
+	// 1 solves sequentially. EngineBnB has no incremental assumption
+	// core, so parallel runs conquer with EnginePBS workers.
+	Parallel int
+	// CubeDepth is the branching depth of the cube generator (at most
+	// 2^CubeDepth cubes; 0 = auto, about eight cubes per worker).
+	CubeDepth int
+	// ShareLBD is the learnt-clause exchange threshold between parallel
+	// workers (0 = default 2; negative disables sharing).
+	ShareLBD int
+	// CubeSeed steers the cube generator's deterministic tie-breaking.
+	CubeSeed int64
 	// Strategy selects the optimization loop (linear by default).
 	Strategy pbsolver.Strategy
 	// Timeout bounds the solve; zero means no limit. The paper used 1000 s;
@@ -111,6 +127,9 @@ type Outcome struct {
 	Result pbsolver.Result
 	// Winner is the engine that produced Result when Portfolio ran.
 	Winner pbsolver.Engine
+	// Par carries the cube-and-conquer counters when Parallel > 1 ran
+	// (nil otherwise).
+	Par *par.Stats
 	// Chi is the proven chromatic number within the K bound (0 unless
 	// optimal). An UNSAT outcome means χ > K.
 	Chi int
@@ -155,11 +174,26 @@ func Solve(ctx context.Context, g *graph.Graph, cfg Config) Outcome {
 		Progress:            cfg.Progress,
 		ProgressInterval:    cfg.ProgressInterval,
 	}
-	if cfg.Portfolio {
+	switch {
+	case cfg.Parallel > 1:
+		pres := par.Optimize(ctx, enc.F, par.Options{
+			Workers:   cfg.Parallel,
+			CubeDepth: cfg.CubeDepth,
+			ShareLBD:  cfg.ShareLBD,
+			Seed:      cfg.CubeSeed,
+			Solver:    sOpts,
+		})
+		out.Result = pres.Result
+		out.Par = &pres.Par
+		out.Winner = cfg.Engine
+		if cfg.Engine == pbsolver.EngineBnB {
+			out.Winner = pbsolver.EnginePBS // par conquers with CDCL workers
+		}
+	case cfg.Portfolio:
 		pres := pbsolver.PortfolioSolve(ctx, enc.F, pbsolver.PortfolioOptions{Base: sOpts})
 		out.Result = pres.Result
 		out.Winner = pres.Winner
-	} else {
+	default:
 		out.Result = pbsolver.Optimize(ctx, enc.F, sOpts)
 	}
 	if out.Result.Status == pbsolver.StatusOptimal || out.Result.Status == pbsolver.StatusSat {

@@ -1,0 +1,80 @@
+package par
+
+import (
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/solverutil"
+)
+
+func lits(xs ...int) []cnf.Lit {
+	out := make([]cnf.Lit, len(xs))
+	for i, x := range xs {
+		out[i] = cnf.Lit(x)
+	}
+	return out
+}
+
+// TestExchangeRouting: importers see every foreign clause exactly once and
+// never their own exports.
+func TestExchangeRouting(t *testing.T) {
+	x := NewExchange(16)
+	exp0, exp1 := x.Exporter(0), x.Exporter(1)
+	imp0, imp1 := x.Importer(0), x.Importer(1)
+
+	exp0(lits(1, -2), 2)
+	exp1(lits(3, 4, -5), 2)
+	exp0(lits(-6), 1)
+
+	got := imp0(nil)
+	if len(got) != 1 || len(got[0].Lits) != 3 {
+		t.Fatalf("importer 0: want only worker 1's clause, got %v", got)
+	}
+	got = imp1(nil)
+	if len(got) != 2 {
+		t.Fatalf("importer 1: want worker 0's two clauses, got %v", got)
+	}
+	if got[1].LBD != 1 || got[1].Lits[0] != cnf.Lit(-6) {
+		t.Fatalf("importer 1: LBD/payload mismatch: %+v", got[1])
+	}
+	// Second drain: nothing new.
+	if got := imp1(nil); len(got) != 0 {
+		t.Fatalf("importer 1 re-drain: want empty, got %v", got)
+	}
+	if x.Exported() != 3 || x.Imported() != 3 {
+		t.Fatalf("counters: exported=%d imported=%d", x.Exported(), x.Imported())
+	}
+}
+
+// TestExchangeImportIsolation: importers get private copies, so solver-side
+// normalization cannot corrupt other importers' views.
+func TestExchangeImportIsolation(t *testing.T) {
+	x := NewExchange(4)
+	x.Exporter(0)(lits(7, 8), 2)
+	a := x.Importer(1)(nil)
+	a[0].Lits[0] = cnf.Lit(99) // simulate in-place normalization
+	b := x.Importer(2)(nil)
+	if b[0].Lits[0] != cnf.Lit(7) {
+		t.Fatalf("importer 2 saw importer 1's mutation: %v", b[0].Lits)
+	}
+}
+
+// TestExchangeRingOverflow: a laggard that missed more than a full ring
+// only gets the surviving window — dropped, never duplicated or stale.
+func TestExchangeRingOverflow(t *testing.T) {
+	x := NewExchange(4)
+	imp := x.Importer(1)
+	exp := x.Exporter(0)
+	for i := 0; i < 10; i++ {
+		exp(lits(i+1), 1)
+	}
+	got := imp(make([]solverutil.SharedClause, 0, 8))
+	if len(got) != 4 {
+		t.Fatalf("laggard drain: want the 4 surviving slots, got %d", len(got))
+	}
+	for i, sc := range got {
+		if want := cnf.Lit(7 + i); sc.Lits[0] != want {
+			t.Fatalf("slot %d: want %v, got %v", i, want, sc.Lits[0])
+		}
+	}
+}

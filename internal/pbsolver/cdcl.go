@@ -64,6 +64,8 @@ type cdclEngine struct {
 	vivBuf    []cnf.Lit
 	probing   bool // vivification probe in progress: don't save phases
 
+	impBuf []solverutil.SharedClause // reusable Import drain buffer
+
 	prog solverutil.ProgressEmitter
 	// incumbent mirrors the surrounding optimization loop's best objective
 	// so far (-1 = none yet) for progress snapshots.
@@ -712,6 +714,77 @@ func cardinalityBound(c *pbc) int {
 	return len(c.terms) + 1 // unsatisfiable constraint
 }
 
+// exportLearnt offers a freshly learnt clause to the Export hook when its
+// LBD passes the sharing threshold. lits is the reusable analysis buffer;
+// the hook contract requires the receiver to copy.
+func (e *cdclEngine) exportLearnt(lits []cnf.Lit, lbd int) {
+	if e.opts.Export == nil || lbd > e.opts.exportLBD() || len(lits) > solverutil.MaxShareLen {
+		return
+	}
+	e.opts.Export(lits, lbd)
+	e.stats.Exported++
+}
+
+// importShared drains the Import hook and attaches the foreign clauses as
+// learnt clauses. Must be called at decision level 0. Returns false when an
+// imported clause (necessarily implied by the database) exposes root
+// unsatisfiability.
+func (e *cdclEngine) importShared() bool {
+	if e.opts.Import == nil {
+		return true
+	}
+	e.impBuf = e.opts.Import(e.impBuf[:0])
+	for _, sc := range e.impBuf {
+		if !e.addSharedClause(sc.Lits, sc.LBD) {
+			return false
+		}
+	}
+	return true
+}
+
+// addSharedClause attaches one imported clause at decision level 0. Unlike
+// addClause, the clause enters the learnt database (tiered by the
+// exporter's LBD) so the reduction policy can drop it again if it never
+// helps. Returns false on root conflict.
+func (e *cdclEngine) addSharedClause(lits []cnf.Lit, lbd int) bool {
+	norm, taut := cnf.Clause(lits).Normalize()
+	if taut {
+		return true
+	}
+	for _, l := range norm {
+		if l.Var() > e.nVars {
+			e.growTo(l.Var())
+		}
+	}
+	kept := norm[:0]
+	for _, l := range norm {
+		switch e.value(l) {
+		case lTrue:
+			return true
+		case lUndef:
+			kept = append(kept, l)
+		}
+	}
+	e.stats.Imported++
+	switch len(kept) {
+	case 0:
+		return false
+	case 1:
+		if !e.enqueue(kept[0], noReason) {
+			return false
+		}
+		return e.propagateToFixpoint()
+	case 2:
+		e.db.AttachBinary(kept[0], kept[1])
+		return true
+	}
+	c := e.db.Arena.Alloc(kept, true)
+	e.db.Arena.SetLBD(c, lbd)
+	e.db.Learnts = append(e.db.Learnts, c)
+	e.db.Attach(c)
+	return true
+}
+
 func (e *cdclEngine) pickBranchVar() int {
 	for {
 		v := e.order.Pop(e.activity)
@@ -760,11 +833,30 @@ func (e *cdclEngine) garbageCollect() {
 
 // solveDecision runs CDCL search until SAT/UNSAT or budget exhaustion.
 func (e *cdclEngine) solveDecision(budget *budget) Status {
+	return e.solveDecisionAssuming(budget, nil)
+}
+
+// solveDecisionAssuming runs the CDCL search with the given assumption
+// literals enforced as the first decisions of every descent (the mechanism
+// internal/par seeds cubes with). StatusUnsat then means "unsatisfiable
+// under the assumptions" unless unsatNow was additionally set, in which
+// case the database itself is contradictory; the engine stays usable and
+// all learning carries over to later calls.
+func (e *cdclEngine) solveDecisionAssuming(budget *budget, assumptions []cnf.Lit) Status {
 	if e.unsatNow {
 		return StatusUnsat
 	}
+	for _, a := range assumptions {
+		if a.Var() > e.nVars {
+			e.growTo(a.Var())
+		}
+	}
 	e.cancelUntil(0)
 	if !e.propagateToFixpoint() {
+		e.unsatNow = true
+		return StatusUnsat
+	}
+	if !e.importShared() {
 		e.unsatNow = true
 		return StatusUnsat
 	}
@@ -798,6 +890,7 @@ func (e *cdclEngine) solveDecision(budget *budget) Status {
 				return StatusUnsat
 			}
 			learnt, btLevel, lbd := e.analyze(confl)
+			e.exportLearnt(learnt, lbd)
 			// Chronological backtracking: when the backjump would undo
 			// more than ChronoThreshold levels, retreat one level instead
 			// and assert the learnt clause there (all its other literals
@@ -830,10 +923,30 @@ func (e *cdclEngine) solveDecision(budget *budget) Status {
 				conflictsAtRestart = e.stats.Conflicts
 				restartLimit = solverutil.Luby(restartNum) * e.opts.restartBase()
 				e.cancelUntil(0)
+				if !e.importShared() {
+					e.unsatNow = true
+					return StatusUnsat
+				}
 				if e.opts.VivifyBudget > 0 && !e.vivify(e.opts.VivifyBudget) {
 					e.unsatNow = true
 					return StatusUnsat
 				}
+			}
+			continue
+		}
+		// Assumptions occupy the first decision levels; after any backjump
+		// below them they are re-applied here before free decisions resume.
+		if dl := e.decisionLevel(); dl < len(assumptions) {
+			a := assumptions[dl]
+			switch e.value(a) {
+			case lFalse:
+				e.cancelUntil(0)
+				return StatusUnsat // conflicts with the assumptions
+			case lTrue:
+				e.trailAt = append(e.trailAt, len(e.trail)) // empty level
+			default:
+				e.trailAt = append(e.trailAt, len(e.trail))
+				e.uncheckedEnqueue(a, noReason)
 			}
 			continue
 		}

@@ -138,6 +138,22 @@ type Options struct {
 	// DynamicLBD recomputes learnt-clause LBDs during conflict analysis,
 	// re-tiering glue clauses as the search evolves. Ignored by EngineBnB.
 	DynamicLBD bool
+	// Export, when non-nil, receives every learnt clause whose LBD is at
+	// or below ExportLBD (clause sharing between cooperating engines, e.g.
+	// internal/par's cube-and-conquer workers). Called on the conflict
+	// path with a reusable buffer: implementations must copy and be fast.
+	// Ignored by EngineBnB (no learning).
+	Export solverutil.ExportFunc
+	// ExportLBD is the sharing threshold: only learnt clauses with LBD ≤
+	// this are exported (0 selects solverutil.DefaultShareLBD).
+	ExportLBD int
+	// Import, when non-nil, is drained at every restart (and at the start
+	// of each decision probe): the returned foreign clauses are attached
+	// as learnt clauses. Every imported clause must be implied by this
+	// engine's own database — in cube-and-conquer, by the shared formula
+	// plus objective bounds justified by globally feasible incumbents (see
+	// solverutil.SharedClause and internal/par). Ignored by EngineBnB.
+	Import solverutil.ImportFunc
 	// Progress, when non-nil, receives rate-limited snapshots of the
 	// search counters from the solving goroutine: the engine's conflict /
 	// restart / learnt / LBD counters plus the optimization loop's best
@@ -188,6 +204,13 @@ func (o Options) reduceInterval() int64 {
 	return o.ReduceInterval
 }
 
+func (o Options) exportLBD() int {
+	if o.ExportLBD == 0 {
+		return solverutil.DefaultShareLBD
+	}
+	return o.ExportLBD
+}
+
 func (o Options) newBudget(ctx context.Context) *budget {
 	var d time.Time
 	if o.Timeout > 0 {
@@ -217,10 +240,19 @@ type Stats struct {
 	VivifiedLits int64
 	// LBDUpdates counts learnt clauses whose LBD improved during dynamic
 	// recomputation.
-	LBDUpdates  int64
+	LBDUpdates int64
+	// Exported and Imported count learnt clauses that crossed the
+	// Options.Export / Options.Import sharing hooks.
+	Exported    int64
+	Imported    int64
 	SolverCalls int64
 	Nodes       int64 // BnB decision nodes
 }
+
+// Add accumulates another engine's counters into s (the merge operation
+// the portfolio and internal/par use for per-worker stats). SolverCalls is
+// deliberately left to the caller — call sites count probes differently.
+func (s *Stats) Add(o Stats) { s.add(o) }
 
 func (s *Stats) add(o Stats) {
 	s.Decisions += o.Decisions
@@ -235,6 +267,8 @@ func (s *Stats) add(o Stats) {
 	s.ChronoBacktracks += o.ChronoBacktracks
 	s.VivifiedLits += o.VivifiedLits
 	s.LBDUpdates += o.LBDUpdates
+	s.Exported += o.Exported
+	s.Imported += o.Imported
 	s.Nodes += o.Nodes
 }
 

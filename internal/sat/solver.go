@@ -85,6 +85,22 @@ type Options struct {
 	// participate in conflict analysis, re-tiering glue clauses as the
 	// search's level structure evolves (Audemard & Simon's LBD update).
 	DynamicLBD bool
+	// Export, when non-nil, receives every learnt clause whose LBD is at
+	// or below ExportLBD (clause sharing between cooperating solver
+	// instances, e.g. internal/par's cube-and-conquer workers). Called on
+	// the conflict path with the solver's reusable analysis buffer:
+	// implementations must copy and be fast.
+	Export solverutil.ExportFunc
+	// ExportLBD is the sharing threshold: only learnt clauses with LBD ≤
+	// this are exported (0 selects solverutil.DefaultShareLBD).
+	ExportLBD int
+	// Import, when non-nil, is drained at every restart (and at the start
+	// of each Solve call): the returned foreign clauses are attached as
+	// learnt clauses. Every imported clause must be implied by this
+	// solver's clause database — sound when all sharing solvers load the
+	// same formula, regardless of their assumptions (see
+	// solverutil.SharedClause).
+	Import solverutil.ImportFunc
 	// Progress, when non-nil, receives rate-limited snapshots of the
 	// search counters, called from the solving goroutine on the same
 	// amortized schedule as the budget checks. Implementations must be
@@ -109,6 +125,13 @@ func (o Options) reduceInterval() int64 {
 	return o.ReduceInterval
 }
 
+func (o Options) exportLBD() int {
+	if o.ExportLBD == 0 {
+		return solverutil.DefaultShareLBD
+	}
+	return o.ExportLBD
+}
+
 // Stats counts search work, mirroring the counters SAT papers report.
 type Stats struct {
 	Decisions    int64
@@ -127,7 +150,11 @@ type Stats struct {
 	// LBDUpdates counts learnt clauses whose LBD improved during dynamic
 	// recomputation.
 	LBDUpdates int64
-	MaxDepth   int
+	// Exported and Imported count learnt clauses that crossed the
+	// Options.Export / Options.Import sharing hooks.
+	Exported int64
+	Imported int64
+	MaxDepth int
 }
 
 type lbool int8
@@ -188,6 +215,8 @@ type Solver struct {
 	vivHeadLt int
 	vivBuf    []cnf.Lit
 	probing   bool // vivification probe in progress: don't save phases
+
+	impBuf []solverutil.SharedClause // reusable Import drain buffer
 
 	prog  solverutil.ProgressEmitter
 	stats Stats
@@ -677,6 +706,77 @@ func (s *Solver) record(lits []cnf.Lit, lbd int) {
 	}
 }
 
+// exportLearnt offers a freshly learnt clause to the Export hook when its
+// LBD passes the sharing threshold. lits is the reusable analysis buffer;
+// the hook contract requires the receiver to copy.
+func (s *Solver) exportLearnt(lits []cnf.Lit, lbd int) {
+	if s.opts.Export == nil || lbd > s.opts.exportLBD() || len(lits) > solverutil.MaxShareLen {
+		return
+	}
+	s.opts.Export(lits, lbd)
+	s.stats.Exported++
+}
+
+// importShared drains the Import hook and attaches the foreign clauses as
+// learnt clauses. Must be called at decision level 0. Returns false when an
+// imported clause (necessarily implied by the database) exposes root
+// unsatisfiability.
+func (s *Solver) importShared() bool {
+	if s.opts.Import == nil {
+		return true
+	}
+	s.impBuf = s.opts.Import(s.impBuf[:0])
+	for _, sc := range s.impBuf {
+		if !s.addSharedClause(sc.Lits, sc.LBD) {
+			return false
+		}
+	}
+	return true
+}
+
+// addSharedClause attaches one imported clause at decision level 0. Unlike
+// AddClause, the clause enters the learnt database (tiered by the
+// exporter's LBD) so the reduction policy can drop it again if it never
+// helps. Returns false on root conflict.
+func (s *Solver) addSharedClause(lits []cnf.Lit, lbd int) bool {
+	norm, taut := cnf.Clause(lits).Normalize()
+	if taut {
+		return true
+	}
+	for _, l := range norm {
+		if l.Var() > s.nVars {
+			s.growTo(l.Var())
+		}
+	}
+	kept := norm[:0]
+	for _, l := range norm {
+		switch s.value(l) {
+		case lTrue:
+			return true
+		case lUndef:
+			kept = append(kept, l)
+		}
+	}
+	s.stats.Imported++
+	switch len(kept) {
+	case 0:
+		return false
+	case 1:
+		if !s.enqueue(kept[0], solverutil.CRefUndef, 0) {
+			return false
+		}
+		return !s.propagate().isConflict()
+	case 2:
+		s.db.AttachBinary(kept[0], kept[1])
+		return true
+	}
+	c := s.db.Arena.Alloc(kept, true)
+	s.db.Arena.SetLBD(c, lbd)
+	s.db.Learnts = append(s.db.Learnts, c)
+	s.db.Attach(c)
+	return true
+}
+
 // locked reports whether the clause is the reason of its first literal's
 // current assignment (and must therefore survive reduction and GC).
 func (s *Solver) locked(c solverutil.CRef) bool {
@@ -749,6 +849,10 @@ func (s *Solver) SolveAssuming(assumptions []cnf.Lit) Status {
 		s.unsatNow = true
 		return Unsat
 	}
+	if !s.importShared() {
+		s.unsatNow = true
+		return Unsat
+	}
 	s.order.Rebuild(s.nVars, s.activity)
 
 	restartNum := int64(1)
@@ -780,6 +884,7 @@ func (s *Solver) SolveAssuming(assumptions []cnf.Lit) Status {
 				return Unsat
 			}
 			learnt, btLevel, lbd := s.analyze(confl)
+			s.exportLearnt(learnt, lbd)
 			// Chronological backtracking: when the backjump would undo
 			// more than ChronoThreshold levels, retreat one level instead
 			// and assert the learnt clause there. The clause stays
@@ -813,6 +918,10 @@ func (s *Solver) SolveAssuming(assumptions []cnf.Lit) Status {
 				conflictsAtRestart = s.stats.Conflicts
 				restartLimit = solverutil.Luby(restartNum) * s.opts.RestartBase
 				s.cancelUntil(0)
+				if !s.importShared() {
+					s.unsatNow = true
+					return Unsat
+				}
 				if s.opts.VivifyBudget > 0 && !s.vivify(s.opts.VivifyBudget) {
 					s.unsatNow = true
 					return Unsat

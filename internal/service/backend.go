@@ -118,9 +118,18 @@ type DiskBackend struct {
 // Close closes the store.
 func NewDiskBackend(st *store.Store) *DiskBackend { return &DiskBackend{st: st} }
 
-// OpenDiskBackend opens (or creates) a disk backend rooted at dir.
+// OpenDiskBackend opens (or creates) a disk backend rooted at dir with
+// default store options (no TTL, unbounded size).
 func OpenDiskBackend(dir string) (*DiskBackend, error) {
-	st, err := store.Open(dir, store.Options{})
+	return OpenDiskBackendOptions(dir, store.Options{})
+}
+
+// OpenDiskBackendOptions opens (or creates) a disk backend rooted at dir
+// with explicit store options — in particular the MaxAge/MaxBytes GC
+// policy that keeps a long-lived cache directory from growing without
+// bound (the gcolord -store.maxage / -store.maxbytes flags).
+func OpenDiskBackendOptions(dir string, opts store.Options) (*DiskBackend, error) {
+	st, err := store.Open(dir, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -12,11 +12,12 @@ import (
 // changes the answer or its provenance) plus the canonical-form hash.
 // Equal canonical encodings imply isomorphic graphs even when the
 // canonical search was truncated, so keying on the hash is always sound;
-// truncation only costs dedup opportunities. Timeout and all six tuning
-// knobs (ChronoThreshold, VivifyBudget, DynamicLBD, GlueLBD,
-// ReduceInterval, RestartBase) are deliberately left out: they change how
-// fast a definitive answer is reached, never which answer, so differently
-// tuned submissions safely share entries. The same key addresses both the
+// truncation only costs dedup opportunities. Timeout, the six engine
+// tuning knobs (ChronoThreshold, VivifyBudget, DynamicLBD, GlueLBD,
+// ReduceInterval, RestartBase) and the parallel knobs (Parallel,
+// CubeDepth, ShareLBD) are deliberately left out: they change how fast a
+// definitive answer is reached, never which answer, so differently tuned
+// submissions safely share entries. The same key addresses both the
 // in-flight singleflight table and the durable Backend, so its format is
 // part of the on-disk store contract (see docs/API.md).
 func cacheKey(spec JobSpec, canon *autom.Canonical) string {

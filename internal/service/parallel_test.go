@@ -1,0 +1,76 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/encode"
+	"repro/internal/graph"
+	"repro/internal/pbsolver"
+)
+
+// TestParallelJobEndToEnd drives a real cube-and-conquer solve through the
+// service and checks the result carries the subsystem's counters.
+func TestParallelJobEndToEnd(t *testing.T) {
+	svc := New(Config{Workers: 1, DefaultTimeout: 2 * time.Minute})
+	defer svc.Close()
+
+	g, err := graph.Benchmark("myciel4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := svc.Submit(g, JobSpec{K: 8, SBP: encode.SBPNU, Parallel: 3, CubeDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := svc.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := info.Result
+	if r == nil || r.Status != pbsolver.StatusOptimal || r.Chi != 5 {
+		t.Fatalf("result %+v, want optimal chi=5", r)
+	}
+	if r.ParWorkers != 3 || r.Cubes == 0 {
+		t.Fatalf("missing cube-and-conquer counters: %+v", r)
+	}
+	if r.Winner != "pbs2" {
+		t.Fatalf("winner %q, want pbs2", r.Winner)
+	}
+}
+
+// TestParallelKnobsShareCacheEntries: Parallel/CubeDepth/ShareLBD steer
+// the search, never the answer, so they must be excluded from the cache
+// key — a parallel job and a sequential job on the same graph share one
+// solve.
+func TestParallelKnobsShareCacheEntries(t *testing.T) {
+	svc := New(Config{Workers: 1, DefaultTimeout: 2 * time.Minute})
+	defer svc.Close()
+
+	g, err := graph.Benchmark("myciel3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := svc.Submit(g, JobSpec{K: 6, SBP: encode.SBPNU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Wait(context.Background(), first); err != nil {
+		t.Fatal(err)
+	}
+	second, err := svc.Submit(g, JobSpec{K: 6, SBP: encode.SBPNU, Parallel: 4, CubeDepth: 3, ShareLBD: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := svc.Wait(context.Background(), second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Result == nil || !info.Result.CacheHit {
+		t.Fatalf("parallel resubmission missed the knob-blind cache: %+v", info.Result)
+	}
+	if st := svc.Stats(); st.SolverRuns != 1 {
+		t.Fatalf("want 1 solver run, got %d", st.SolverRuns)
+	}
+}

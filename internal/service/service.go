@@ -73,6 +73,14 @@ type JobSpec struct {
 	GlueLBD        int   `json:"glue_lbd,omitempty"`
 	ReduceInterval int64 `json:"reduce_interval,omitempty"`
 	RestartBase    int64 `json:"restart_base,omitempty"`
+	// Parallel > 1 solves with the cube-and-conquer subsystem
+	// (internal/par) on that many workers; CubeDepth and ShareLBD tune
+	// the split and the learnt-clause exchange (see core.Config). All
+	// three steer how the search is run, never which answer it reaches,
+	// so they too are excluded from the cache key.
+	Parallel  int `json:"parallel,omitempty"`
+	CubeDepth int `json:"cube_depth,omitempty"`
+	ShareLBD  int `json:"share_lbd,omitempty"`
 }
 
 // State is a job's lifecycle phase.
@@ -130,6 +138,16 @@ type Result struct {
 	ChronoBacktracks int64 `json:"chrono_backtracks,omitempty"`
 	VivifiedLits     int64 `json:"vivified_lits,omitempty"`
 	LBDUpdates       int64 `json:"lbd_updates,omitempty"`
+	// Cube-and-conquer counters, present when the job ran with
+	// Parallel > 1: workers used, cubes generated / refuted by lookahead
+	// / conquered, and learnt clauses exchanged. Run-specific, so cache
+	// hits do not carry them.
+	ParWorkers      int   `json:"par_workers,omitempty"`
+	Cubes           int64 `json:"cubes,omitempty"`
+	CubesRefuted    int64 `json:"cubes_refuted,omitempty"`
+	CubesClosed     int64 `json:"cubes_closed,omitempty"`
+	ClausesShared   int64 `json:"clauses_shared,omitempty"`
+	ClausesImported int64 `json:"clauses_imported,omitempty"`
 	// CacheHit reports the result was served from the canonical cache
 	// (including joins on an in-flight isomorphic solve).
 	CacheHit bool `json:"cache_hit"`
@@ -194,6 +212,9 @@ func defaultSolve(progressInterval time.Duration) SolveFunc {
 			GlueLBD:           spec.GlueLBD,
 			ReduceInterval:    spec.ReduceInterval,
 			RestartBase:       spec.RestartBase,
+			Parallel:          spec.Parallel,
+			CubeDepth:         spec.CubeDepth,
+			ShareLBD:          spec.ShareLBD,
 			Progress:          progress,
 			ProgressInterval:  progressInterval,
 		})
@@ -778,11 +799,22 @@ func resultFromOutcome(out core.Outcome, spec JobSpec, canonExact bool) *Result 
 		LBDUpdates:       out.Result.Stats.LBDUpdates,
 		CanonExact:       canonExact,
 	}
-	if spec.Portfolio {
+	if out.Par != nil {
+		res.ParWorkers = out.Par.Workers
+		res.Cubes = out.Par.CubesGenerated
+		res.CubesRefuted = out.Par.CubesRefuted
+		res.CubesClosed = out.Par.CubesClosed
+		res.ClausesShared = out.Par.ClausesExported
+		res.ClausesImported = out.Par.ClausesImported
+	}
+	switch {
+	case spec.Parallel > 1:
+		res.Winner = out.Winner.String() // the engine par conquered with
+	case spec.Portfolio:
 		if res.Solved || res.Status == pbsolver.StatusSat {
 			res.Winner = out.Winner.String()
 		}
-	} else {
+	default:
 		res.Winner = spec.Engine.String()
 	}
 	return res

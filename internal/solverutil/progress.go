@@ -32,6 +32,18 @@ type Progress struct {
 	ChronoBacktracks int64 `json:"chrono_backtracks"`
 	VivifiedLits     int64 `json:"vivified_lits"`
 	LBDUpdates       int64 `json:"lbd_updates"`
+
+	// Cube-and-conquer fields, filled by internal/par's merged snapshots
+	// (zero on single-engine and portfolio runs). Workers is the conquer
+	// pool size; the cube counters track the split's lifecycle and
+	// SharedExported/SharedImported count learnt clauses through the
+	// exchange.
+	Workers        int   `json:"workers,omitempty"`
+	CubesTotal     int64 `json:"cubes_total,omitempty"`
+	CubesClosed    int64 `json:"cubes_closed,omitempty"`
+	CubesRefuted   int64 `json:"cubes_refuted,omitempty"`
+	SharedExported int64 `json:"shared_exported,omitempty"`
+	SharedImported int64 `json:"shared_imported,omitempty"`
 }
 
 // ProgressFunc receives progress snapshots. It is called from the solving

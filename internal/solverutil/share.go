@@ -1,0 +1,43 @@
+package solverutil
+
+import "repro/internal/cnf"
+
+// DefaultShareLBD is the export threshold used when clause sharing is
+// enabled without an explicit LBD cutoff: only "glue-grade" learnt clauses
+// (LBD ≤ 2, the tier Glucose-style portfolio solvers exchange) cross
+// engine boundaries by default.
+const DefaultShareLBD = 2
+
+// MaxShareLen bounds the literal count of an exported clause. Low-LBD
+// clauses are almost always short; the cap only exists so a pathological
+// wide glue clause cannot blow up every importer's database.
+const MaxShareLen = 64
+
+// SharedClause is one learnt clause in transit between solver instances:
+// the literals plus the exporter's LBD at export time (importers use it to
+// tier the clause without recomputing level structure they do not have).
+//
+// A shared clause must be implied by the clause database it was learnt
+// from alone — never by the exporting solver's assumptions, which hold
+// only in its own subproblem. CDCL learnt clauses satisfy this by
+// construction (they are resolvents of database clauses; assumptions enter
+// the trail as decisions, not as clauses), which is what makes
+// cube-and-conquer sharing sound: a clause learnt while conquering one
+// cube is valid in every other cube of the same formula.
+type SharedClause struct {
+	Lits []cnf.Lit
+	LBD  int
+}
+
+// ExportFunc receives learnt clauses whose LBD passed the engine's export
+// threshold. It is called from the solving goroutine on the conflict path,
+// so implementations must be fast and must copy lits before returning —
+// the slice is the engine's reusable analysis buffer.
+type ExportFunc func(lits []cnf.Lit, lbd int)
+
+// ImportFunc returns foreign learnt clauses accumulated since the previous
+// call, appending to buf (which may be reused between calls). The returned
+// clauses become the property of the caller; implementations must hand out
+// copies if the underlying storage is shared. Engines call it at restarts,
+// when their trail is empty and attaching new clauses is cheap.
+type ImportFunc func(buf []SharedClause) []SharedClause

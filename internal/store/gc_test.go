@@ -1,0 +1,164 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestMaxAgeExpiry: an expired record is a Get miss immediately and is
+// gone from disk after a compaction, surviving neither in memory nor in a
+// reopened store.
+func TestMaxAgeExpiry(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{MaxAge: 50 * time.Millisecond})
+	put(t, s, "old", "v1")
+	time.Sleep(80 * time.Millisecond)
+	put(t, s, "fresh", "v2")
+
+	if _, ok := s.Get("old"); ok {
+		t.Fatal("expired record still served")
+	}
+	if _, ok := s.Get("fresh"); !ok {
+		t.Fatal("fresh record lost")
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.GCDropped == 0 {
+		t.Fatalf("expiry not counted: %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen without a TTL: the expired record must not resurrect.
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	if _, ok := s2.Get("old"); ok {
+		t.Fatal("expired record resurrected after compaction+reopen")
+	}
+	if v, ok := s2.Get("fresh"); !ok || string(v) != "v2" {
+		t.Fatalf("fresh record lost across reopen: %q %v", v, ok)
+	}
+}
+
+// TestMaxAgeSurvivesRestartStamps: record age is persisted, so a record
+// written long ago expires after a restart even though the process never
+// saw it being written.
+func TestMaxAgeSurvivesRestartStamps(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	put(t, s, "k", "v")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	s2 := mustOpen(t, dir, Options{MaxAge: 30 * time.Millisecond})
+	defer s2.Close()
+	if _, ok := s2.Get("k"); ok {
+		t.Fatal("record written before the restart did not expire by its persisted stamp")
+	}
+}
+
+// TestMaxBytesEviction: when the footprint exceeds the budget the oldest
+// records are dropped at compaction, newest kept.
+func TestMaxBytesEviction(t *testing.T) {
+	dir := t.TempDir()
+	val := make([]byte, 1024)
+	s := mustOpen(t, dir, Options{MaxBytes: 8 * 1024, CompactMinWALBytes: 1 << 30})
+	for i := 0; i < 32; i++ {
+		if err := s.Put(fmt.Sprintf("key-%02d", i), val); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond) // distinct timestamps for eviction order
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.GCDropped == 0 {
+		t.Fatalf("no evictions under a 8KiB budget with 32KiB of records: %+v", st)
+	}
+	if st.SnapshotBytes > 8*1024 {
+		t.Fatalf("snapshot still over budget: %+v", st)
+	}
+	if _, ok := s.Get("key-31"); !ok {
+		t.Fatal("newest record evicted before older ones")
+	}
+	if _, ok := s.Get("key-00"); ok {
+		t.Fatal("oldest record survived eviction")
+	}
+	s.Close()
+}
+
+// TestMaxBytesTriggersCompaction: crossing the budget starts a compaction
+// even when the WAL alone is below the usual threshold.
+func TestMaxBytesTriggersCompaction(t *testing.T) {
+	dir := t.TempDir()
+	val := make([]byte, 512)
+	s := mustOpen(t, dir, Options{MaxBytes: 4 * 1024})
+	defer s.Close()
+	for i := 0; i < 64; i++ {
+		if err := s.Put(fmt.Sprintf("key-%02d", i%8), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Stats().Compactions > 0 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("no compaction despite exceeding MaxBytes: %+v", s.Stats())
+}
+
+// TestV1FormatCompat: a store written in the original timestamp-free
+// format replays fully; its records are stamped at load time, so a TTL
+// does not mass-expire them, and the next compaction rewrites them as V2.
+func TestV1FormatCompat(t *testing.T) {
+	dir := t.TempDir()
+	writeV1File(t, filepath.Join(dir, snapshotName), map[string]string{
+		"a": "1", "b": "2",
+	})
+	s := mustOpen(t, dir, Options{MaxAge: time.Hour})
+	if v, ok := s.Get("a"); !ok || string(v) != "1" {
+		t.Fatalf("v1 record a: %q %v", v, ok)
+	}
+	put(t, s, "c", "3")
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	for k, want := range map[string]string{"a": "1", "b": "2", "c": "3"} {
+		if v, ok := s2.Get(k); !ok || string(v) != want {
+			t.Fatalf("after v2 rewrite, %s: %q %v", k, v, ok)
+		}
+	}
+}
+
+// writeV1File emits a GCSTORE1 file with the original record layout.
+func writeV1File(t *testing.T, path string, entries map[string]string) {
+	t.Helper()
+	data := []byte(magicV1)
+	for k, v := range entries {
+		rec := binary.LittleEndian.AppendUint32(nil, uint32(len(k)))
+		rec = binary.LittleEndian.AppendUint32(rec, uint32(len(v)))
+		rec = append(rec, k...)
+		rec = append(rec, v...)
+		rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(rec))
+		data = append(data, rec...)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

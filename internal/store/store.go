@@ -42,11 +42,18 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
+	"time"
 )
 
 const (
-	magic = "GCSTORE1"
+	// magicV1 is the original timestamp-free record format; magic is the
+	// current format, whose records carry a write timestamp so the TTL/GC
+	// policy survives restarts. Files of either format replay at Open; new
+	// files (the WAL, rewritten snapshots) are always written as V2.
+	magicV1 = "GCSTORE1"
+	magic   = "GCSTORE2"
 
 	snapshotName = "snapshot.gcs"
 	walName      = "wal.gcs"
@@ -58,7 +65,8 @@ const (
 	maxKeyLen   = 1 << 20
 	maxValueLen = 1 << 28
 
-	recordOverhead = 4 + 4 + 4 // two length words + CRC
+	recordOverheadV1 = 4 + 4 + 4     // two length words + CRC
+	recordOverhead   = 4 + 4 + 8 + 4 // two length words + unix-nano stamp + CRC
 )
 
 // Options tune a Store.
@@ -72,6 +80,18 @@ type Options struct {
 	// is a performance layer, and losing the final records of a hard crash
 	// only costs re-solves, never correctness.
 	SyncWrites bool
+	// MaxAge expires records this long after their last write (0 = keep
+	// forever). Expired records stop being returned by Get immediately
+	// and are dropped from disk at the next compaction. Records replayed
+	// from V1 files carry no timestamp and are stamped with the Open
+	// time, so a format upgrade never mass-expires an existing store.
+	MaxAge time.Duration
+	// MaxBytes is the target on-disk footprint (0 = unbounded). When the
+	// snapshot and WAL together exceed it, a compaction is triggered and
+	// the snapshot rewrite drops the oldest records until the estimated
+	// size fits. A cache, not a quota: the bound is approximate and
+	// enforced at compaction granularity.
+	MaxBytes int64
 }
 
 func (o Options) compactMin() int64 {
@@ -90,6 +110,9 @@ type Stats struct {
 	// file failed its CRC or was truncated mid-record.
 	TailDropped int   `json:"tail_dropped"`
 	Compactions int64 `json:"compactions"`
+	// GCDropped counts records the TTL/size policy removed (expired past
+	// MaxAge, or oldest-first evictions enforcing MaxBytes).
+	GCDropped int64 `json:"gc_dropped"`
 }
 
 // Store is a crash-safe key/value map backed by snapshot + WAL files. All
@@ -99,17 +122,25 @@ type Store struct {
 	dir  string
 
 	mu         sync.Mutex
-	entries    map[string][]byte
+	entries    map[string]entry
 	lock       *os.File // exclusive directory lock, held until Close
 	wal        *os.File
 	walBytes   int64
 	snapBytes  int64
 	tailDrops  int
 	compacts   int64
+	gcDropped  int64
 	compacting bool
 	compactErr error
 	closed     bool
 	compactWG  sync.WaitGroup
+}
+
+// entry is one live record: the value plus its last-write time (unix
+// nanoseconds), the input to the MaxAge/MaxBytes GC policy.
+type entry struct {
+	val []byte
+	at  int64
 }
 
 // ErrClosed is returned by operations on a closed store.
@@ -137,7 +168,7 @@ func Open(dir string, opts Options) (*Store, error) {
 			unlockDir(lock)
 		}
 	}()
-	s := &Store{opts: opts, dir: dir, entries: make(map[string][]byte), lock: lock}
+	s := &Store{opts: opts, dir: dir, entries: make(map[string]entry), lock: lock}
 
 	snapBytes, drops, err := s.loadFile(filepath.Join(dir, snapshotName))
 	if err != nil {
@@ -206,9 +237,11 @@ func Open(dir string, opts Options) (*Store, error) {
 	return s, nil
 }
 
-// loadFile replays one record file into the map (last write wins). It
-// returns the offset just past the last intact record (0 when the file is
-// missing or its header is bad) and the number of tail records dropped.
+// loadFile replays one record file into the map (last write wins),
+// accepting both the current timestamped format (GCSTORE2) and the
+// original one (GCSTORE1, whose records are stamped with the load time).
+// It returns the offset just past the last intact record (0 when the file
+// is missing or its header is bad) and the number of tail records dropped.
 // Only I/O errors other than a short tail are returned as errors.
 func (s *Store) loadFile(path string) (good int64, dropped int, err error) {
 	data, err := os.ReadFile(path)
@@ -218,19 +251,29 @@ func (s *Store) loadFile(path string) (good int64, dropped int, err error) {
 	if err != nil {
 		return 0, 0, fmt.Errorf("store: %w", err)
 	}
-	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+	v1 := false
+	switch {
+	case len(data) >= len(magic) && string(data[:len(magic)]) == magic:
+	case len(data) >= len(magicV1) && string(data[:len(magicV1)]) == magicV1:
+		v1 = true
+	default:
 		if len(data) > 0 {
 			dropped++
 		}
 		return 0, dropped, nil
 	}
+	overhead, hdrLen := int64(recordOverhead), int64(16)
+	if v1 {
+		overhead, hdrLen = recordOverheadV1, 8
+	}
+	loadAt := time.Now().UnixNano()
 	off := int64(len(magic))
 	for {
 		rest := data[off:]
 		if len(rest) == 0 {
 			return off, dropped, nil
 		}
-		if len(rest) < 8 {
+		if int64(len(rest)) < hdrLen {
 			return off, dropped + 1, nil
 		}
 		keyLen := binary.LittleEndian.Uint32(rest[0:4])
@@ -238,7 +281,11 @@ func (s *Store) loadFile(path string) (good int64, dropped int, err error) {
 		if keyLen > maxKeyLen || valLen > maxValueLen {
 			return off, dropped + 1, nil
 		}
-		recLen := int64(recordOverhead) + int64(keyLen) + int64(valLen)
+		at := loadAt
+		if !v1 {
+			at = int64(binary.LittleEndian.Uint64(rest[8:16]))
+		}
+		recLen := overhead + int64(keyLen) + int64(valLen)
 		if int64(len(rest)) < recLen {
 			return off, dropped + 1, nil
 		}
@@ -247,19 +294,20 @@ func (s *Store) loadFile(path string) (good int64, dropped int, err error) {
 		if crc32.ChecksumIEEE(body) != want {
 			return off, dropped + 1, nil
 		}
-		key := string(rest[8 : 8+keyLen])
+		key := string(rest[hdrLen : hdrLen+int64(keyLen)])
 		val := make([]byte, valLen)
-		copy(val, rest[8+keyLen:8+int64(keyLen)+int64(valLen)])
-		s.entries[key] = val
+		copy(val, rest[hdrLen+int64(keyLen):hdrLen+int64(keyLen)+int64(valLen)])
+		s.entries[key] = entry{val: val, at: at}
 		off += recLen
 	}
 }
 
-// appendRecord writes one record to w.
-func appendRecord(w io.Writer, key string, val []byte) (int64, error) {
+// appendRecord writes one timestamped (V2) record to w.
+func appendRecord(w io.Writer, key string, val []byte, at int64) (int64, error) {
 	buf := make([]byte, 0, recordOverhead+len(key)+len(val))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(val)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(at))
 	buf = append(buf, key...)
 	buf = append(buf, val...)
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
@@ -268,12 +316,27 @@ func appendRecord(w io.Writer, key string, val []byte) (int64, error) {
 }
 
 // Get returns the stored value for key. The returned slice is shared and
-// must not be modified by the caller.
+// must not be modified by the caller. A record expired past MaxAge is a
+// miss the moment it expires — it is dropped from memory immediately and
+// from disk at the next compaction.
 func (s *Store) Get(key string) ([]byte, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	v, ok := s.entries[key]
-	return v, ok
+	e, ok := s.entries[key]
+	if !ok {
+		return nil, false
+	}
+	if s.expiredLocked(e, time.Now().UnixNano()) {
+		delete(s.entries, key)
+		s.gcDropped++
+		return nil, false
+	}
+	return e.val, true
+}
+
+// expiredLocked reports whether the entry is past the MaxAge policy.
+func (s *Store) expiredLocked(e entry, now int64) bool {
+	return s.opts.MaxAge > 0 && now-e.at > int64(s.opts.MaxAge)
 }
 
 // Put durably records key → val (val is copied). When the WAL has outgrown
@@ -290,8 +353,9 @@ func (s *Store) Put(key string, val []byte) error {
 	}
 	// The in-memory entry is installed even when the append fails below:
 	// a durability error must not also disable same-process caching.
-	s.entries[key] = append([]byte(nil), val...)
-	n, err := appendRecord(s.wal, key, val)
+	at := time.Now().UnixNano()
+	s.entries[key] = entry{val: append([]byte(nil), val...), at: at}
+	n, err := appendRecord(s.wal, key, val, at)
 	if err != nil {
 		// Cut a partial append back off the WAL: left in place it would
 		// end replay at the next Open, silently dropping every good
@@ -309,7 +373,9 @@ func (s *Store) Put(key string, val []byte) error {
 			return fmt.Errorf("store: %w", err)
 		}
 	}
-	if !s.compacting && s.walBytes >= s.opts.compactMin() && s.walBytes > s.snapBytes {
+	overBudget := s.opts.MaxBytes > 0 && s.walBytes+s.snapBytes > s.opts.MaxBytes
+	if !s.compacting && (overBudget ||
+		(s.walBytes >= s.opts.compactMin() && s.walBytes > s.snapBytes)) {
 		s.startCompactionLocked()
 	}
 	return nil
@@ -332,6 +398,7 @@ func (s *Store) Stats() Stats {
 		SnapshotBytes: s.snapBytes,
 		TailDropped:   s.tailDrops,
 		Compactions:   s.compacts,
+		GCDropped:     s.gcDropped,
 	}
 }
 
@@ -451,12 +518,53 @@ func (s *Store) finishCompaction() error {
 }
 
 // writeSnapshot dumps the current map to snapshot.tmp and renames it over
-// the snapshot atomically.
+// the snapshot atomically. This is where the GC policy bites the disk: the
+// dump excludes records expired past MaxAge, and when MaxBytes is set the
+// oldest records are dropped (from the dump and the live map) until the
+// estimated rewritten size fits. A record dropped here never reappears —
+// the snapshot replaces the history that contained it.
 func (s *Store) writeSnapshot() error {
+	now := time.Now().UnixNano()
 	s.mu.Lock()
+	type aged struct {
+		key string
+		at  int64
+	}
 	dump := make(map[string][]byte, len(s.entries))
-	for k, v := range s.entries {
-		dump[k] = v
+	var order []aged
+	var estBytes int64 = int64(len(magic))
+	for k, e := range s.entries {
+		if s.expiredLocked(e, now) {
+			delete(s.entries, k)
+			s.gcDropped++
+			continue
+		}
+		dump[k] = e.val
+		order = append(order, aged{key: k, at: e.at})
+		estBytes += int64(recordOverhead + len(k) + len(e.val))
+	}
+	if s.opts.MaxBytes > 0 && estBytes > s.opts.MaxBytes {
+		// Evict to 7/8 of the budget, not the budget itself: stopping at
+		// exactly MaxBytes would re-arm the over-budget compaction
+		// trigger on the very next Put, degenerating into a full
+		// snapshot rewrite per write at steady state.
+		target := s.opts.MaxBytes - s.opts.MaxBytes/8
+		sort.Slice(order, func(i, j int) bool { return order[i].at < order[j].at })
+		for _, a := range order {
+			if estBytes <= target {
+				break
+			}
+			estBytes -= int64(recordOverhead + len(a.key) + len(dump[a.key]))
+			delete(dump, a.key)
+			delete(s.entries, a.key)
+			s.gcDropped++
+		}
+	}
+	ats := make(map[string]int64, len(order))
+	for _, a := range order {
+		if _, live := dump[a.key]; live {
+			ats[a.key] = a.at
+		}
 	}
 	s.mu.Unlock()
 
@@ -471,7 +579,7 @@ func (s *Store) writeSnapshot() error {
 		return fmt.Errorf("store: %w", err)
 	}
 	for k, v := range dump {
-		n, err := appendRecord(f, k, v)
+		n, err := appendRecord(f, k, v, ats[k])
 		bytes += n
 		if err != nil {
 			f.Close()

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-baseline bench-compare fmt vet linkcheck docs
+.PHONY: build test race fuzz bench bench-baseline bench-compare fmt vet linkcheck docs loadtest
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,13 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# loadtest is the admission-control smoke: loadgen drives an in-process
+# gcolord handler through an overload scenario (must shed load with
+# enveloped 429s and Retry-After) and a light scenario (must accept
+# everything). Exits nonzero if either contract breaks.
+loadtest:
+	$(GO) run ./cmd/loadgen -selftest
 
 # linkcheck verifies every intra-repo Markdown link and heading anchor
 # resolves (external URLs are not fetched; the job stays hermetic).

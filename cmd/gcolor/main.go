@@ -18,6 +18,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -53,6 +54,8 @@ func main() {
 	cubeDepth := flag.Int("cube-depth", 0, "cube branching depth (0 = auto, ~8 cubes per worker)")
 	shareLBD := flag.Int("share-lbd", 0, "learnt-clause exchange LBD threshold (0 = default 2, negative disables sharing)")
 	timeout := flag.Duration("timeout", time.Minute, "solve budget per instance")
+	priority := flag.Int("priority", 0, "batch mode: admission priority class (0 = normal, higher = sooner)")
+	deadline := flag.Duration("deadline", 0, "batch mode: end-to-end budget per job including queue time (0 = none)")
 	exact := flag.Bool("exact", false, "use the problem-specific DSATUR branch-and-bound instead")
 	showColoring := flag.Bool("coloring", false, "print the witness coloring")
 	glueLBD := flag.Int("glue-lbd", 0, "LBD at or below which learnt clauses are kept forever (0 = default 2)")
@@ -109,6 +112,7 @@ func main() {
 	spec := service.JobSpec{
 		K: *k, SBP: kind, Engine: eng, Portfolio: *portfolio,
 		InstanceDependent: *instDep, Timeout: *timeout,
+		Priority: *priority, Deadline: *deadline,
 		ChronoThreshold: *chrono, VivifyBudget: *vivify, DynamicLBD: *dynamicLBD,
 		GlueLBD: *glueLBD, ReduceInterval: *reduceInterval, RestartBase: *restartBase,
 		Parallel: *parallel, CubeDepth: *cubeDepth, ShareLBD: *shareLBD,
@@ -262,6 +266,15 @@ func runBatch(ctx context.Context, names []string, spec service.JobSpec, workers
 	svc := service.New(cfg)
 	defer svc.Close()
 
+	// Per-job failures (unreadable instance, invalid spec, admission
+	// refusals that outlast the backoff) are collected and reported after
+	// the table, so one bad entry no longer aborts the whole batch.
+	type failure struct {
+		name string
+		err  error
+	}
+	var failures []failure
+
 	ids := make([]string, 0, len(names))
 	for _, name := range names {
 		name = strings.TrimSpace(name)
@@ -270,11 +283,13 @@ func runBatch(ctx context.Context, names []string, spec service.JobSpec, workers
 		}
 		g, err := loadInstance(name)
 		if err != nil {
-			return err
+			failures = append(failures, failure{name, err})
+			continue
 		}
-		id, err := svc.Submit(g, spec)
+		id, err := submitWithRetry(ctx, svc, g, spec)
 		if err != nil {
-			return fmt.Errorf("submit %s: %w", name, err)
+			failures = append(failures, failure{name, err})
+			continue
 		}
 		ids = append(ids, id)
 		if progress {
@@ -292,7 +307,8 @@ func runBatch(ctx context.Context, names []string, spec service.JobSpec, workers
 	for _, id := range ids {
 		info, err := svc.Wait(context.Background(), id)
 		if err != nil {
-			return err
+			failures = append(failures, failure{id, err})
+			continue
 		}
 		status, chi, runtime, engine, cache := "-", "-", "-", "-", ""
 		if r := info.Result; r != nil {
@@ -313,7 +329,54 @@ func runBatch(ctx context.Context, names []string, spec service.JobSpec, workers
 	st := svc.Stats()
 	fmt.Printf("batch: %d submitted, %d solver runs, %d cache hits, %d dedup joins\n",
 		st.Submitted, st.SolverRuns, st.CacheHits, st.DedupJoins)
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "gcolor: %s: %v\n", f.name, f.err)
+		}
+		return fmt.Errorf("%d of %d jobs failed", len(failures), len(failures)+len(ids))
+	}
 	return nil
+}
+
+// submitWithRetry submits one job, honoring admission backpressure: a
+// queue-full or rate-limit rejection is retried after the service's
+// RetryAfter hint (falling back to capped exponential backoff) instead of
+// failing the batch. Quota and validation rejections are permanent — more
+// retries cannot fix them — and fail the job immediately.
+func submitWithRetry(ctx context.Context, svc *service.Service, g *graph.Graph, spec service.JobSpec) (string, error) {
+	const (
+		maxAttempts = 8
+		baseDelay   = 100 * time.Millisecond
+		maxDelay    = 5 * time.Second
+	)
+	delay := baseDelay
+	for attempt := 1; ; attempt++ {
+		id, err := svc.Submit(g, spec)
+		if err == nil {
+			return id, nil
+		}
+		var adm *service.AdmissionError
+		if !errors.As(err, &adm) || adm.Reason != service.ReasonQueueFull || attempt >= maxAttempts {
+			return "", fmt.Errorf("submit %s: %w", g.Name(), err)
+		}
+		wait := adm.RetryAfter
+		if wait <= 0 {
+			wait = delay
+		}
+		if wait > maxDelay {
+			wait = maxDelay
+		}
+		fmt.Fprintf(os.Stderr, "gcolor: %s: queue full, retrying in %v (attempt %d/%d)\n",
+			g.Name(), wait.Round(time.Millisecond), attempt, maxAttempts)
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return "", ctx.Err()
+		}
+		if delay *= 2; delay > maxDelay {
+			delay = maxDelay
+		}
+	}
 }
 
 // loadInstance resolves a batch entry: a named benchmark when the registry

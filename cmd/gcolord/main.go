@@ -1,55 +1,52 @@
 // Command gcolord serves the concurrent coloring service over an HTTP JSON
-// API. Submitted graphs are scheduled on a bounded worker pool; results are
-// cached under a canonical form of the graph, so isomorphic submissions —
-// from any client — are solved once and served many times.
+// API. Submitted graphs are scheduled on a priority worker pool behind a
+// multi-tenant admission controller; results are cached under a canonical
+// form of the graph, so isomorphic submissions — from any client — are
+// solved once and served many times.
 //
 // Usage:
 //
 //	gcolord -addr :8080 -workers 8 -timeout 60s
-//	gcolord -store.dir /var/lib/gcolord   # restart-safe result cache
-//	gcolord -pprof                        # additionally expose /debug/pprof
+//	gcolord -store.dir /var/lib/gcolord       # restart-safe result cache
+//	gcolord -tenant.rate 10 -tenant.burst 20  # per-tenant token bucket
+//	gcolord -tenant.maxinflight 64            # per-tenant in-flight quota
+//	gcolord -log.json                         # structured logs as JSON
+//	gcolord -pprof                            # additionally expose /debug/pprof
 //
-// API (full reference in docs/API.md):
+// The HTTP surface lives in internal/httpapi (full reference in
+// docs/API.md):
 //
-//	POST   /v1/jobs              submit a job (see jobRequest); returns {"id": ...}
+//	POST   /v1/jobs              submit a job; returns {"id": ...}
 //	GET    /v1/jobs              list all jobs
 //	GET    /v1/jobs/{id}         job status snapshot
 //	GET    /v1/jobs/{id}/result  result (202 while pending)
 //	GET    /v1/jobs/{id}/events  NDJSON stream: progress, heartbeats, result
-//	                             (?after=<seq> resumes past already-seen snapshots)
 //	DELETE /v1/jobs/{id}         cancel the job
-//	GET    /v1/stats             service counters
+//	GET    /v1/stats             service + admission counters
 //	GET    /v1/store             persistent-store counters (with -store.dir)
 //	GET    /metrics              Prometheus text exposition of the same counters
 //	GET    /healthz              liveness probe
 //
-// A job names its graph one of three ways: "bench" (a named benchmark
-// instance), "dimacs" (an inline DIMACS .col document), or "n" plus
-// "edges" (an explicit edge list).
-//
-// With -store.dir the canonical result cache is backed by an append-only
-// snapshot+WAL store in that directory, so a restarted daemon answers
-// isomorphic resubmissions of anything it ever solved without running a
-// solver (see docs/API.md for the on-disk format).
+// Clients identify themselves with the X-Tenant header (absent = the
+// "default" tenant); each tenant gets its own token-bucket rate limit and
+// in-flight quota. Every non-2xx /v1 response carries the unified error
+// envelope {"error": {"code", "message", "retry_after_ms"}}, and rejected
+// submissions answer 429 with a Retry-After hint instead of blocking.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
-	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"syscall"
 	"time"
 
-	"repro/internal/graph"
+	"repro/internal/httpapi"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -65,7 +62,20 @@ func main() {
 	storeMaxBytes := flag.Int64("store.maxbytes", 0, "target on-disk size of the persistent cache; oldest records dropped at compaction (0 = unbounded)")
 	heartbeat := flag.Duration("heartbeat", 10*time.Second, "idle heartbeat interval on /v1/jobs/{id}/events streams")
 	enablePprof := flag.Bool("pprof", false, "expose /debug/pprof (profiling) on the same listener")
+	tenantRate := flag.Float64("tenant.rate", 0, "per-tenant submissions per second (token bucket; 0 = unlimited)")
+	tenantBurst := flag.Int("tenant.burst", 0, "per-tenant token-bucket burst (0 = derived from -tenant.rate)")
+	tenantInFlight := flag.Int("tenant.maxinflight", 0, "per-tenant queued+running job quota (0 = unlimited)")
+	aging := flag.Duration("aging", 30*time.Second, "queue aging step: backlog a priority class overtakes per level")
+	maxVertices := flag.Int("max.vertices", 0, "reject graphs with more vertices (413 graph_too_large; 0 = 100000)")
+	maxEdges := flag.Int("max.edges", 0, "reject graphs with more edges (413 graph_too_large; 0 = 10000000)")
+	logJSON := flag.Bool("log.json", false, "emit structured logs as JSON instead of text")
 	flag.Parse()
+
+	var h slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		h = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(h)
 
 	var backend service.Backend
 	var disk *service.DiskBackend
@@ -79,16 +89,29 @@ func main() {
 			log.Fatalf("gcolord: open store: %v", err)
 		}
 		backend = disk
-		log.Printf("gcolord: persistent cache at %s (%d records loaded)", *storeDir, disk.Len())
+		logger.Info("persistent cache opened", "dir", *storeDir, "records", disk.Len())
 	}
 	svc := service.New(service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queueDepth,
-		DefaultTimeout: *timeout,
-		CacheCapacity:  *cacheCap,
-		Backend:        backend,
+		Workers:           *workers,
+		QueueDepth:        *queueDepth,
+		DefaultTimeout:    *timeout,
+		CacheCapacity:     *cacheCap,
+		Backend:           backend,
+		AgingStep:         *aging,
+		TenantRate:        *tenantRate,
+		TenantBurst:       *tenantBurst,
+		TenantMaxInFlight: *tenantInFlight,
+		Logger:            logger,
 	})
-	handler := newHandler(svc, disk, *heartbeat, *enablePprof)
+	handler := httpapi.New(httpapi.Config{
+		Service:     svc,
+		Disk:        disk,
+		Heartbeat:   *heartbeat,
+		EnablePprof: *enablePprof,
+		Logger:      logger,
+		MaxVertices: *maxVertices,
+		MaxEdges:    *maxEdges,
+	})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
@@ -105,300 +128,11 @@ func main() {
 		svc.CancelAll()
 	}()
 
-	log.Printf("gcolord listening on %s (workers=%d queue=%d timeout=%v)",
-		*addr, *workers, *queueDepth, *timeout)
+	logger.Info("gcolord listening",
+		"addr", *addr, "workers", *workers, "queue", *queueDepth,
+		"timeout", *timeout, "tenant_rate", *tenantRate, "tenant_maxinflight", *tenantInFlight)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("gcolord: %v", err)
 	}
 	svc.Close()
-}
-
-// jobRequest is the POST /v1/jobs body.
-type jobRequest struct {
-	// Exactly one graph source: a named benchmark, an inline DIMACS .col
-	// document, or an explicit vertex count + edge list.
-	Bench  string   `json:"bench,omitempty"`
-	Dimacs string   `json:"dimacs,omitempty"`
-	Name   string   `json:"name,omitempty"`
-	N      int      `json:"n,omitempty"`
-	Edges  [][2]int `json:"edges,omitempty"`
-
-	K                 int    `json:"k,omitempty"`
-	SBP               string `json:"sbp,omitempty"`
-	Engine            string `json:"engine,omitempty"`
-	Portfolio         bool   `json:"portfolio,omitempty"`
-	InstanceDependent bool   `json:"instance_dependent,omitempty"`
-	Timeout           string `json:"timeout,omitempty"`
-
-	// Per-job solver search knobs (see service.JobSpec); all optional and
-	// excluded from the isomorphism result cache's key.
-	ChronoThreshold int   `json:"chrono_threshold,omitempty"`
-	VivifyBudget    int64 `json:"vivify_budget,omitempty"`
-	DynamicLBD      bool  `json:"dynamic_lbd,omitempty"`
-	GlueLBD         int   `json:"glue_lbd,omitempty"`
-	ReduceInterval  int64 `json:"reduce_interval,omitempty"`
-	RestartBase     int64 `json:"restart_base,omitempty"`
-
-	// Cube-and-conquer knobs: Parallel > 1 solves the job with that many
-	// workers over generated cubes; CubeDepth and ShareLBD tune the split
-	// and the learnt-clause exchange. Also excluded from the cache key.
-	Parallel  int `json:"parallel,omitempty"`
-	CubeDepth int `json:"cube_depth,omitempty"`
-	ShareLBD  int `json:"share_lbd,omitempty"`
-}
-
-func (r *jobRequest) graph() (*graph.Graph, error) {
-	sources := 0
-	for _, has := range []bool{r.Bench != "", r.Dimacs != "", len(r.Edges) > 0 || r.N > 0} {
-		if has {
-			sources++
-		}
-	}
-	if sources != 1 {
-		return nil, fmt.Errorf("specify exactly one of bench, dimacs, or n+edges")
-	}
-	switch {
-	case r.Bench != "":
-		return graph.Benchmark(r.Bench)
-	case r.Dimacs != "":
-		name := r.Name
-		if name == "" {
-			name = "dimacs"
-		}
-		return graph.ParseDimacs(name, strings.NewReader(r.Dimacs))
-	default:
-		name := r.Name
-		if name == "" {
-			name = "edges"
-		}
-		g := graph.New(name, r.N)
-		for _, e := range r.Edges {
-			if e[0] < 0 || e[1] < 0 || e[0] >= r.N || e[1] >= r.N {
-				return nil, fmt.Errorf("edge (%d,%d) out of range [0,%d)", e[0], e[1], r.N)
-			}
-			g.AddEdge(e[0], e[1])
-		}
-		return g, nil
-	}
-}
-
-func (r *jobRequest) spec() (service.JobSpec, error) {
-	var spec service.JobSpec
-	kind, err := service.ParseSBP(r.SBP)
-	if err != nil {
-		return spec, err
-	}
-	eng, err := service.ParseEngine(r.Engine)
-	if err != nil {
-		return spec, err
-	}
-	spec = service.JobSpec{
-		K: r.K, SBP: kind, Engine: eng,
-		Portfolio: r.Portfolio, InstanceDependent: r.InstanceDependent,
-		ChronoThreshold: r.ChronoThreshold, VivifyBudget: r.VivifyBudget,
-		DynamicLBD: r.DynamicLBD,
-		GlueLBD:    r.GlueLBD, ReduceInterval: r.ReduceInterval, RestartBase: r.RestartBase,
-		Parallel: r.Parallel, CubeDepth: r.CubeDepth, ShareLBD: r.ShareLBD,
-	}
-	if r.Timeout != "" {
-		d, err := time.ParseDuration(r.Timeout)
-		if err != nil {
-			return spec, fmt.Errorf("timeout: %w", err)
-		}
-		spec.Timeout = d
-	}
-	return spec, nil
-}
-
-func newHandler(svc *service.Service, disk *service.DiskBackend, heartbeat time.Duration, enablePprof bool) http.Handler {
-	if heartbeat <= 0 {
-		heartbeat = 10 * time.Second
-	}
-	mux := http.NewServeMux()
-	if enablePprof {
-		// Opt-in only: profiling endpoints leak operational detail, so they
-		// stay off unless -pprof is passed for a field investigation.
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	}
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
-	mux.HandleFunc("/metrics", metricsHandler(svc, disk))
-	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, svc.Stats())
-	})
-	mux.HandleFunc("/v1/store", func(w http.ResponseWriter, r *http.Request) {
-		if disk == nil {
-			httpError(w, http.StatusNotFound, "no persistent store configured (run with -store.dir)")
-			return
-		}
-		writeJSON(w, http.StatusOK, disk.Stats())
-	})
-	mux.HandleFunc("/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		switch r.Method {
-		case http.MethodPost:
-			submit(svc, w, r)
-		case http.MethodGet:
-			writeJSON(w, http.StatusOK, svc.Jobs())
-		default:
-			httpError(w, http.StatusMethodNotAllowed, "use GET or POST")
-		}
-	})
-	mux.HandleFunc("/v1/jobs/", func(w http.ResponseWriter, r *http.Request) {
-		rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
-		id, sub, _ := strings.Cut(rest, "/")
-		switch {
-		case r.Method == http.MethodDelete && sub == "":
-			if err := svc.Cancel(id); err != nil {
-				httpError(w, http.StatusNotFound, err.Error())
-				return
-			}
-			writeJSON(w, http.StatusOK, map[string]string{"id": id, "state": "canceling"})
-		case r.Method == http.MethodGet && sub == "":
-			info, err := svc.Job(id)
-			if err != nil {
-				httpError(w, http.StatusNotFound, err.Error())
-				return
-			}
-			writeJSON(w, http.StatusOK, info)
-		case r.Method == http.MethodGet && sub == "events":
-			streamEvents(svc, w, r, id, heartbeat)
-		case r.Method == http.MethodGet && sub == "result":
-			info, err := svc.Job(id)
-			if err != nil {
-				httpError(w, http.StatusNotFound, err.Error())
-				return
-			}
-			if info.Result == nil {
-				writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "state": info.State})
-				return
-			}
-			writeJSON(w, http.StatusOK, info.Result)
-		default:
-			httpError(w, http.StatusNotFound, "unknown route")
-		}
-	})
-	return mux
-}
-
-func submit(svc *service.Service, w http.ResponseWriter, r *http.Request) {
-	var req jobRequest
-	body := http.MaxBytesReader(w, r.Body, 64<<20)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad json: "+err.Error())
-		return
-	}
-	g, err := req.graph()
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	spec, err := req.spec()
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	id, err := svc.Submit(g, spec)
-	switch {
-	case errors.Is(err, service.ErrQueueFull):
-		httpError(w, http.StatusServiceUnavailable, err.Error())
-		return
-	case errors.Is(err, service.ErrClosed):
-		httpError(w, http.StatusServiceUnavailable, err.Error())
-		return
-	case err != nil:
-		httpError(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
-}
-
-// event is one NDJSON line on a /v1/jobs/{id}/events stream.
-type event struct {
-	// Type is "progress" (live solver counters), "heartbeat" (stream
-	// keep-alive while the search is between reports), or "result" (the
-	// terminal event: the job's final snapshot; the stream closes after
-	// it).
-	Type     string            `json:"type"`
-	Progress *service.Progress `json:"progress,omitempty"`
-	Job      *service.JobInfo  `json:"job,omitempty"`
-}
-
-// streamEvents serves the NDJSON progress stream for one job: progress
-// events as the solver reports, heartbeats while idle, one terminal result
-// event, then EOF. An already-finished job yields just the result event.
-// A reconnecting client passes ?after=<seq> (the Seq of the last progress
-// event it saw) to resume without replaying: only snapshots newer than
-// that are sent. The service keeps the latest snapshot per job, so
-// "resume" means "skip stale", never "replay history".
-func streamEvents(svc *service.Service, w http.ResponseWriter, r *http.Request, id string, heartbeat time.Duration) {
-	if _, err := svc.Job(id); err != nil {
-		httpError(w, http.StatusNotFound, err.Error())
-		return
-	}
-	var after int64
-	if v := r.URL.Query().Get("after"); v != "" {
-		n, err := strconv.ParseInt(v, 10, 64)
-		if err != nil || n < 0 {
-			httpError(w, http.StatusBadRequest, "after must be a non-negative integer sequence number")
-			return
-		}
-		after = n
-	}
-	fl, ok := w.(http.Flusher)
-	if !ok {
-		httpError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
-		return
-	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.WriteHeader(http.StatusOK)
-	enc := json.NewEncoder(w)
-	emit := func(ev event) bool {
-		if err := enc.Encode(ev); err != nil {
-			return false
-		}
-		fl.Flush()
-		return true
-	}
-	seq := after
-	for {
-		hbCtx, cancel := context.WithTimeout(r.Context(), heartbeat)
-		p, more, err := svc.NextProgress(hbCtx, id, seq)
-		cancel()
-		switch {
-		case err == nil && more:
-			seq = p.Seq
-			if !emit(event{Type: "progress", Progress: &p}) {
-				return
-			}
-		case err == nil && !more:
-			info, jerr := svc.Job(id)
-			if jerr != nil {
-				return // pruned between calls
-			}
-			emit(event{Type: "result", Job: &info})
-			return
-		case errors.Is(err, context.DeadlineExceeded) && r.Context().Err() == nil:
-			if !emit(event{Type: "heartbeat"}) {
-				return
-			}
-		default:
-			return // client went away, or the job record was pruned
-		}
-	}
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
-}
-
-func httpError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
 }

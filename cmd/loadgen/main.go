@@ -1,0 +1,281 @@
+// Command loadgen drives mixed HTTP traffic against a running gcolord to
+// exercise the admission-control path: a configurable fraction of
+// submissions are random relabelings of one base graph (isomorphic, so
+// the canonical cache answers all but the first), the rest are novel
+// random graphs that each need a real solve. It reports accepts,
+// backpressure rejections (429s), submit latency percentiles, and the
+// daemon's cache-hit counters.
+//
+// Usage:
+//
+//	loadgen -addr http://localhost:8080 -n 500 -c 16 -tenants 4 -iso 0.5
+//	loadgen -addr http://localhost:8080 -duration 30s -c 32
+//	loadgen -selftest   # self-contained overload/light smoke (CI)
+//
+// Every non-2xx response must parse as the unified error envelope
+// {"error": {"code", ...}}; any response that does not counts as a
+// protocol error and fails the run.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "gcolord base URL")
+	n := flag.Int("n", 200, "total submissions (ignored with -duration)")
+	duration := flag.Duration("duration", 0, "run for this long instead of a fixed count")
+	concurrency := flag.Int("c", 8, "concurrent submitters")
+	tenants := flag.Int("tenants", 2, "spread requests over this many X-Tenant values")
+	isoFrac := flag.Float64("iso", 0.5, "fraction of submissions that are isomorphic relabelings of the base graph")
+	vertices := flag.Int("vertices", 24, "vertex count of generated graphs")
+	degree := flag.Float64("degree", 3, "average degree of generated graphs")
+	k := flag.Int("k", 8, "color bound submitted with every job")
+	timeout := flag.String("timeout", "5s", "per-job solve budget")
+	seed := flag.Int64("seed", 1, "random seed (runs are reproducible)")
+	selftest := flag.Bool("selftest", false, "run the self-contained overload/light smoke against an in-process daemon")
+	flag.Parse()
+
+	if *selftest {
+		if err := runSelftest(); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: selftest:", err)
+			os.Exit(1)
+		}
+		fmt.Println("loadgen: selftest ok")
+		return
+	}
+
+	cfg := runConfig{
+		addr: strings.TrimRight(*addr, "/"), n: *n, duration: *duration,
+		concurrency: *concurrency, tenants: *tenants, isoFrac: *isoFrac,
+		vertices: *vertices, degree: *degree, k: *k, timeout: *timeout,
+		seed: *seed,
+	}
+	rep, err := run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	rep.print(os.Stdout)
+	if rep.protocolErrors > 0 {
+		os.Exit(1)
+	}
+}
+
+type runConfig struct {
+	addr        string
+	n           int
+	duration    time.Duration
+	concurrency int
+	tenants     int
+	isoFrac     float64
+	vertices    int
+	degree      float64
+	k           int
+	timeout     string
+	seed        int64
+}
+
+// report aggregates one load run.
+type report struct {
+	submitted      int64
+	accepted       int64
+	rejected429    int64 // queue_full + tenant_over_quota
+	otherErrors    int64 // non-429 envelope errors (4xx/5xx)
+	protocolErrors int64 // transport failures or non-envelope error bodies
+	rejectCodes    map[string]int64
+	latencies      []time.Duration
+	elapsed        time.Duration
+	stats          map[string]any // daemon /v1/stats snapshot, if reachable
+}
+
+func (r *report) print(w io.Writer) {
+	fmt.Fprintf(w, "loadgen: %d submitted in %v (%.1f req/s)\n",
+		r.submitted, r.elapsed.Round(time.Millisecond), float64(r.submitted)/r.elapsed.Seconds())
+	fmt.Fprintf(w, "  accepted: %d   429s: %d   other errors: %d   protocol errors: %d\n",
+		r.accepted, r.rejected429, r.otherErrors, r.protocolErrors)
+	for code, c := range r.rejectCodes {
+		fmt.Fprintf(w, "  reject[%s]: %d\n", code, c)
+	}
+	if len(r.latencies) > 0 {
+		sort.Slice(r.latencies, func(i, j int) bool { return r.latencies[i] < r.latencies[j] })
+		pct := func(p float64) time.Duration {
+			i := int(p * float64(len(r.latencies)-1))
+			return r.latencies[i]
+		}
+		fmt.Fprintf(w, "  submit latency: p50=%v p90=%v p99=%v max=%v\n",
+			pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+			pct(0.99).Round(time.Microsecond), r.latencies[len(r.latencies)-1].Round(time.Microsecond))
+	}
+	if r.stats != nil {
+		fmt.Fprintf(w, "  daemon: solver_runs=%v cache_hits=%v dedup_joins=%v expired=%v\n",
+			r.stats["solver_runs"], r.stats["cache_hits"], r.stats["dedup_joins"], r.stats["expired"])
+	}
+}
+
+// genGraph emits the n+edges JSON fields for one submission: either a
+// fresh random relabeling of base (isomorphic traffic) or a novel random
+// graph. rng is owned by one worker goroutine.
+func genGraph(rng *rand.Rand, base [][2]int, vertices int, degree float64, iso bool, serial int64) (string, [][2]int) {
+	if iso {
+		perm := rng.Perm(vertices)
+		edges := make([][2]int, len(base))
+		for i, e := range base {
+			edges[i] = [2]int{perm[e[0]], perm[e[1]]}
+		}
+		return fmt.Sprintf("iso-%d", serial), edges
+	}
+	return fmt.Sprintf("novel-%d", serial), randomGraph(rng, vertices, degree)
+}
+
+// randomGraph samples a G(n,m)-style edge list with ~degree*n/2 edges.
+func randomGraph(rng *rand.Rand, n int, degree float64) [][2]int {
+	want := int(degree * float64(n) / 2)
+	seen := map[[2]int]bool{}
+	var edges [][2]int
+	for len(edges) < want {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]int{a, b}] {
+			continue
+		}
+		seen[[2]int{a, b}] = true
+		edges = append(edges, [2]int{a, b})
+	}
+	return edges
+}
+
+func edgesJSON(edges [][2]int) string {
+	parts := make([]string, len(edges))
+	for i, e := range edges {
+		parts[i] = fmt.Sprintf("[%d,%d]", e[0], e[1])
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+// envelope mirrors httpapi's error shape; loadgen decodes it structurally
+// so it exercises the wire contract, not the Go types.
+type envelope struct {
+	Error struct {
+		Code         string `json:"code"`
+		Message      string `json:"message"`
+		RetryAfterMS int64  `json:"retry_after_ms"`
+	} `json:"error"`
+}
+
+// run fires the configured traffic and aggregates the outcome.
+func run(cfg runConfig) (*report, error) {
+	if cfg.tenants < 1 {
+		cfg.tenants = 1
+	}
+	baseRng := rand.New(rand.NewSource(cfg.seed))
+	base := randomGraph(baseRng, cfg.vertices, cfg.degree)
+
+	rep := &report{rejectCodes: map[string]int64{}}
+	var mu sync.Mutex // guards rep.latencies and rep.rejectCodes
+	var serial atomic.Int64
+	stopAt := time.Time{}
+	if cfg.duration > 0 {
+		stopAt = time.Now().Add(cfg.duration)
+	}
+	next := func() bool {
+		if cfg.duration > 0 {
+			return time.Now().Before(stopAt)
+		}
+		return serial.Load() < int64(cfg.n)
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(w) + 1))
+			for next() {
+				s := serial.Add(1)
+				if cfg.duration == 0 && s > int64(cfg.n) {
+					return
+				}
+				iso := rng.Float64() < cfg.isoFrac
+				name, edges := genGraph(rng, base, cfg.vertices, cfg.degree, iso, s)
+				body := fmt.Sprintf(`{"name":%q,"n":%d,"edges":%s,"k":%d,"timeout":%q}`,
+					name, cfg.vertices, edgesJSON(edges), cfg.k, cfg.timeout)
+				tenant := fmt.Sprintf("tenant-%d", int(s)%cfg.tenants)
+
+				req, err := http.NewRequest("POST", cfg.addr+"/v1/jobs", bytes.NewReader([]byte(body)))
+				if err != nil {
+					atomic.AddInt64(&rep.protocolErrors, 1)
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				req.Header.Set("X-Tenant", tenant)
+				req.Header.Set("X-Request-ID", fmt.Sprintf("loadgen-%d", s))
+
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				lat := time.Since(t0)
+				atomic.AddInt64(&rep.submitted, 1)
+				if err != nil {
+					atomic.AddInt64(&rep.protocolErrors, 1)
+					continue
+				}
+				mu.Lock()
+				rep.latencies = append(rep.latencies, lat)
+				mu.Unlock()
+				func() {
+					defer resp.Body.Close()
+					if resp.StatusCode == http.StatusAccepted {
+						atomic.AddInt64(&rep.accepted, 1)
+						io.Copy(io.Discard, resp.Body)
+						return
+					}
+					var env envelope
+					if err := json.NewDecoder(resp.Body).Decode(&env); err != nil || env.Error.Code == "" {
+						// A non-2xx body that is not the envelope breaks
+						// the API contract.
+						atomic.AddInt64(&rep.protocolErrors, 1)
+						return
+					}
+					mu.Lock()
+					rep.rejectCodes[env.Error.Code]++
+					mu.Unlock()
+					if resp.StatusCode == http.StatusTooManyRequests {
+						atomic.AddInt64(&rep.rejected429, 1)
+					} else {
+						atomic.AddInt64(&rep.otherErrors, 1)
+					}
+				}()
+			}
+		}(w)
+	}
+	wg.Wait()
+	rep.elapsed = time.Since(start)
+
+	if resp, err := client.Get(cfg.addr + "/v1/stats"); err == nil {
+		defer resp.Body.Close()
+		var stats map[string]any
+		if json.NewDecoder(resp.Body).Decode(&stats) == nil {
+			rep.stats = stats
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/httpapi"
+	"repro/internal/service"
+	"repro/internal/solverutil"
+)
+
+// sleepSolve stands in for the real solver: a fixed per-job cost, so the
+// selftest's overload behavior depends only on admission arithmetic,
+// never on solver speed.
+func sleepSolve(d time.Duration) service.SolveFunc {
+	return func(ctx context.Context, g *graph.Graph, spec service.JobSpec, progress solverutil.ProgressFunc) core.Outcome {
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+		}
+		return core.Outcome{Instance: g.Name()}
+	}
+}
+
+// runSelftest is the CI smoke behind `make loadtest`: an overloaded
+// in-process daemon must shed load with enveloped 429s, and a lightly
+// loaded one must accept everything. Any non-envelope error response
+// fails either scenario.
+func runSelftest() error {
+	// Overload: 2 workers × 100ms jobs against 16 submitters can sustain
+	// ~20 jobs/s; 120 novel submissions arriving as fast as possible must
+	// overflow the depth-4 queue and be rejected with 429s.
+	overloaded := service.New(service.Config{
+		Workers: 2, QueueDepth: 4, Solve: sleepSolve(100 * time.Millisecond),
+	})
+	srv := httptest.NewServer(httpapi.New(httpapi.Config{Service: overloaded}))
+	rep, err := run(runConfig{
+		addr: srv.URL, n: 120, concurrency: 16, tenants: 3, isoFrac: 0,
+		vertices: 12, degree: 2, k: 4, timeout: "5s", seed: 7,
+	})
+	srv.Close()
+	overloaded.CancelAll()
+	overloaded.Close()
+	if err != nil {
+		return fmt.Errorf("overload run: %w", err)
+	}
+	rep.print(os.Stderr)
+	if rep.protocolErrors > 0 {
+		return fmt.Errorf("overload: %d responses violated the error-envelope contract", rep.protocolErrors)
+	}
+	if rep.rejected429 == 0 {
+		return fmt.Errorf("overload: expected 429 backpressure, got none (accepted=%d)", rep.accepted)
+	}
+	if rep.accepted == 0 {
+		return fmt.Errorf("overload: nothing was accepted")
+	}
+
+	// Light load: ample workers and queue; every submission must be
+	// accepted — a single 429 here means admission rejects traffic it has
+	// room for.
+	light := service.New(service.Config{
+		Workers: 8, QueueDepth: 1024, Solve: sleepSolve(time.Millisecond),
+	})
+	srv = httptest.NewServer(httpapi.New(httpapi.Config{Service: light}))
+	rep, err = run(runConfig{
+		addr: srv.URL, n: 30, concurrency: 2, tenants: 2, isoFrac: 0.5,
+		vertices: 12, degree: 2, k: 4, timeout: "5s", seed: 11,
+	})
+	srv.Close()
+	light.CancelAll()
+	light.Close()
+	if err != nil {
+		return fmt.Errorf("light run: %w", err)
+	}
+	rep.print(os.Stderr)
+	if rep.protocolErrors > 0 {
+		return fmt.Errorf("light: %d responses violated the error-envelope contract", rep.protocolErrors)
+	}
+	if rep.rejected429 != 0 {
+		return fmt.Errorf("light: got %d spurious 429s under light load", rep.rejected429)
+	}
+	return nil
+}

@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"bufio"
@@ -34,7 +34,7 @@ func startDaemon(t *testing.T, dir string) (*httptest.Server, *service.Service) 
 		Backend:          backend,
 		ProgressInterval: time.Millisecond,
 	})
-	srv := httptest.NewServer(newHandler(svc, disk, 50*time.Millisecond, false))
+	srv := httptest.NewServer(New(Config{Service: svc, Disk: disk, Heartbeat: 50 * time.Millisecond}))
 	t.Cleanup(func() {
 		srv.Close()
 		svc.CancelAll()

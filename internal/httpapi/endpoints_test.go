@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"bufio"
@@ -183,7 +183,7 @@ func waitDone(t *testing.T, srv *httptest.Server, id string) {
 			t.Fatal(err)
 		}
 		switch info.State {
-		case "done", "failed", "canceled":
+		case "done", "failed", "canceled", "expired":
 			return
 		}
 		time.Sleep(20 * time.Millisecond)

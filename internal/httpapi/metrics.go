@@ -1,0 +1,103 @@
+package httpapi
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"repro/internal/service"
+)
+
+// metrics serves GET /metrics in the Prometheus text exposition format
+// (version 0.0.4): the cumulative service counters, the scheduler and
+// admission gauges, the per-tenant accept/reject/in-flight series, the
+// queue-wait histogram, and — when a persistent store is configured —
+// the store's file-size and GC counters. Everything here mirrors the
+// JSON under /v1/stats and /v1/store; the text form exists so a stock
+// Prometheus scrape needs no adapter.
+func (a *api) metrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		apiError(w, r, http.StatusMethodNotAllowed, ErrorDetail{
+			Code: CodeMethodNotAllowed, Message: "use GET",
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	st := a.svc.Stats()
+	header := func(name, help, typ string) {
+		fmt.Fprintf(w, "# HELP gcolord_%s %s\n# TYPE gcolord_%s %s\n", name, help, name, typ)
+	}
+	counter := func(name, help string, v int64) {
+		header(name, help, "counter")
+		fmt.Fprintf(w, "gcolord_%s %d\n", name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		header(name, help, "gauge")
+		fmt.Fprintf(w, "gcolord_%s %d\n", name, v)
+	}
+	counter("jobs_submitted_total", "Jobs accepted by POST /v1/jobs.", st.Submitted)
+	counter("jobs_completed_total", "Jobs finished with a result.", st.Completed)
+	counter("jobs_failed_total", "Jobs that failed.", st.Failed)
+	counter("jobs_canceled_total", "Jobs canceled or timed out before a result.", st.Canceled)
+	counter("jobs_expired_total", "Jobs whose deadline elapsed while still queued.", st.Expired)
+	counter("solver_runs_total", "Actual solver invocations (cache misses).", st.SolverRuns)
+	counter("cache_hits_total", "Results served from the cache backend.", st.CacheHits)
+	counter("dedup_joins_total", "Submissions that joined an identical in-flight solve.", st.DedupJoins)
+	counter("store_errors_total", "Failed cache-backend writes.", st.StoreErrors)
+	counter("canon_inexact_total", "Canonical searches truncated by their node budget.", st.CanonInexact)
+
+	// Admission rejections, labeled by the envelope's error code.
+	header("rejects_total", "Submissions refused at admission, by reason.", "counter")
+	fmt.Fprintf(w, "gcolord_rejects_total{reason=%q} %d\n", service.ReasonQueueFull, st.RejectsQueueFull)
+	fmt.Fprintf(w, "gcolord_rejects_total{reason=%q} %d\n", service.ReasonOverQuota, st.RejectsOverQuota)
+	fmt.Fprintf(w, "gcolord_rejects_total{reason=%q} %d\n", service.ReasonInvalidSpec, st.RejectsInvalidSpec)
+
+	// Per-tenant admission series, sorted so scrapes are deterministic.
+	tenants := make([]string, 0, len(st.Tenants))
+	for name := range st.Tenants {
+		tenants = append(tenants, name)
+	}
+	sort.Strings(tenants)
+	header("tenant_accepts_total", "Admitted submissions per tenant.", "counter")
+	for _, name := range tenants {
+		fmt.Fprintf(w, "gcolord_tenant_accepts_total{tenant=%q} %d\n", name, st.Tenants[name].Accepts)
+	}
+	header("tenant_rejects_total", "Rate-limit and quota rejections per tenant.", "counter")
+	for _, name := range tenants {
+		fmt.Fprintf(w, "gcolord_tenant_rejects_total{tenant=%q} %d\n", name, st.Tenants[name].Rejects)
+	}
+	header("tenant_in_flight", "Queued plus running jobs per tenant.", "gauge")
+	for _, name := range tenants {
+		fmt.Fprintf(w, "gcolord_tenant_in_flight{tenant=%q} %d\n", name, int64(st.Tenants[name].InFlight))
+	}
+
+	// Queue-wait histogram. The service keeps per-bucket counts; the
+	// exposition format wants cumulative le-buckets ending at +Inf.
+	header("queue_wait_seconds", "Time jobs spend queued before a worker picks them up.", "histogram")
+	var cum int64
+	for _, b := range st.QueueWait.Buckets {
+		cum += b.Count
+		le := "+Inf"
+		if b.LEms >= 0 {
+			le = strconv.FormatFloat(float64(b.LEms)/1000, 'g', -1, 64)
+		}
+		fmt.Fprintf(w, "gcolord_queue_wait_seconds_bucket{le=%q} %d\n", le, cum)
+	}
+	fmt.Fprintf(w, "gcolord_queue_wait_seconds_sum %g\n", float64(st.QueueWait.SumMS)/1000)
+	fmt.Fprintf(w, "gcolord_queue_wait_seconds_count %d\n", st.QueueWait.Count)
+
+	gauge("cache_entries", "Definitive records in the cache backend.", int64(st.CacheEntries))
+	gauge("in_flight", "Solves currently leading a singleflight group.", int64(st.InFlight))
+	gauge("queue_depth", "Jobs queued but not yet started.", int64(st.QueueDepth))
+	gauge("running", "Jobs currently solving.", int64(st.Running))
+	if a.cfg.Disk != nil {
+		ds := a.cfg.Disk.Stats()
+		gauge("store_entries", "Live records in the persistent store.", int64(ds.Entries))
+		gauge("store_wal_bytes", "Current WAL size in bytes.", ds.WALBytes)
+		gauge("store_snapshot_bytes", "Current snapshot size in bytes.", ds.SnapshotBytes)
+		counter("store_tail_dropped_total", "Corrupt or truncated tail records dropped at startup.", int64(ds.TailDropped))
+		counter("store_compactions_total", "Completed WAL-into-snapshot compactions.", ds.Compactions)
+		counter("store_gc_dropped_total", "Records removed by the TTL/size GC policy.", ds.GCDropped)
+	}
+}

@@ -14,10 +14,11 @@ import (
 // canonical search was truncated, so keying on the hash is always sound;
 // truncation only costs dedup opportunities. Timeout, the six engine
 // tuning knobs (ChronoThreshold, VivifyBudget, DynamicLBD, GlueLBD,
-// ReduceInterval, RestartBase) and the parallel knobs (Parallel,
-// CubeDepth, ShareLBD) are deliberately left out: they change how fast a
-// definitive answer is reached, never which answer, so differently tuned
-// submissions safely share entries. The same key addresses both the
+// ReduceInterval, RestartBase), the parallel knobs (Parallel, CubeDepth,
+// ShareLBD), and the admission fields (Priority, Deadline) are
+// deliberately left out: they change how fast a definitive answer is
+// reached, never which answer, so differently tuned submissions safely
+// share entries. The same key addresses both the
 // in-flight singleflight table and the durable Backend, so its format is
 // part of the on-disk store contract (see docs/API.md).
 func cacheKey(spec JobSpec, canon *autom.Canonical) string {

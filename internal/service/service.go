@@ -15,6 +15,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -28,10 +31,14 @@ import (
 	"repro/internal/solverutil"
 )
 
-// Errors returned by Submit and the accessors.
+// Errors returned by Submit and the accessors. Admission rejections
+// (ErrQueueFull, ErrOverQuota) are returned as *AdmissionError values
+// carrying the tenant and a RetryAfter hint; match them with errors.Is
+// against these sentinels or errors.As for the detail.
 var (
 	ErrClosed    = errors.New("service: closed")
 	ErrQueueFull = errors.New("service: queue full")
+	ErrOverQuota = errors.New("service: tenant over quota")
 	ErrNoSuchJob = errors.New("service: no such job")
 )
 
@@ -55,6 +62,17 @@ type JobSpec struct {
 	InstanceDependent bool `json:"instance_dependent"`
 	// Timeout bounds this job's solve; 0 = the service default.
 	Timeout time.Duration `json:"timeout"`
+	// Priority is the admission class, 0 (normal) to MaxPriority (most
+	// urgent). Higher classes dequeue first; within a class the order is
+	// FIFO, and waiting jobs age upward so no class starves (see
+	// Config.AgingStep). Excluded from the cache key.
+	Priority int `json:"priority,omitempty"`
+	// Deadline bounds the job end to end from submission, *including*
+	// time spent queued: a job still waiting past its deadline expires
+	// without ever occupying a worker, and a running job's solve context
+	// is cut at the deadline even when Timeout allows more. 0 = no
+	// deadline. Excluded from the cache key.
+	Deadline time.Duration `json:"deadline,omitempty"`
 	// ChronoThreshold enables chronological backtracking in the CDCL
 	// engines: backjumps undoing more than this many levels retreat one
 	// level instead (0 = disabled). Excluded from the cache key.
@@ -93,10 +111,14 @@ const (
 	StateDone
 	StateFailed
 	StateCanceled
+	// StateExpired marks a job whose deadline elapsed while it was still
+	// queued: it never ran a solver and never occupied a worker.
+	StateExpired
 )
 
 // String returns the lowercase wire name of the state ("queued",
-// "running", "done", "failed", "canceled"), the form JobInfo serializes.
+// "running", "done", "failed", "canceled", "expired"), the form JobInfo
+// serializes.
 func (s State) String() string {
 	switch s {
 	case StateQueued:
@@ -109,6 +131,8 @@ func (s State) String() string {
 		return "failed"
 	case StateCanceled:
 		return "canceled"
+	case StateExpired:
+		return "expired"
 	}
 	return fmt.Sprintf("state(%d)", int32(s))
 }
@@ -180,6 +204,18 @@ type Stats struct {
 	InFlight     int `json:"in_flight"`
 	QueueDepth   int `json:"queue_depth"`
 	Running      int `json:"running"`
+
+	// Admission counters. Expired counts jobs whose deadline elapsed in
+	// the queue (they never reached a worker); the Rejects* counters
+	// split Submit refusals by reason; QueueWait is the histogram of
+	// time-in-queue for every dequeued job; Tenants holds the per-tenant
+	// accept/reject/in-flight counters, keyed by tenant name.
+	Expired            int64                  `json:"expired"`
+	RejectsQueueFull   int64                  `json:"rejects_queue_full"`
+	RejectsOverQuota   int64                  `json:"rejects_over_quota"`
+	RejectsInvalidSpec int64                  `json:"rejects_invalid_spec"`
+	QueueWait          Histogram              `json:"queue_wait"`
+	Tenants            map[string]TenantStats `json:"tenants,omitempty"`
 }
 
 // SolveFunc produces the outcome for one job; tests inject counters and
@@ -252,25 +288,58 @@ type Config struct {
 	// the oldest *finished* jobs are forgotten — their ids then return
 	// ErrNoSuchJob — so a long-running daemon does not grow without bound.
 	MaxJobs int
+	// AgingStep is the queue seniority one priority class is worth
+	// (default 30s): a priority-P job is scheduled as if submitted
+	// P·AgingStep earlier, so higher classes overtake bounded amounts of
+	// lower-class backlog and every waiting job eventually outranks all
+	// newer arrivals — no class starves.
+	AgingStep time.Duration
+	// TenantRate caps each tenant's long-run accepted submissions per
+	// second with a token bucket of TenantBurst capacity (0 = no rate
+	// limit). TenantBurst defaults to max(1, ceil(TenantRate)).
+	TenantRate  float64
+	TenantBurst int
+	// TenantMaxInFlight bounds one tenant's queued + running jobs
+	// (0 = unlimited). Beyond it, Submit rejects with ErrOverQuota so a
+	// single tenant saturating the service cannot starve the others.
+	TenantMaxInFlight int
+	// RetryAfterHint is the retry delay suggested on queue-full and
+	// in-flight-quota rejections (default 1s; rate-limit rejections
+	// compute the exact token-refill wait instead).
+	RetryAfterHint time.Duration
+	// Logger receives structured job-lifecycle records (accepts,
+	// rejects, and one line per finished job with tenant, cache hit/miss,
+	// queue wait, solve time, and outcome). nil disables logging.
+	Logger *slog.Logger
 	// Solve overrides the solver (tests); nil selects DefaultSolve.
 	Solve SolveFunc
 }
 
 type job struct {
 	id     string
+	tenant string
 	g      *graph.Graph
 	spec   JobSpec
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// Admission-queue key: seq is the global submission order, vtime the
+	// aging-adjusted virtual submission time (see pqueue), deadlineAt the
+	// absolute end-to-end deadline (zero when the spec sets none).
+	seq        int64
+	vtime      time.Time
+	deadlineAt time.Time
 
 	mu        sync.Mutex
 	state     State
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
+	queueWait time.Duration
 	err       error
 	result    *Result
 	canceled  bool // explicit Cancel call (vs timeout)
+	expired   bool // deadline elapsed while still queued
 
 	// Live progress: the latest snapshot, a monotonically increasing
 	// sequence number, and a wake channel closed (and replaced) on every
@@ -313,14 +382,18 @@ func (j *job) recordProgress(effK int, p solverutil.Progress) {
 // JobInfo is a point-in-time snapshot of a job.
 type JobInfo struct {
 	ID        string    `json:"id"`
+	Tenant    string    `json:"tenant,omitempty"`
 	Instance  string    `json:"instance"`
 	Spec      JobSpec   `json:"spec"`
 	State     string    `json:"state"`
 	Submitted time.Time `json:"submitted"`
 	Started   time.Time `json:"started,omitempty"`
 	Finished  time.Time `json:"finished,omitempty"`
-	Err       string    `json:"error,omitempty"`
-	Result    *Result   `json:"result,omitempty"`
+	// QueueWait is the time the job spent in the admission queue before
+	// a worker picked it up (0 while still queued).
+	QueueWait time.Duration `json:"queue_wait,omitempty"`
+	Err       string        `json:"error,omitempty"`
+	Result    *Result       `json:"result,omitempty"`
 }
 
 // Service is the concurrent coloring scheduler.
@@ -328,7 +401,8 @@ type Service struct {
 	cfg     Config
 	solve   SolveFunc
 	backend Backend
-	queue   chan *job
+	pq      *pqueue
+	logger  *slog.Logger
 	wg      sync.WaitGroup
 
 	mu       sync.Mutex
@@ -339,19 +413,31 @@ type Service struct {
 	// size is bounded by the worker count — leaders remove their entry
 	// the moment they publish.
 	inflight map[string]*entry
-	closed   bool
+	// tenants holds per-tenant admission state (token bucket, in-flight
+	// count, counters), created on first submission.
+	tenants map[string]*tenantState
+	// Queue-wait histogram: one count per QueueWaitBucketsMS bound plus
+	// the +Inf overflow bucket.
+	queueWaitBuckets []int64
+	queueWaitCount   int64
+	queueWaitSumMS   int64
+	closed           bool
 
-	nextID     atomic.Int64
-	submitted  atomic.Int64
-	completed  atomic.Int64
-	failed     atomic.Int64
-	canceled   atomic.Int64
-	solverRuns atomic.Int64
-	cacheHits  atomic.Int64
-	dedupJoins atomic.Int64
-	storeErrs  atomic.Int64
-	inexact    atomic.Int64
-	running    atomic.Int64
+	nextID      atomic.Int64
+	submitted   atomic.Int64
+	completed   atomic.Int64
+	failed      atomic.Int64
+	canceled    atomic.Int64
+	expired     atomic.Int64
+	solverRuns  atomic.Int64
+	cacheHits   atomic.Int64
+	dedupJoins  atomic.Int64
+	storeErrs   atomic.Int64
+	inexact     atomic.Int64
+	running     atomic.Int64
+	rejectFull  atomic.Int64
+	rejectQuota atomic.Int64
+	rejectSpec  atomic.Int64
 }
 
 // New starts a service with the given configuration.
@@ -368,13 +454,31 @@ func New(cfg Config) *Service {
 	if cfg.MaxJobs <= 0 {
 		cfg.MaxJobs = 16384
 	}
+	if cfg.AgingStep <= 0 {
+		cfg.AgingStep = 30 * time.Second
+	}
+	if cfg.TenantRate > 0 && cfg.TenantBurst <= 0 {
+		cfg.TenantBurst = int(math.Ceil(cfg.TenantRate))
+		if cfg.TenantBurst < 1 {
+			cfg.TenantBurst = 1
+		}
+	}
+	if cfg.RetryAfterHint <= 0 {
+		cfg.RetryAfterHint = time.Second
+	}
 	s := &Service{
-		cfg:      cfg,
-		solve:    cfg.Solve,
-		backend:  cfg.Backend,
-		queue:    make(chan *job, cfg.QueueDepth),
-		jobs:     make(map[string]*job),
-		inflight: make(map[string]*entry),
+		cfg:              cfg,
+		solve:            cfg.Solve,
+		backend:          cfg.Backend,
+		pq:               newPQueue(),
+		logger:           cfg.Logger,
+		jobs:             make(map[string]*job),
+		inflight:         make(map[string]*entry),
+		tenants:          make(map[string]*tenantState),
+		queueWaitBuckets: make([]int64, len(QueueWaitBucketsMS)+1),
+	}
+	if s.logger == nil {
+		s.logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	if s.solve == nil {
 		s.solve = defaultSolve(cfg.ProgressInterval)
@@ -389,20 +493,47 @@ func New(cfg Config) *Service {
 	return s
 }
 
-// Submit enqueues one coloring job. The graph must not be mutated by the
-// caller afterwards. Returns the job id.
+// Submit enqueues one coloring job for the anonymous default tenant. The
+// graph must not be mutated by the caller afterwards. Returns the job id.
 func (s *Service) Submit(g *graph.Graph, spec JobSpec) (string, error) {
+	return s.SubmitTenant("", g, spec)
+}
+
+// SubmitTenant enqueues one coloring job on behalf of the named tenant
+// ("" = "default"). The spec is validated (*ValidationError on bad
+// fields) and the submission passes admission control: the tenant's token
+// bucket and in-flight quota, then the bounded queue. Rejections are
+// *AdmissionError values carrying a RetryAfter hint and matching
+// ErrOverQuota / ErrQueueFull via errors.Is — the service never blocks
+// the caller and rejected jobs never occupy a worker.
+func (s *Service) SubmitTenant(tenant string, g *graph.Graph, spec JobSpec) (string, error) {
+	if tenant == "" {
+		tenant = "default"
+	}
+	if err := spec.Validate(); err != nil {
+		s.rejectSpec.Add(1)
+		s.logger.Warn("job rejected", "tenant", tenant, "reason", ReasonInvalidSpec, "err", err)
+		return "", err
+	}
+	now := time.Now()
+	seq := s.nextID.Add(1)
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
-		id:        fmt.Sprintf("job-%d", s.nextID.Add(1)),
+		id:        fmt.Sprintf("job-%d", seq),
+		tenant:    tenant,
 		g:         g,
 		spec:      spec,
 		ctx:       ctx,
 		cancel:    cancel,
+		seq:       seq,
+		vtime:     now.Add(-time.Duration(spec.Priority) * s.cfg.AgingStep),
 		state:     StateQueued,
-		submitted: time.Now(),
+		submitted: now,
 		progWake:  make(chan struct{}),
 		done:      make(chan struct{}),
+	}
+	if spec.Deadline > 0 {
+		j.deadlineAt = now.Add(spec.Deadline)
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -410,17 +541,54 @@ func (s *Service) Submit(g *graph.Graph, spec JobSpec) (string, error) {
 		cancel()
 		return "", ErrClosed
 	}
-	select {
-	case s.queue <- j:
-	default:
+	ts := s.tenant(tenant)
+	if q := s.cfg.TenantMaxInFlight; q > 0 && ts.inFlight >= q {
+		ts.rejects++
 		s.mu.Unlock()
 		cancel()
-		return "", ErrQueueFull
+		return "", s.reject(&AdmissionError{
+			Reason: ReasonOverQuota, Tenant: tenant, RetryAfter: s.cfg.RetryAfterHint,
+		})
 	}
+	if s.pq.len() >= s.cfg.QueueDepth {
+		ts.rejects++
+		s.mu.Unlock()
+		cancel()
+		return "", s.reject(&AdmissionError{
+			Reason: ReasonQueueFull, Tenant: tenant, RetryAfter: s.cfg.RetryAfterHint,
+		})
+	}
+	// Last so a rejection for any other reason never burns a token.
+	if ok, wait := s.takeToken(ts, now); !ok {
+		ts.rejects++
+		s.mu.Unlock()
+		cancel()
+		return "", s.reject(&AdmissionError{
+			Reason: ReasonOverQuota, Tenant: tenant, RetryAfter: wait,
+		})
+	}
+	ts.inFlight++
+	ts.accepts++
 	s.jobs[j.id] = j
+	s.pq.push(j)
 	s.mu.Unlock()
 	s.submitted.Add(1)
+	s.logger.Debug("job accepted", "tenant", tenant, "job", j.id,
+		"priority", spec.Priority, "queue_depth", s.pq.len())
 	return j.id, nil
+}
+
+// reject counts and logs one admission rejection.
+func (s *Service) reject(e *AdmissionError) error {
+	switch e.Reason {
+	case ReasonQueueFull:
+		s.rejectFull.Add(1)
+	case ReasonOverQuota:
+		s.rejectQuota.Add(1)
+	}
+	s.logger.Warn("job rejected", "tenant", e.Tenant, "reason", e.Reason,
+		"retry_after", e.RetryAfter)
+	return e
 }
 
 // Cancel cancels a job; queued jobs are dropped when dequeued, running jobs
@@ -482,21 +650,43 @@ func (s *Service) Jobs() []JobInfo {
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	inflight := len(s.inflight)
+	tenants := make(map[string]TenantStats, len(s.tenants))
+	for name, ts := range s.tenants {
+		tenants[name] = TenantStats{Accepts: ts.accepts, Rejects: ts.rejects, InFlight: ts.inFlight}
+	}
+	hist := Histogram{
+		Count:   s.queueWaitCount,
+		SumMS:   s.queueWaitSumMS,
+		Buckets: make([]HistogramBucket, len(s.queueWaitBuckets)),
+	}
+	for i, n := range s.queueWaitBuckets {
+		le := int64(-1) // +Inf
+		if i < len(QueueWaitBucketsMS) {
+			le = QueueWaitBucketsMS[i]
+		}
+		hist.Buckets[i] = HistogramBucket{LEms: le, Count: n}
+	}
 	s.mu.Unlock()
 	return Stats{
-		Submitted:    s.submitted.Load(),
-		Completed:    s.completed.Load(),
-		Failed:       s.failed.Load(),
-		Canceled:     s.canceled.Load(),
-		SolverRuns:   s.solverRuns.Load(),
-		CacheHits:    s.cacheHits.Load(),
-		DedupJoins:   s.dedupJoins.Load(),
-		StoreErrors:  s.storeErrs.Load(),
-		CanonInexact: s.inexact.Load(),
-		CacheEntries: s.backend.Len(),
-		InFlight:     inflight,
-		QueueDepth:   len(s.queue),
-		Running:      int(s.running.Load()),
+		Submitted:          s.submitted.Load(),
+		Completed:          s.completed.Load(),
+		Failed:             s.failed.Load(),
+		Canceled:           s.canceled.Load(),
+		SolverRuns:         s.solverRuns.Load(),
+		CacheHits:          s.cacheHits.Load(),
+		DedupJoins:         s.dedupJoins.Load(),
+		StoreErrors:        s.storeErrs.Load(),
+		CanonInexact:       s.inexact.Load(),
+		CacheEntries:       s.backend.Len(),
+		InFlight:           inflight,
+		QueueDepth:         s.pq.len(),
+		Running:            int(s.running.Load()),
+		Expired:            s.expired.Load(),
+		RejectsQueueFull:   s.rejectFull.Load(),
+		RejectsOverQuota:   s.rejectQuota.Load(),
+		RejectsInvalidSpec: s.rejectSpec.Load(),
+		QueueWait:          hist,
+		Tenants:            tenants,
 	}
 }
 
@@ -512,7 +702,7 @@ func (s *Service) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
-	close(s.queue)
+	s.pq.close()
 	s.wg.Wait()
 	if err := s.backend.Close(); err != nil {
 		s.storeErrs.Add(1)
@@ -541,7 +731,11 @@ func (s *Service) CancelAll() {
 
 func (s *Service) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
+	for {
+		j, ok := s.pq.pop()
+		if !ok {
+			return
+		}
 		s.run(j)
 	}
 }
@@ -549,8 +743,22 @@ func (s *Service) worker() {
 // run executes one job: canonicalize, join an in-flight isomorphic solve
 // when one exists, otherwise consult the durable backend, and only when
 // both miss run a solver and publish the result to waiters and backend.
+// Canceled and deadline-expired jobs are finished here without a solver
+// call — dequeuing them is the only work a worker spends on them.
 func (s *Service) run(j *job) {
+	wait := time.Since(j.submitted)
+	j.mu.Lock()
+	j.queueWait = wait
+	j.mu.Unlock()
+	s.observeQueueWait(wait)
 	if j.ctx.Err() != nil {
+		s.finish(j, nil, nil)
+		return
+	}
+	if !j.deadlineAt.IsZero() && !time.Now().Before(j.deadlineAt) {
+		j.mu.Lock()
+		j.expired = true
+		j.mu.Unlock()
 		s.finish(j, nil, nil)
 		return
 	}
@@ -567,9 +775,18 @@ func (s *Service) run(j *job) {
 	if timeout <= 0 {
 		timeout = s.cfg.DefaultTimeout
 	}
+	var deadline time.Time
 	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	// The end-to-end deadline keeps counting while the job runs: cut the
+	// solve context at whichever bound lands first.
+	if !j.deadlineAt.IsZero() && (deadline.IsZero() || j.deadlineAt.Before(deadline)) {
+		deadline = j.deadlineAt
+	}
+	if !deadline.IsZero() {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
+		ctx, cancel = context.WithDeadline(ctx, deadline)
 		defer cancel()
 	}
 
@@ -729,8 +946,8 @@ func (s *Service) NextProgress(ctx context.Context, id string, afterSeq int64) (
 	}
 }
 
-// finish moves a job to its terminal state. A nil result means the job was
-// cancelled (or timed out before solving started).
+// finish moves a job to its terminal state. A nil result means the job
+// was cancelled (or, with j.expired set, its deadline elapsed in queue).
 func (s *Service) finish(j *job, res *Result, err error) {
 	j.mu.Lock()
 	switch {
@@ -738,6 +955,10 @@ func (s *Service) finish(j *job, res *Result, err error) {
 		j.state = StateFailed
 		j.err = err
 		s.failed.Add(1)
+	case res == nil && j.expired && !j.canceled:
+		j.state = StateExpired
+		j.err = context.DeadlineExceeded
+		s.expired.Add(1)
 	case res == nil || j.canceled:
 		j.state = StateCanceled
 		if res != nil {
@@ -749,13 +970,40 @@ func (s *Service) finish(j *job, res *Result, err error) {
 		j.result = res
 		s.completed.Add(1)
 	}
+	state := j.state
+	queueWait := j.queueWait
+	var solveTime time.Duration
+	if !j.started.IsZero() {
+		solveTime = time.Since(j.started)
+	}
 	j.finished = time.Now()
 	j.mu.Unlock()
 	close(j.done)
 
-	// Bound the job history: forget the oldest finished jobs beyond
-	// MaxJobs (queued/running jobs are never pruned).
+	// One structured record per finished job: who, what, how long it
+	// waited and ran, and how it ended.
+	attrs := []any{
+		"tenant", j.tenant, "job", j.id, "instance", j.g.Name(),
+		"outcome", state.String(),
+		"queue_wait_ms", queueWait.Milliseconds(),
+		"solve_ms", solveTime.Milliseconds(),
+	}
+	if res != nil {
+		cache := "miss"
+		if res.CacheHit {
+			cache = "hit"
+		}
+		attrs = append(attrs, "cache", cache, "status", res.Status.String(), "chi", res.Chi)
+	}
+	s.logger.Info("job finished", attrs...)
+
+	// Release the tenant's in-flight slot and bound the job history:
+	// forget the oldest finished jobs beyond MaxJobs (queued/running jobs
+	// are never pruned).
 	s.mu.Lock()
+	if ts, ok := s.tenants[j.tenant]; ok {
+		ts.inFlight--
+	}
 	s.finished = append(s.finished, j.id)
 	for len(s.jobs) > s.cfg.MaxJobs && len(s.finished) > 0 {
 		old := s.finished[0]
@@ -770,12 +1018,14 @@ func (j *job) info() JobInfo {
 	defer j.mu.Unlock()
 	info := JobInfo{
 		ID:        j.id,
+		Tenant:    j.tenant,
 		Instance:  j.g.Name(),
 		Spec:      j.spec,
 		State:     j.state.String(),
 		Submitted: j.submitted,
 		Started:   j.started,
 		Finished:  j.finished,
+		QueueWait: j.queueWait,
 		Result:    j.result,
 	}
 	if j.err != nil {

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -330,8 +331,15 @@ func TestQueueFull(t *testing.T) {
 		}
 		submitted++
 	}
-	if lastErr != ErrQueueFull {
+	if !errors.Is(lastErr, ErrQueueFull) {
 		t.Fatalf("expected ErrQueueFull, got %v after %d submissions", lastErr, submitted)
+	}
+	var adm *AdmissionError
+	if !errors.As(lastErr, &adm) {
+		t.Fatalf("queue-full rejection is not an *AdmissionError: %v", lastErr)
+	}
+	if adm.Reason != ReasonQueueFull || adm.RetryAfter <= 0 {
+		t.Fatalf("typed rejection %+v: want reason %q and a positive RetryAfter", adm, ReasonQueueFull)
 	}
 }
 

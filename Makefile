@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-baseline bench-compare fmt vet linkcheck docs loadtest
+.PHONY: build test race fuzz bench bench-baseline bench-compare fmt vet linkcheck docs loadtest chaostest crashtest
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,24 @@ vet:
 # everything). Exits nonzero if either contract breaks.
 loadtest:
 	$(GO) run ./cmd/loadgen -selftest
+
+# chaostest drives the self-contained chaos drill: an in-process daemon
+# with injected store write faults (including torn writes) and periodic
+# solver panics must keep the API contract, isolate every panic to its
+# own job, and still be serving after the disk "heals".
+chaostest:
+	$(GO) run ./cmd/loadgen -chaos
+
+# crashtest is the fault-tolerance acceptance gate: the SIGKILL-and-replay
+# drill against a real gcolord binary (journal replay under original ids,
+# no duplicate solver runs for isomorphic entries, graceful drain), plus
+# the service-level fault suites (panic isolation, degraded journal and
+# cache backend, Wait/Close races, CancelAll on queued jobs) and the
+# fault-injection harness's own tests — all under the race detector.
+crashtest:
+	$(GO) test -race -count=1 -run 'TestCrashRecoveryReplaysJournal|TestDrainRejectsSubmissions' ./cmd/gcolord/
+	$(GO) test -race -count=1 -run 'Panic|Journal|Resilient|CancelAll|CloseRace|Fault|Inject|Delete|WALUpgrade' ./internal/service/ ./internal/faultinject/ ./internal/store/
+	$(GO) run ./cmd/loadgen -chaos
 
 # linkcheck verifies every intra-repo Markdown link and heading anchor
 # resolves (external URLs are not fetched; the job stays hermetic).

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"os/signal"
 	"runtime"
@@ -340,16 +341,17 @@ func runBatch(ctx context.Context, names []string, spec service.JobSpec, workers
 
 // submitWithRetry submits one job, honoring admission backpressure: a
 // queue-full or rate-limit rejection is retried after the service's
-// RetryAfter hint (falling back to capped exponential backoff) instead of
-// failing the batch. Quota and validation rejections are permanent — more
-// retries cannot fix them — and fail the job immediately.
+// RetryAfter hint (falling back to backoff with decorrelated jitter)
+// instead of failing the batch. Quota and validation rejections are
+// permanent — more retries cannot fix them — and fail the job immediately.
 func submitWithRetry(ctx context.Context, svc *service.Service, g *graph.Graph, spec service.JobSpec) (string, error) {
 	const (
 		maxAttempts = 8
 		baseDelay   = 100 * time.Millisecond
 		maxDelay    = 5 * time.Second
 	)
-	delay := baseDelay
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	prev := baseDelay
 	for attempt := 1; ; attempt++ {
 		id, err := svc.Submit(g, spec)
 		if err == nil {
@@ -361,9 +363,15 @@ func submitWithRetry(ctx context.Context, svc *service.Service, g *graph.Graph, 
 		}
 		wait := adm.RetryAfter
 		if wait <= 0 {
-			wait = delay
-		}
-		if wait > maxDelay {
+			// Decorrelated jitter — wait = min(cap, rand[base, prev*3]) —
+			// so retries from many concurrent batch runners spread out
+			// instead of re-colliding in synchronized exponential waves.
+			wait = baseDelay + time.Duration(rng.Int63n(int64(prev*3-baseDelay)+1))
+			if wait > maxDelay {
+				wait = maxDelay
+			}
+			prev = wait
+		} else if wait > maxDelay {
 			wait = maxDelay
 		}
 		fmt.Fprintf(os.Stderr, "gcolor: %s: queue full, retrying in %v (attempt %d/%d)\n",
@@ -372,9 +380,6 @@ func submitWithRetry(ctx context.Context, svc *service.Service, g *graph.Graph, 
 		case <-time.After(wait):
 		case <-ctx.Done():
 			return "", ctx.Err()
-		}
-		if delay *= 2; delay > maxDelay {
-			delay = maxDelay
 		}
 	}
 }

@@ -1,0 +1,317 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildDaemon compiles the real gcolord binary (race-instrumented, so the
+// crash drill doubles as a race check on the replay and shutdown paths).
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "gcolord")
+	cmd := exec.Command("go", "build", "-race", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build gcolord: %v\n%s", err, out)
+	}
+	return bin
+}
+
+type daemon struct {
+	cmd    *exec.Cmd
+	addr   string // http://host:port
+	stderr *bytes.Buffer
+}
+
+// startDaemon launches the binary on an ephemeral port, learning the bound
+// address through -addr.file, and waits until /readyz answers 200.
+func startDaemon(t *testing.T, bin, storeDir string, extra ...string) *daemon {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	args := append([]string{
+		"-addr", "127.0.0.1:0", "-addr.file", addrFile, "-store.dir", storeDir,
+	}, extra...)
+	d := &daemon{cmd: exec.Command(bin, args...), stderr: &bytes.Buffer{}}
+	d.cmd.Stderr = d.stderr
+	if err := d.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("daemon %v stderr:\n%s", args, d.stderr.String())
+		}
+	})
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			d.addr = "http://" + string(b)
+			break
+		}
+		if time.Now().After(deadline) {
+			d.kill()
+			t.Fatalf("daemon never wrote %s", addrFile)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for {
+		resp, err := http.Get(d.addr + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return d
+			}
+		}
+		if time.Now().After(deadline) {
+			d.kill()
+			t.Fatal("daemon never became ready")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// kill SIGKILLs the daemon — the crash under test — and reaps it.
+func (d *daemon) kill() {
+	d.cmd.Process.Kill()
+	d.cmd.Wait()
+}
+
+func submit(t *testing.T, addr, body string) string {
+	t.Helper()
+	resp, err := http.Post(addr+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	var out map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out["id"]
+}
+
+// waitState polls the job until it reports state (or a deadline passes).
+func waitState(t *testing.T, addr, id, state string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(addr + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var info struct {
+			State string `json:"state"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&info)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.State == state {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q, want %q", id, info.State, state)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// waitResult polls /result until the job produces one, failing fast on a
+// terminal error status (4xx/5xx other than the 202 pending snapshot).
+func waitResult(t *testing.T, addr, id string) (chi int, solved bool) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(addr + "/v1/jobs/" + id + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var res struct {
+				Chi    int  `json:"chi"`
+				Solved bool `json:"solved"`
+			}
+			err := json.NewDecoder(resp.Body).Decode(&res)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Chi, res.Solved
+		case http.StatusAccepted:
+			resp.Body.Close()
+		default:
+			body, _ := json.Marshal(resp.Header)
+			resp.Body.Close()
+			t.Fatalf("job %s result: status %d (%s)", id, resp.StatusCode, body)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never produced a result", id)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func getStats(t *testing.T, addr string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(addr + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+func asInt(v any) int64 {
+	f, _ := v.(float64)
+	return int64(f)
+}
+
+// TestCrashRecoveryReplaysJournal is the fault-tolerance acceptance
+// scenario: SIGKILL a daemon with one job mid-solve and two more queued
+// (two of the three isomorphic to each other), restart it over the same
+// store directory, and require that the replayed jobs complete under their
+// original ids with correct results — with no duplicate solver run for the
+// isomorphic pair — and that a fresh submission does not collide with a
+// resurrected id.
+func TestCrashRecoveryReplaysJournal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and crashes a real daemon binary")
+	}
+	bin := buildDaemon(t)
+	storeDir := filepath.Join(t.TempDir(), "store")
+
+	// Life 1: one worker, every solve held for a minute — job A occupies
+	// the worker mid-solve while B and C sit in the queue.
+	d1 := startDaemon(t, bin, storeDir, "-workers", "1", "-chaos.solvedelay", "1m")
+	idA := submit(t, d1.addr, `{"name":"tri","n":3,"edges":[[0,1],[1,2],[0,2]],"k":3}`)
+	waitState(t, d1.addr, idA, "running")
+	idB := submit(t, d1.addr, `{"name":"c5","n":5,"edges":[[0,1],[1,2],[2,3],[3,4],[4,0]],"k":3}`)
+	idC := submit(t, d1.addr, `{"name":"c5-rel","n":5,"edges":[[2,4],[1,4],[1,3],[0,3],[0,2]],"k":3}`)
+	d1.kill() // the crash: nothing was completed, everything was journaled
+
+	// Life 2: same store, no chaos. Replay must resurrect all three.
+	d2 := startDaemon(t, bin, storeDir, "-workers", "2")
+	killed := false
+	defer func() {
+		if !killed {
+			d2.kill()
+		}
+	}()
+
+	for _, job := range []struct {
+		id, name string
+	}{{idA, "triangle"}, {idB, "c5"}, {idC, "c5 relabeled"}} {
+		chi, solved := waitResult(t, d2.addr, job.id)
+		if !solved || chi != 3 {
+			t.Fatalf("replayed %s (%s): chi=%d solved=%v, want chi=3 solved", job.name, job.id, chi, solved)
+		}
+	}
+
+	stats := getStats(t, d2.addr)
+	if got := asInt(stats["replayed"]); got != 3 {
+		t.Fatalf("replayed = %d, want 3", got)
+	}
+	if runs := asInt(stats["solver_runs"]); runs > 2 {
+		t.Fatalf("solver_runs = %d after replay, want ≤ 2 (isomorphic pair must share one run)", runs)
+	}
+	if hits := asInt(stats["cache_hits"]) + asInt(stats["dedup_joins"]); hits == 0 {
+		t.Fatal("isomorphic replayed pair shared no solve (no cache hit or dedup join)")
+	}
+
+	// Fresh ids must start past the resurrected ones.
+	idNew := submit(t, d2.addr, `{"name":"fresh","n":4,"edges":[[0,1],[1,2],[2,3]],"k":3}`)
+	if idNew == idA || idNew == idB || idNew == idC {
+		t.Fatalf("fresh submission reused replayed id %q", idNew)
+	}
+	if _, solved := waitResult(t, d2.addr, idNew); !solved {
+		t.Fatalf("fresh job %s did not solve", idNew)
+	}
+
+	// Graceful exit: SIGTERM drains (nothing in flight) and exits 0, and
+	// the draining daemon's /readyz flips to 503 so balancers stop
+	// routing here.
+	if err := d2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.cmd.Wait(); err != nil {
+		t.Fatalf("SIGTERM shutdown exited dirty: %v\nstderr:\n%s", err, d2.stderr.String())
+	}
+	killed = true
+}
+
+// TestDrainRejectsSubmissions: a draining daemon answers new submissions
+// with the typed 503 "draining" envelope while finishing in-flight work,
+// and /readyz reports not-ready.
+func TestDrainRejectsSubmissions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and drives a real daemon binary")
+	}
+	bin := buildDaemon(t)
+	storeDir := filepath.Join(t.TempDir(), "store")
+	d := startDaemon(t, bin, storeDir, "-workers", "1", "-chaos.solvedelay", "2s", "-drain", "30s")
+	defer d.kill()
+
+	id := submit(t, d.addr, `{"name":"tri","n":3,"edges":[[0,1],[1,2],[0,2]],"k":3}`)
+	waitState(t, d.addr, id, "running")
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	// While draining, the daemon still serves: readyz flips to 503, new
+	// submissions get the typed envelope, the running job finishes.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(d.addr + "/readyz")
+		if err != nil {
+			t.Fatalf("readyz during drain: %v", err) // daemon must keep serving
+		}
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("readyz never flipped to 503 during drain (last %d)", code)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	resp, err := http.Post(d.addr+"/v1/jobs", "application/json",
+		strings.NewReader(`{"name":"late","n":3,"edges":[[0,1]],"k":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || env.Error.Code != "draining" {
+		t.Fatalf("submission during drain: status %d code %q, want 503 draining", resp.StatusCode, env.Error.Code)
+	}
+
+	// The in-flight job survives the drain (exit 0 means Drain returned
+	// before the grace period, i.e. the job finished, not canceled).
+	if err := d.cmd.Wait(); err != nil {
+		t.Fatalf("drain shutdown exited dirty: %v\nstderr:\n%s", err, d.stderr.String())
+	}
+}

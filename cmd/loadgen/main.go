@@ -11,6 +11,7 @@
 //	loadgen -addr http://localhost:8080 -n 500 -c 16 -tenants 4 -iso 0.5
 //	loadgen -addr http://localhost:8080 -duration 30s -c 32
 //	loadgen -selftest   # self-contained overload/light smoke (CI)
+//	loadgen -chaos      # self-contained chaos drill: injected panics + store faults
 //
 // Every non-2xx response must parse as the unified error envelope
 // {"error": {"code", ...}}; any response that does not counts as a
@@ -46,6 +47,7 @@ func main() {
 	timeout := flag.String("timeout", "5s", "per-job solve budget")
 	seed := flag.Int64("seed", 1, "random seed (runs are reproducible)")
 	selftest := flag.Bool("selftest", false, "run the self-contained overload/light smoke against an in-process daemon")
+	chaos := flag.Bool("chaos", false, "run the self-contained chaos drill: injected solver panics and store write faults against an in-process daemon")
 	flag.Parse()
 
 	if *selftest {
@@ -54,6 +56,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("loadgen: selftest ok")
+		return
+	}
+	if *chaos {
+		if err := runChaos(); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: chaos:", err)
+			os.Exit(1)
+		}
+		fmt.Println("loadgen: chaos drill ok")
 		return
 	}
 

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"time"
@@ -13,6 +14,30 @@ import (
 	"repro/internal/service"
 	"repro/internal/solverutil"
 )
+
+// waitReady polls the daemon's /readyz until it answers 200 or the budget
+// elapses — traffic against a daemon that is still replaying its journal
+// (or already draining) would measure the wrong thing.
+func waitReady(addr string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	client := &http.Client{Timeout: 2 * time.Second}
+	for {
+		resp, err := client.Get(addr + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("daemon not ready after %v: %w", budget, err)
+			}
+			return fmt.Errorf("daemon not ready after %v", budget)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
 
 // sleepSolve stands in for the real solver: a fixed per-job cost, so the
 // selftest's overload behavior depends only on admission arithmetic,
@@ -39,6 +64,11 @@ func runSelftest() error {
 		Workers: 2, QueueDepth: 4, Solve: sleepSolve(100 * time.Millisecond),
 	})
 	srv := httptest.NewServer(httpapi.New(httpapi.Config{Service: overloaded}))
+	if err := waitReady(srv.URL, 5*time.Second); err != nil {
+		srv.Close()
+		overloaded.Close()
+		return fmt.Errorf("overload: %w", err)
+	}
 	rep, err := run(runConfig{
 		addr: srv.URL, n: 120, concurrency: 16, tenants: 3, isoFrac: 0,
 		vertices: 12, degree: 2, k: 4, timeout: "5s", seed: 7,
@@ -67,6 +97,11 @@ func runSelftest() error {
 		Workers: 8, QueueDepth: 1024, Solve: sleepSolve(time.Millisecond),
 	})
 	srv = httptest.NewServer(httpapi.New(httpapi.Config{Service: light}))
+	if err := waitReady(srv.URL, 5*time.Second); err != nil {
+		srv.Close()
+		light.Close()
+		return fmt.Errorf("light: %w", err)
+	}
 	rep, err = run(runConfig{
 		addr: srv.URL, n: 30, concurrency: 2, tenants: 2, isoFrac: 0.5,
 		vertices: 12, degree: 2, k: 4, timeout: "5s", seed: 11,

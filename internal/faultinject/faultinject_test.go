@@ -1,0 +1,168 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/service"
+	"repro/internal/solverutil"
+	"repro/internal/store"
+)
+
+// TestDeterministicSchedule: two injectors with the same seed and config
+// agree, fault for fault, over the same operation sequence.
+func TestDeterministicSchedule(t *testing.T) {
+	cfg := Config{Seed: 42, FailRate: 0.3}
+	a, b := NewFS(nil, cfg), NewFS(nil, cfg)
+	for i := 0; i < 200; i++ {
+		ea := a.inject("write x")
+		eb := b.inject("write x")
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("op %d: schedules diverge (%v vs %v)", i, ea, eb)
+		}
+	}
+	if a.Injected() == 0 {
+		t.Fatal("rate 0.3 over 200 ops injected nothing")
+	}
+	if a.Injected() != b.Injected() {
+		t.Fatalf("injected counts diverge: %d vs %d", a.Injected(), b.Injected())
+	}
+}
+
+// TestFailEvery: the every-Nth counter fires exactly on schedule.
+func TestFailEvery(t *testing.T) {
+	fs := NewFS(nil, Config{FailEvery: 3})
+	var got []int
+	for i := 1; i <= 9; i++ {
+		if err := fs.inject("op"); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("injected error %v does not match ErrInjected", err)
+			}
+			got = append(got, i)
+		}
+	}
+	want := []int{3, 6, 9}
+	if len(got) != len(want) {
+		t.Fatalf("fired at %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", got, want)
+		}
+	}
+}
+
+// TestStoreSurvivesInjectedWriteFaults: a store whose WAL writes fail
+// intermittently keeps its in-memory answers, reports errors on the Puts
+// that were hit, and a clean reopen (injector disarmed, as when a disk
+// heals) recovers every record whose append succeeded — torn tails from
+// partial writes are cut, never fatal.
+func TestStoreSurvivesInjectedWriteFaults(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFS(nil, Config{Seed: 7, FailEvery: 4, PartialWrites: true})
+	fs.Disarm() // let Open lay the files down cleanly
+	s, err := store.Open(dir, store.Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Arm()
+
+	okKeys := map[string]bool{}
+	for i := 0; i < 40; i++ {
+		key := string(rune('a'+i%26)) + "-" + string(rune('0'+i/26))
+		if err := s.Put(key, []byte("v")); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("Put %s: unexpected error %v", key, err)
+			}
+			continue
+		}
+		okKeys[key] = true
+	}
+	if fs.Injected() == 0 {
+		t.Fatal("no faults injected")
+	}
+	// Same-process reads still serve even the failed Puts (memory map
+	// is installed before the append).
+	if _, ok := s.Get("a-0"); !ok {
+		t.Fatal("in-memory entry lost on write failure")
+	}
+	fs.Disarm()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := store.Open(dir, store.Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for key := range okKeys {
+		if _, ok := s2.Get(key); !ok {
+			t.Errorf("durably-acknowledged key %s lost after reopen", key)
+		}
+	}
+}
+
+// TestLatencyInjection: injected latency is observable per op.
+func TestLatencyInjection(t *testing.T) {
+	fs := NewFS(nil, Config{Latency: 20 * time.Millisecond})
+	start := time.Now()
+	fs.inject("op")
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("op took %v, want >= ~20ms of injected latency", d)
+	}
+}
+
+func stubSolve(calls *atomic.Int64) service.SolveFunc {
+	return func(ctx context.Context, g *graph.Graph, spec service.JobSpec, progress solverutil.ProgressFunc) core.Outcome {
+		calls.Add(1)
+		return core.Outcome{Instance: g.Name()}
+	}
+}
+
+// TestPanicsDecorator: every Nth call panics before the inner solver runs;
+// the others pass through.
+func TestPanicsDecorator(t *testing.T) {
+	var inner atomic.Int64
+	solve, fired := Panics(stubSolve(&inner), 2)
+	g := graph.New("g", 2)
+	run := func() (panicked bool) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		solve(context.Background(), g, service.JobSpec{}, nil)
+		return false
+	}
+	want := []bool{false, true, false, true}
+	for i, w := range want {
+		if got := run(); got != w {
+			t.Fatalf("call %d: panicked=%v, want %v", i+1, got, w)
+		}
+	}
+	if inner.Load() != 2 || fired.Load() != 2 {
+		t.Fatalf("inner=%d fired=%d, want 2/2", inner.Load(), fired.Load())
+	}
+}
+
+// TestDelayDecorator: the delay honors cancellation without running the
+// inner solver.
+func TestDelayDecorator(t *testing.T) {
+	var inner atomic.Int64
+	solve := Delay(stubSolve(&inner), time.Hour)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out := solve(ctx, graph.New("g", 1), service.JobSpec{}, nil)
+	if inner.Load() != 0 {
+		t.Fatal("inner solver ran despite cancellation during injected delay")
+	}
+	if out.Instance != "g" {
+		t.Fatalf("outcome instance = %q", out.Instance)
+	}
+}

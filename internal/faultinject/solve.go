@@ -1,0 +1,48 @@
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/service"
+	"repro/internal/solverutil"
+)
+
+// Panics decorates a service.SolveFunc so every Nth call panics before the
+// inner solver runs (every ≤ 0 never panics). It returns the decorated
+// func and a counter of panics injected so far. The panic value carries
+// the call number, so a crash log identifies which injected fault fired —
+// and the service's panic isolation is expected to turn it into a
+// StateFailed job, never a dead process.
+func Panics(inner service.SolveFunc, every int64) (service.SolveFunc, *atomic.Int64) {
+	var calls, fired atomic.Int64
+	return func(ctx context.Context, g *graph.Graph, spec service.JobSpec, progress solverutil.ProgressFunc) core.Outcome {
+		n := calls.Add(1)
+		if every > 0 && n%every == 0 {
+			fired.Add(1)
+			panic(fmt.Sprintf("faultinject: injected solver panic (call %d)", n))
+		}
+		return inner(ctx, g, spec, progress)
+	}, &fired
+}
+
+// Delay decorates a service.SolveFunc with a fixed pre-solve delay,
+// honoring cancellation — the controllable slow solver crash drills use
+// to catch a daemon with jobs mid-flight.
+func Delay(inner service.SolveFunc, d time.Duration) service.SolveFunc {
+	if d <= 0 {
+		return inner
+	}
+	return func(ctx context.Context, g *graph.Graph, spec service.JobSpec, progress solverutil.ProgressFunc) core.Outcome {
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return core.Outcome{Instance: g.Name()}
+		}
+		return inner(ctx, g, spec, progress)
+	}
+}

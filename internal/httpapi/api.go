@@ -30,11 +30,20 @@ import (
 type Config struct {
 	// Service is the admission-controlled scheduler (required).
 	Service *service.Service
-	// Disk, when non-nil, enables /v1/store and the store metrics.
-	Disk *service.DiskBackend
+	// Disk, when non-nil, enables /v1/store and the store metrics. It is
+	// an interface (DiskBackend and ResilientBackend both satisfy it)
+	// because a degraded-capable backend may have no store attached at any
+	// given moment; leave it nil — not a typed-nil pointer — when no
+	// persistent store is configured.
+	Disk service.StoreStatser
 	// Heartbeat is the idle keep-alive interval on event streams
 	// (default 10s).
 	Heartbeat time.Duration
+	// RequestTimeout bounds each non-streaming /v1 request's handling via
+	// its context (default 30s; < 0 disables). The NDJSON event streams
+	// are exempt — they are long-lived by design and bounded by their own
+	// heartbeat/disconnect logic.
+	RequestTimeout time.Duration
 	// EnablePprof additionally mounts /debug/pprof.
 	EnablePprof bool
 	// Logger receives one structured record per request (method, path,
@@ -63,6 +72,9 @@ func New(cfg Config) http.Handler {
 	if cfg.MaxEdges <= 0 {
 		cfg.MaxEdges = 10000000
 	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -88,11 +100,12 @@ func New(cfg Config) http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("/readyz", a.getOnly(a.readyz))
 	mux.HandleFunc("/metrics", a.metrics)
-	mux.HandleFunc("/v1/stats", a.getOnly(func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/v1/stats", a.timed(a.getOnly(func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, a.svc.Stats())
-	}))
-	mux.HandleFunc("/v1/store", a.getOnly(func(w http.ResponseWriter, r *http.Request) {
+	})))
+	mux.HandleFunc("/v1/store", a.timed(a.getOnly(func(w http.ResponseWriter, r *http.Request) {
 		if a.cfg.Disk == nil {
 			apiError(w, r, http.StatusNotFound, ErrorDetail{
 				Code:    CodeNotFound,
@@ -100,9 +113,17 @@ func New(cfg Config) http.Handler {
 			})
 			return
 		}
-		writeJSON(w, http.StatusOK, a.cfg.Disk.Stats())
-	}))
-	mux.HandleFunc("/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		ds, ok := a.cfg.Disk.StoreStats()
+		if !ok {
+			apiError(w, r, http.StatusServiceUnavailable, ErrorDetail{
+				Code:    CodeStoreDegraded,
+				Message: "persistent store detached after write failures; running memory-only while reopen attempts continue",
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, ds)
+	})))
+	mux.HandleFunc("/v1/jobs", a.timed(func(w http.ResponseWriter, r *http.Request) {
 		switch r.Method {
 		case http.MethodPost:
 			a.submit(w, r)
@@ -113,15 +134,70 @@ func New(cfg Config) http.Handler {
 				Code: CodeMethodNotAllowed, Message: "use GET or POST",
 			})
 		}
-	})
+	}))
 	mux.HandleFunc("/v1/jobs/", a.jobRoutes)
 	return withRequestID(withLogging(cfg.Logger, mux))
 }
 
-// jobRoutes dispatches /v1/jobs/{id}[/sub].
+// readyz serves GET /readyz, the load-balancer readiness probe. Unlike
+// /healthz (process liveness, always 200 while serving), readiness goes
+// 503 the moment a drain starts, so rotations stop sending new work while
+// in-flight jobs finish. The body reports the drain state, queue pressure,
+// and disk-component health either way; a degraded store keeps the daemon
+// ready (it still serves, memory-only) but is surfaced for alerting.
+func (a *api) readyz(w http.ResponseWriter, r *http.Request) {
+	st := a.svc.Stats()
+	status := "ok"
+	if st.StoreDegraded {
+		status = "degraded"
+	}
+	if st.Draining {
+		status = "draining"
+	}
+	body := map[string]any{
+		"status":          status,
+		"queue_depth":     st.QueueDepth,
+		"running":         st.Running,
+		"journal_pending": st.JournalPending,
+		"store_degraded":  st.StoreDegraded,
+	}
+	if st.Draining {
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// timed bounds one non-streaming handler through the request context: a
+// stalled downstream (e.g. a disk-wedged stats call) times the one request
+// out instead of pinning a connection forever. Streaming routes never pass
+// through here.
+func (a *api) timed(h http.HandlerFunc) http.HandlerFunc {
+	if a.cfg.RequestTimeout <= 0 {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), a.cfg.RequestTimeout)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// jobRoutes dispatches /v1/jobs/{id}[/sub]. Every subroute except the
+// NDJSON events stream runs under the per-request timeout.
 func (a *api) jobRoutes(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
 	id, sub, _ := strings.Cut(rest, "/")
+	if sub != "events" {
+		a.timed(func(w http.ResponseWriter, r *http.Request) {
+			a.jobRoute(w, r, id, sub)
+		})(w, r)
+		return
+	}
+	a.jobRoute(w, r, id, sub)
+}
+
+func (a *api) jobRoute(w http.ResponseWriter, r *http.Request, id, sub string) {
 	switch {
 	case r.Method == http.MethodDelete && sub == "":
 		if err := a.svc.Cancel(id); err != nil {
@@ -375,6 +451,17 @@ func (a *api) submitError(w http.ResponseWriter, r *http.Request, err error) {
 			Code: CodeInvalidSpec, Message: "invalid job spec", Fields: verr.Fields,
 		})
 	case errors.As(err, &adm):
+		if adm.Reason == service.ReasonDraining {
+			// Draining is not backpressure: this instance is going away.
+			// 503 + Retry-After tells a balanced client to try a peer (or
+			// the restarted instance) rather than hammer this one.
+			apiError(w, r, http.StatusServiceUnavailable, ErrorDetail{
+				Code:         CodeDraining,
+				Message:      err.Error(),
+				RetryAfterMS: retryMS(adm.RetryAfter),
+			})
+			return
+		}
 		code := CodeQueueFull
 		if adm.Reason == service.ReasonOverQuota {
 			code = CodeTenantOverQuota

@@ -34,7 +34,11 @@ func startDaemon(t *testing.T, dir string) (*httptest.Server, *service.Service) 
 		Backend:          backend,
 		ProgressInterval: time.Millisecond,
 	})
-	srv := httptest.NewServer(New(Config{Service: svc, Disk: disk, Heartbeat: 50 * time.Millisecond}))
+	cfg := Config{Service: svc, Heartbeat: 50 * time.Millisecond}
+	if disk != nil { // assign only when real: a typed-nil interface would read as configured
+		cfg.Disk = disk
+	}
+	srv := httptest.NewServer(New(cfg))
 	t.Cleanup(func() {
 		srv.Close()
 		svc.CancelAll()

@@ -47,11 +47,15 @@ func (a *api) metrics(w http.ResponseWriter, r *http.Request) {
 	counter("store_errors_total", "Failed cache-backend writes.", st.StoreErrors)
 	counter("canon_inexact_total", "Canonical searches truncated by their node budget.", st.CanonInexact)
 
+	counter("solver_panics_total", "Solver panics isolated into per-job failures.", st.Panics)
+	counter("jobs_replayed_total", "Jobs resurrected from the job journal at startup.", st.Replayed)
+
 	// Admission rejections, labeled by the envelope's error code.
 	header("rejects_total", "Submissions refused at admission, by reason.", "counter")
 	fmt.Fprintf(w, "gcolord_rejects_total{reason=%q} %d\n", service.ReasonQueueFull, st.RejectsQueueFull)
 	fmt.Fprintf(w, "gcolord_rejects_total{reason=%q} %d\n", service.ReasonOverQuota, st.RejectsOverQuota)
 	fmt.Fprintf(w, "gcolord_rejects_total{reason=%q} %d\n", service.ReasonInvalidSpec, st.RejectsInvalidSpec)
+	fmt.Fprintf(w, "gcolord_rejects_total{reason=%q} %d\n", service.ReasonDraining, st.RejectsDraining)
 
 	// Per-tenant admission series, sorted so scrapes are deterministic.
 	tenants := make([]string, 0, len(st.Tenants))
@@ -91,13 +95,57 @@ func (a *api) metrics(w http.ResponseWriter, r *http.Request) {
 	gauge("in_flight", "Solves currently leading a singleflight group.", int64(st.InFlight))
 	gauge("queue_depth", "Jobs queued but not yet started.", int64(st.QueueDepth))
 	gauge("running", "Jobs currently solving.", int64(st.Running))
-	if a.cfg.Disk != nil {
-		ds := a.cfg.Disk.Stats()
-		gauge("store_entries", "Live records in the persistent store.", int64(ds.Entries))
-		gauge("store_wal_bytes", "Current WAL size in bytes.", ds.WALBytes)
-		gauge("store_snapshot_bytes", "Current snapshot size in bytes.", ds.SnapshotBytes)
-		counter("store_tail_dropped_total", "Corrupt or truncated tail records dropped at startup.", int64(ds.TailDropped))
-		counter("store_compactions_total", "Completed WAL-into-snapshot compactions.", ds.Compactions)
-		counter("store_gc_dropped_total", "Records removed by the TTL/size GC policy.", ds.GCDropped)
+	gauge("draining", "1 while admission is refusing new work for shutdown.", b2i(st.Draining))
+	gauge("store_degraded", "1 while a disk-backed component runs memory-only.", b2i(st.StoreDegraded))
+	gauge("journal_pending", "Journaled jobs not yet terminal.", int64(st.JournalPending))
+
+	// Degraded-mode detail per disk-backed component, labeled so the cache
+	// backend and the job journal alert independently.
+	components := []struct {
+		name string
+		h    *service.Health
+	}{{"cache", st.StoreHealth}, {"journal", st.JournalHealth}}
+	header("component_degraded", "Whether this disk-backed component is running memory-only.", "gauge")
+	for _, c := range components {
+		if c.h != nil {
+			fmt.Fprintf(w, "gcolord_component_degraded{component=%q} %d\n", c.name, b2i(c.h.Degraded))
+		}
 	}
+	header("component_degraded_flips_total", "Healthy-to-degraded transitions per component.", "counter")
+	for _, c := range components {
+		if c.h != nil {
+			fmt.Fprintf(w, "gcolord_component_degraded_flips_total{component=%q} %d\n", c.name, c.h.Flips)
+		}
+	}
+	header("component_reopen_attempts_total", "Background attempts to reattach the component's disk.", "counter")
+	for _, c := range components {
+		if c.h != nil {
+			fmt.Fprintf(w, "gcolord_component_reopen_attempts_total{component=%q} %d\n", c.name, c.h.ReopenAttempts)
+		}
+	}
+	header("component_write_errors_total", "Writes that failed or were diverted to memory, per component.", "counter")
+	for _, c := range components {
+		if c.h != nil {
+			fmt.Fprintf(w, "gcolord_component_write_errors_total{component=%q} %d\n", c.name, c.h.Errors)
+		}
+	}
+
+	if a.cfg.Disk != nil {
+		if ds, ok := a.cfg.Disk.StoreStats(); ok {
+			gauge("store_entries", "Live records in the persistent store.", int64(ds.Entries))
+			gauge("store_wal_bytes", "Current WAL size in bytes.", ds.WALBytes)
+			gauge("store_snapshot_bytes", "Current snapshot size in bytes.", ds.SnapshotBytes)
+			counter("store_tail_dropped_total", "Corrupt or truncated tail records dropped at startup.", int64(ds.TailDropped))
+			counter("store_compactions_total", "Completed WAL-into-snapshot compactions.", ds.Compactions)
+			counter("store_gc_dropped_total", "Records removed by the TTL/size GC policy.", ds.GCDropped)
+		}
+	}
+}
+
+// b2i renders a boolean as a 0/1 gauge value.
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }

@@ -13,6 +13,7 @@ const (
 	ReasonQueueFull   = "queue_full"
 	ReasonOverQuota   = "tenant_over_quota"
 	ReasonInvalidSpec = "invalid_spec"
+	ReasonDraining    = "draining"
 )
 
 // AdmissionError is a typed Submit rejection: the service is applying
@@ -44,6 +45,8 @@ func (e *AdmissionError) Is(target error) bool {
 		return e.Reason == ReasonQueueFull
 	case ErrOverQuota:
 		return e.Reason == ReasonOverQuota
+	case ErrDraining:
+		return e.Reason == ReasonDraining
 	}
 	return false
 }

@@ -102,6 +102,24 @@ func (b *MemoryBackend) Len() int {
 	return len(b.entries)
 }
 
+// Range calls fn for every record until fn returns false, iterating a
+// point-in-time copy in unspecified order.
+func (b *MemoryBackend) Range(fn func(key string, rec CacheRecord) bool) {
+	b.mu.Lock()
+	keys := make([]string, 0, len(b.entries))
+	recs := make([]CacheRecord, 0, len(b.entries))
+	for k, r := range b.entries {
+		keys = append(keys, k)
+		recs = append(recs, r)
+	}
+	b.mu.Unlock()
+	for i := range keys {
+		if !fn(keys[i], recs[i]) {
+			return
+		}
+	}
+}
+
 // Close implements Backend (a no-op for the memory backend).
 func (b *MemoryBackend) Close() error { return nil }
 
@@ -164,6 +182,9 @@ func (b *DiskBackend) Len() int { return b.st.Len() }
 // Stats exposes the underlying store's counters (WAL/snapshot sizes,
 // dropped tail records, compactions) for operational endpoints.
 func (b *DiskBackend) Stats() store.Stats { return b.st.Stats() }
+
+// StoreStats implements StoreStatser.
+func (b *DiskBackend) StoreStats() (store.Stats, bool) { return b.st.Stats(), true }
 
 // Close implements Backend, closing the underlying store.
 func (b *DiskBackend) Close() error { return b.st.Close() }

@@ -19,6 +19,9 @@ import (
 	"log/slog"
 	"math"
 	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,7 +43,22 @@ var (
 	ErrQueueFull = errors.New("service: queue full")
 	ErrOverQuota = errors.New("service: tenant over quota")
 	ErrNoSuchJob = errors.New("service: no such job")
+	// ErrDraining rejects submissions while the service is draining for
+	// shutdown; in-flight jobs keep running, new work belongs elsewhere.
+	ErrDraining = errors.New("service: draining")
 )
+
+// PanicError is the typed failure a job receives when its solver panicked:
+// the worker recovers, the job fails with this error (StateFailed), and
+// the daemon keeps serving. Stack is the recovering goroutine's stack,
+// preserved for the job record and the structured log.
+type PanicError struct {
+	Value string `json:"value"`
+	Stack string `json:"stack"`
+}
+
+// Error implements error.
+func (e *PanicError) Error() string { return "service: solver panic: " + e.Value }
 
 // JobSpec holds the solver-relevant parameters of a submission. The spec is
 // part of the cache key: two jobs share a result only when both their
@@ -214,8 +232,24 @@ type Stats struct {
 	RejectsQueueFull   int64                  `json:"rejects_queue_full"`
 	RejectsOverQuota   int64                  `json:"rejects_over_quota"`
 	RejectsInvalidSpec int64                  `json:"rejects_invalid_spec"`
+	RejectsDraining    int64                  `json:"rejects_draining"`
 	QueueWait          Histogram              `json:"queue_wait"`
 	Tenants            map[string]TenantStats `json:"tenants,omitempty"`
+
+	// Fault-tolerance counters. Panics counts solver panics isolated into
+	// per-job failures; Replayed counts jobs resurrected from the journal
+	// at startup; Draining reports admission refusing new work for
+	// shutdown. StoreDegraded is true while the result-cache backend or
+	// the job journal runs memory-only after disk failures; StoreHealth /
+	// JournalHealth carry the detail when those components can degrade,
+	// and JournalPending is the number of journaled jobs not yet terminal.
+	Panics         int64   `json:"panics"`
+	Replayed       int64   `json:"replayed"`
+	Draining       bool    `json:"draining"`
+	StoreDegraded  bool    `json:"store_degraded"`
+	StoreHealth    *Health `json:"store_health,omitempty"`
+	JournalHealth  *Health `json:"journal_health,omitempty"`
+	JournalPending int     `json:"journal_pending,omitempty"`
 }
 
 // SolveFunc produces the outcome for one job; tests inject counters and
@@ -313,6 +347,12 @@ type Config struct {
 	Logger *slog.Logger
 	// Solve overrides the solver (tests); nil selects DefaultSolve.
 	Solve SolveFunc
+	// Journal, when set, makes accepted jobs durable: each submission is
+	// recorded before Submit returns and marked done at its terminal
+	// state, and New replays the entries a crash left pending — queued and
+	// running jobs resume after a restart instead of vanishing. The
+	// service assumes ownership and closes the journal in Close.
+	Journal Journal
 }
 
 type job struct {
@@ -393,7 +433,10 @@ type JobInfo struct {
 	// a worker picked it up (0 while still queued).
 	QueueWait time.Duration `json:"queue_wait,omitempty"`
 	Err       string        `json:"error,omitempty"`
-	Result    *Result       `json:"result,omitempty"`
+	// Stack is the captured goroutine stack when the job failed because
+	// its solver panicked (see PanicError); empty otherwise.
+	Stack  string  `json:"stack,omitempty"`
+	Result *Result `json:"result,omitempty"`
 }
 
 // Service is the concurrent coloring scheduler.
@@ -401,6 +444,7 @@ type Service struct {
 	cfg     Config
 	solve   SolveFunc
 	backend Backend
+	journal Journal
 	pq      *pqueue
 	logger  *slog.Logger
 	wg      sync.WaitGroup
@@ -422,6 +466,9 @@ type Service struct {
 	queueWaitCount   int64
 	queueWaitSumMS   int64
 	closed           bool
+	// draining stops admission (typed ReasonDraining rejections) while
+	// in-flight jobs run to completion; see BeginDrain/Drain.
+	draining bool
 
 	nextID      atomic.Int64
 	submitted   atomic.Int64
@@ -438,6 +485,9 @@ type Service struct {
 	rejectFull  atomic.Int64
 	rejectQuota atomic.Int64
 	rejectSpec  atomic.Int64
+	rejectDrain atomic.Int64
+	panics      atomic.Int64
+	replayed    atomic.Int64
 }
 
 // New starts a service with the given configuration.
@@ -486,11 +536,88 @@ func New(cfg Config) *Service {
 	if s.backend == nil {
 		s.backend = NewMemoryBackend(cfg.CacheCapacity)
 	}
+	// Replay the journal before any worker starts: jobs a crash left
+	// queued or running re-enter the queue with their original ids,
+	// submission times, and deadlines, so nothing accepted is ever
+	// silently lost.
+	if s.journal = cfg.Journal; s.journal != nil {
+		entries, err := s.journal.Replay()
+		if err != nil {
+			s.logger.Error("journal replay failed; pending jobs lost", "err", err)
+		}
+		for _, e := range entries {
+			s.replayJob(e)
+		}
+		if n := len(entries); n > 0 {
+			s.logger.Info("journal replay complete", "jobs", n)
+		}
+	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
 	return s
+}
+
+// replayJob re-admits one journaled submission after a restart. The job
+// keeps its original id, tenant, submission time (so its queue seniority
+// carries over) and absolute deadline; an entry already past its deadline
+// finishes as StateExpired without touching a worker. Admission control is
+// deliberately not re-applied — the job was admitted once, in its previous
+// life.
+func (s *Service) replayJob(e JournalEntry) {
+	tenant := e.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	// Keep the id sequence ahead of every replayed id so new submissions
+	// never collide with resurrected ones.
+	seq := s.nextID.Add(1)
+	if n, err := strconv.ParseInt(strings.TrimPrefix(e.ID, "job-"), 10, 64); err == nil && n > 0 {
+		seq = n
+		for {
+			cur := s.nextID.Load()
+			if n <= cur || s.nextID.CompareAndSwap(cur, n) {
+				break
+			}
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		id:         e.ID,
+		tenant:     tenant,
+		g:          e.Graph(),
+		spec:       e.Spec,
+		ctx:        ctx,
+		cancel:     cancel,
+		seq:        seq,
+		vtime:      e.Submitted.Add(-time.Duration(e.Spec.Priority) * s.cfg.AgingStep),
+		deadlineAt: e.Deadline,
+		state:      StateQueued,
+		submitted:  e.Submitted,
+		progWake:   make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	s.mu.Lock()
+	if _, dup := s.jobs[j.id]; dup {
+		s.mu.Unlock()
+		cancel()
+		return
+	}
+	s.tenant(tenant).inFlight++
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+	s.replayed.Add(1)
+	if !j.deadlineAt.IsZero() && !time.Now().Before(j.deadlineAt) {
+		j.mu.Lock()
+		j.expired = true
+		j.mu.Unlock()
+		s.finish(j, nil, nil)
+		return
+	}
+	s.pq.push(j)
+	s.logger.Info("job replayed from journal", "job", j.id, "tenant", tenant,
+		"instance", j.g.Name())
 }
 
 // Submit enqueues one coloring job for the anonymous default tenant. The
@@ -541,6 +668,15 @@ func (s *Service) SubmitTenant(tenant string, g *graph.Graph, spec JobSpec) (str
 		cancel()
 		return "", ErrClosed
 	}
+	if s.draining {
+		ts := s.tenant(tenant)
+		ts.rejects++
+		s.mu.Unlock()
+		cancel()
+		return "", s.reject(&AdmissionError{
+			Reason: ReasonDraining, Tenant: tenant, RetryAfter: s.cfg.RetryAfterHint,
+		})
+	}
 	ts := s.tenant(tenant)
 	if q := s.cfg.TenantMaxInFlight; q > 0 && ts.inFlight >= q {
 		ts.rejects++
@@ -570,6 +706,14 @@ func (s *Service) SubmitTenant(tenant string, g *graph.Graph, spec JobSpec) (str
 	ts.inFlight++
 	ts.accepts++
 	s.jobs[j.id] = j
+	// Journal before the job becomes runnable, so every submission the
+	// caller sees accepted is durable (a degraded journal diverts to
+	// memory rather than erroring; see DiskJournal).
+	if s.journal != nil {
+		if jerr := s.journal.Record(journalEntryFor(j)); jerr != nil {
+			s.storeErrs.Add(1)
+		}
+	}
 	s.pq.push(j)
 	s.mu.Unlock()
 	s.submitted.Add(1)
@@ -585,6 +729,8 @@ func (s *Service) reject(e *AdmissionError) error {
 		s.rejectFull.Add(1)
 	case ReasonOverQuota:
 		s.rejectQuota.Add(1)
+	case ReasonDraining:
+		s.rejectDrain.Add(1)
 	}
 	s.logger.Warn("job rejected", "tenant", e.Tenant, "reason", e.Reason,
 		"retry_after", e.RetryAfter)
@@ -650,6 +796,7 @@ func (s *Service) Jobs() []JobInfo {
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	inflight := len(s.inflight)
+	draining := s.draining
 	tenants := make(map[string]TenantStats, len(s.tenants))
 	for name, ts := range s.tenants {
 		tenants[name] = TenantStats{Accepts: ts.accepts, Rejects: ts.rejects, InFlight: ts.inFlight}
@@ -667,6 +814,17 @@ func (s *Service) Stats() Stats {
 		hist.Buckets[i] = HistogramBucket{LEms: le, Count: n}
 	}
 	s.mu.Unlock()
+	var storeHealth, journalHealth *Health
+	if hr, ok := s.backend.(HealthReporter); ok {
+		h := hr.Health()
+		storeHealth = &h
+	}
+	journalPending := 0
+	if s.journal != nil {
+		h := s.journal.Health()
+		journalHealth = &h
+		journalPending = s.journal.Pending()
+	}
 	return Stats{
 		Submitted:          s.submitted.Load(),
 		Completed:          s.completed.Load(),
@@ -685,8 +843,17 @@ func (s *Service) Stats() Stats {
 		RejectsQueueFull:   s.rejectFull.Load(),
 		RejectsOverQuota:   s.rejectQuota.Load(),
 		RejectsInvalidSpec: s.rejectSpec.Load(),
+		RejectsDraining:    s.rejectDrain.Load(),
 		QueueWait:          hist,
 		Tenants:            tenants,
+		Panics:             s.panics.Load(),
+		Replayed:           s.replayed.Load(),
+		Draining:           draining,
+		StoreDegraded: (storeHealth != nil && storeHealth.Degraded) ||
+			(journalHealth != nil && journalHealth.Degraded),
+		StoreHealth:    storeHealth,
+		JournalHealth:  journalHealth,
+		JournalPending: journalPending,
 	}
 }
 
@@ -706,6 +873,63 @@ func (s *Service) Close() {
 	s.wg.Wait()
 	if err := s.backend.Close(); err != nil {
 		s.storeErrs.Add(1)
+	}
+	if s.journal != nil {
+		if err := s.journal.Close(); err != nil {
+			s.storeErrs.Add(1)
+		}
+	}
+}
+
+// BeginDrain stops admission without stopping work: subsequent Submits are
+// rejected with a typed ReasonDraining AdmissionError (ErrDraining via
+// errors.Is) while queued and running jobs continue to completion.
+// Idempotent.
+func (s *Service) BeginDrain() {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !already {
+		s.logger.Info("drain started",
+			"queue_depth", s.pq.len(), "running", s.running.Load())
+	}
+}
+
+// Draining reports whether admission is currently refusing new work.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain begins draining (see BeginDrain) and blocks until every in-flight
+// job — queued or running — reaches a terminal state, or ctx is done. It
+// returns nil when the service is idle; the caller then typically calls
+// Close, which at that point has nothing left to wait for.
+func (s *Service) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	for {
+		s.mu.Lock()
+		var pending []*job
+		for _, j := range s.jobs {
+			select {
+			case <-j.done:
+			default:
+				pending = append(pending, j)
+			}
+		}
+		s.mu.Unlock()
+		if len(pending) == 0 {
+			return nil
+		}
+		for _, j := range pending {
+			select {
+			case <-j.done:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
 	}
 }
 
@@ -842,7 +1066,16 @@ func (s *Service) run(j *job) {
 		// through and re-solve; the fresh result overwrites it.
 	}
 
-	out := s.runSolverOutcome(ctx, j)
+	out, serr := s.runSolverOutcome(ctx, j)
+	if serr != nil {
+		// The solver panicked. Release the singleflight group first —
+		// waiters re-solve for themselves rather than inheriting a failure
+		// that may be specific to this run.
+		e.publishNone()
+		s.unregister(key)
+		s.finish(j, nil, serr)
+		return
+	}
 	res := resultFromOutcome(out, j.spec, canon.Exact)
 	if res.Solved {
 		rec := recordFromOutcome(out, j.spec, canon)
@@ -873,7 +1106,11 @@ func (s *Service) unregister(key string) {
 // it, persisting a definitive outcome under key so later isomorphic
 // submissions still hit the cache.
 func (s *Service) runSolver(ctx context.Context, j *job, canon *autom.Canonical, key string) {
-	out := s.runSolverOutcome(ctx, j)
+	out, serr := s.runSolverOutcome(ctx, j)
+	if serr != nil {
+		s.finish(j, nil, serr)
+		return
+	}
 	res := resultFromOutcome(out, j.spec, canon.Exact)
 	if res.Solved {
 		if err := s.backend.Put(key, recordFromOutcome(out, j.spec, canon)); err != nil {
@@ -883,13 +1120,25 @@ func (s *Service) runSolver(ctx context.Context, j *job, canon *autom.Canonical,
 	s.finish(j, res, nil)
 }
 
-// runSolverOutcome invokes the solver with this job's progress sink.
-func (s *Service) runSolverOutcome(ctx context.Context, j *job) core.Outcome {
+// runSolverOutcome invokes the solver with this job's progress sink. A
+// panicking solver is isolated here: the worker recovers, the panic value
+// and stack become a *PanicError for this job alone, and the pool keeps
+// serving every other job.
+func (s *Service) runSolverOutcome(ctx context.Context, j *job) (out core.Outcome, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			stack := string(debug.Stack())
+			s.panics.Add(1)
+			s.logger.Error("solver panic isolated", "job", j.id, "tenant", j.tenant,
+				"instance", j.g.Name(), "panic", fmt.Sprint(r), "stack", stack)
+			err = &PanicError{Value: fmt.Sprint(r), Stack: stack}
+		}
+	}()
 	effK := core.EffectiveK(j.g, j.spec.K)
 	progress := func(p solverutil.Progress) { j.recordProgress(effK, p) }
-	out := s.solve(ctx, j.g, j.spec, progress)
+	out = s.solve(ctx, j.g, j.spec, progress)
 	s.solverRuns.Add(1)
-	return out
+	return out, nil
 }
 
 // Progress returns the job's latest progress snapshot. A Seq of 0 means
@@ -980,6 +1229,16 @@ func (s *Service) finish(j *job, res *Result, err error) {
 	j.mu.Unlock()
 	close(j.done)
 
+	// The job is terminal: retire its journal entry so a restart does not
+	// resurrect it. Failures flip the journal degraded rather than
+	// surfacing here (see DiskJournal); worst case a replay re-finishes an
+	// already-answered job through the result cache.
+	if s.journal != nil {
+		if err := s.journal.Done(j.id); err != nil {
+			s.storeErrs.Add(1)
+		}
+	}
+
 	// One structured record per finished job: who, what, how long it
 	// waited and ran, and how it ended.
 	attrs := []any{
@@ -1030,6 +1289,10 @@ func (j *job) info() JobInfo {
 	}
 	if j.err != nil {
 		info.Err = j.err.Error()
+		var pe *PanicError
+		if errors.As(j.err, &pe) {
+			info.Stack = pe.Stack
+		}
 	}
 	return info
 }

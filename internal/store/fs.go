@@ -1,0 +1,59 @@
+package store
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the slice of filesystem the store performs its file operations
+// through. The default implementation (OSFS) forwards to the os package;
+// internal/faultinject wraps any FS to inject errors, latency, and partial
+// writes for crash and degraded-mode drills, which is why the store never
+// calls os file primitives directly. Directory creation, locking, and the
+// best-effort directory fsync stay on the real filesystem: faults there
+// would only block Open, not exercise the degraded paths the seam exists
+// for.
+type FS interface {
+	// OpenFile opens a file with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// ReadFile reads a whole file with os.ReadFile semantics.
+	ReadFile(name string) ([]byte, error)
+	// Rename renames a file with os.Rename semantics.
+	Rename(oldpath, newpath string) error
+	// Remove removes a file with os.Remove semantics.
+	Remove(name string) error
+	// Stat stats a file with os.Stat semantics.
+	Stat(name string) (os.FileInfo, error)
+}
+
+// File is the open-file surface the store uses: append writes, fsync,
+// truncation (to cut torn WAL tails), and seeking back to the append
+// position.
+type File interface {
+	io.Writer
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+}
+
+// OSFS is the passthrough FS over the os package, the default when
+// Options.FS is nil.
+type OSFS struct{}
+
+// OpenFile implements FS.
+func (OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// Rename implements FS.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// Stat implements FS.
+func (OSFS) Stat(name string) (os.FileInfo, error) { return os.Stat(name) }

@@ -48,12 +48,16 @@ import (
 )
 
 const (
-	// magicV1 is the original timestamp-free record format; magic is the
-	// current format, whose records carry a write timestamp so the TTL/GC
-	// policy survives restarts. Files of either format replay at Open; new
-	// files (the WAL, rewritten snapshots) are always written as V2.
+	// magicV1 is the original timestamp-free record format; magicV2 added
+	// a write timestamp so the TTL/GC policy survives restarts; magic is
+	// the current format, whose records additionally carry an operation
+	// byte so a key can be durably deleted (the journal's "job finished"
+	// marker) instead of only superseded. Files of any format replay at
+	// Open; new files (the WAL, rewritten snapshots) are always written as
+	// V3.
 	magicV1 = "GCSTORE1"
-	magic   = "GCSTORE2"
+	magicV2 = "GCSTORE2"
+	magic   = "GCSTORE3"
 
 	snapshotName = "snapshot.gcs"
 	walName      = "wal.gcs"
@@ -65,8 +69,14 @@ const (
 	maxKeyLen   = 1 << 20
 	maxValueLen = 1 << 28
 
-	recordOverheadV1 = 4 + 4 + 4     // two length words + CRC
-	recordOverhead   = 4 + 4 + 8 + 4 // two length words + unix-nano stamp + CRC
+	recordOverheadV1 = 4 + 4 + 4         // two length words + CRC
+	recordOverheadV2 = 4 + 4 + 8 + 4     // + unix-nano stamp
+	recordOverhead   = 4 + 4 + 8 + 1 + 4 // + operation byte
+
+	// Record operations (V3). A delete record's value is empty; at replay
+	// it removes the key instead of installing it.
+	opPut    = 0
+	opDelete = 1
 )
 
 // Options tune a Store.
@@ -92,6 +102,10 @@ type Options struct {
 	// size fits. A cache, not a quota: the bound is approximate and
 	// enforced at compaction granularity.
 	MaxBytes int64
+	// FS is the filesystem the store's file operations go through (nil =
+	// the real one). Tests and chaos drills inject an
+	// internal/faultinject FS here to exercise the error paths.
+	FS FS
 }
 
 func (o Options) compactMin() int64 {
@@ -120,11 +134,12 @@ type Stats struct {
 type Store struct {
 	opts Options
 	dir  string
+	fsys FS
 
 	mu         sync.Mutex
 	entries    map[string]entry
 	lock       *os.File // exclusive directory lock, held until Close
-	wal        *os.File
+	wal        File
 	walBytes   int64
 	snapBytes  int64
 	tailDrops  int
@@ -168,9 +183,13 @@ func Open(dir string, opts Options) (*Store, error) {
 			unlockDir(lock)
 		}
 	}()
-	s := &Store{opts: opts, dir: dir, entries: make(map[string]entry), lock: lock}
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	s := &Store{opts: opts, dir: dir, fsys: fsys, entries: make(map[string]entry), lock: lock}
 
-	snapBytes, drops, err := s.loadFile(filepath.Join(dir, snapshotName))
+	snapBytes, _, drops, err := s.loadFile(filepath.Join(dir, snapshotName))
 	if err != nil {
 		return nil, err
 	}
@@ -179,41 +198,50 @@ func Open(dir string, opts Options) (*Store, error) {
 
 	walOld := filepath.Join(dir, walOldName)
 	oldExists := false
-	if _, statErr := os.Stat(walOld); statErr == nil {
+	if _, statErr := s.fsys.Stat(walOld); statErr == nil {
 		oldExists = true
-		if _, drops, err = s.loadFile(walOld); err != nil {
+		if _, _, drops, err = s.loadFile(walOld); err != nil {
 			return nil, err
 		}
 		s.tailDrops += drops
 	}
 
 	walPath := filepath.Join(dir, walName)
-	walGood, drops, err := s.loadFile(walPath)
+	walGood, walVer, drops, err := s.loadFile(walPath)
 	if err != nil {
 		return nil, err
 	}
 	s.tailDrops += drops
 
-	if oldExists {
-		// A compaction died between rotating the WAL and removing the
-		// rotated segment. Finish it now: the in-memory map already merges
-		// snapshot + rotated WAL + current WAL, so a fresh snapshot of the
-		// map supersedes the rotated segment (the current WAL replays on
-		// top idempotently).
+	// An old-format WAL cannot be appended to in the current format (one
+	// file replays under a single record layout), so its intact records —
+	// already merged into the map — must be preserved through a snapshot
+	// rewrite before the WAL is reset to a fresh current-format header.
+	upgradeWAL := walGood > 0 && walVer != verV3
+
+	if oldExists || upgradeWAL {
+		// Either a compaction died between rotating the WAL and removing
+		// the rotated segment, or the WAL needs a format upgrade. Both are
+		// finished the same way: the in-memory map already merges snapshot
+		// + rotated WAL + current WAL, so a fresh snapshot of the map
+		// supersedes both segments.
 		if err := s.writeSnapshot(); err != nil {
 			return nil, err
 		}
-		if err := os.Remove(walOld); err != nil {
-			return nil, fmt.Errorf("store: %w", err)
+		if oldExists {
+			if err := s.fsys.Remove(walOld); err != nil {
+				return nil, fmt.Errorf("store: %w", err)
+			}
 		}
 	}
 
-	wal, err := os.OpenFile(walPath, os.O_CREATE|os.O_RDWR, 0o644)
+	wal, err := s.fsys.OpenFile(walPath, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	if walGood == 0 {
-		// New or fully corrupt file: start from a clean header.
+	if walGood == 0 || upgradeWAL {
+		// New file, fully corrupt file, or old format (now folded into the
+		// snapshot): start from a clean current-format header.
 		if err := wal.Truncate(0); err != nil {
 			wal.Close()
 			return nil, fmt.Errorf("store: %w", err)
@@ -237,77 +265,106 @@ func Open(dir string, opts Options) (*Store, error) {
 	return s, nil
 }
 
-// loadFile replays one record file into the map (last write wins),
-// accepting both the current timestamped format (GCSTORE2) and the
-// original one (GCSTORE1, whose records are stamped with the load time).
-// It returns the offset just past the last intact record (0 when the file
-// is missing or its header is bad) and the number of tail records dropped.
-// Only I/O errors other than a short tail are returned as errors.
-func (s *Store) loadFile(path string) (good int64, dropped int, err error) {
-	data, err := os.ReadFile(path)
+// File format versions, detected per file from its magic.
+const (
+	verV1 = 1
+	verV2 = 2
+	verV3 = 3
+)
+
+// loadFile replays one record file into the map (last write wins, delete
+// records remove), accepting the current format (GCSTORE3) and both older
+// ones (GCSTORE2, and GCSTORE1 whose records are stamped with the load
+// time). It returns the offset just past the last intact record (0 when
+// the file is missing or its header is bad), the detected format version,
+// and the number of tail records dropped. Only I/O errors other than a
+// short tail are returned as errors.
+func (s *Store) loadFile(path string) (good int64, ver int, dropped int, err error) {
+	data, err := s.fsys.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return 0, 0, nil
+		return 0, 0, 0, nil
 	}
 	if err != nil {
-		return 0, 0, fmt.Errorf("store: %w", err)
+		return 0, 0, 0, fmt.Errorf("store: %w", err)
 	}
-	v1 := false
 	switch {
 	case len(data) >= len(magic) && string(data[:len(magic)]) == magic:
+		ver = verV3
+	case len(data) >= len(magicV2) && string(data[:len(magicV2)]) == magicV2:
+		ver = verV2
 	case len(data) >= len(magicV1) && string(data[:len(magicV1)]) == magicV1:
-		v1 = true
+		ver = verV1
 	default:
 		if len(data) > 0 {
 			dropped++
 		}
-		return 0, dropped, nil
+		return 0, 0, dropped, nil
 	}
-	overhead, hdrLen := int64(recordOverhead), int64(16)
-	if v1 {
+	var overhead, hdrLen int64
+	switch ver {
+	case verV1:
 		overhead, hdrLen = recordOverheadV1, 8
+	case verV2:
+		overhead, hdrLen = recordOverheadV2, 16
+	default:
+		overhead, hdrLen = recordOverhead, 17
 	}
 	loadAt := time.Now().UnixNano()
 	off := int64(len(magic))
 	for {
 		rest := data[off:]
 		if len(rest) == 0 {
-			return off, dropped, nil
+			return off, ver, dropped, nil
 		}
 		if int64(len(rest)) < hdrLen {
-			return off, dropped + 1, nil
+			return off, ver, dropped + 1, nil
 		}
 		keyLen := binary.LittleEndian.Uint32(rest[0:4])
 		valLen := binary.LittleEndian.Uint32(rest[4:8])
 		if keyLen > maxKeyLen || valLen > maxValueLen {
-			return off, dropped + 1, nil
+			return off, ver, dropped + 1, nil
 		}
 		at := loadAt
-		if !v1 {
+		if ver >= verV2 {
 			at = int64(binary.LittleEndian.Uint64(rest[8:16]))
+		}
+		op := byte(opPut)
+		if ver >= verV3 {
+			op = rest[16]
 		}
 		recLen := overhead + int64(keyLen) + int64(valLen)
 		if int64(len(rest)) < recLen {
-			return off, dropped + 1, nil
+			return off, ver, dropped + 1, nil
 		}
 		body := rest[:recLen-4]
 		want := binary.LittleEndian.Uint32(rest[recLen-4 : recLen])
 		if crc32.ChecksumIEEE(body) != want {
-			return off, dropped + 1, nil
+			return off, ver, dropped + 1, nil
 		}
 		key := string(rest[hdrLen : hdrLen+int64(keyLen)])
-		val := make([]byte, valLen)
-		copy(val, rest[hdrLen+int64(keyLen):hdrLen+int64(keyLen)+int64(valLen)])
-		s.entries[key] = entry{val: val, at: at}
+		switch op {
+		case opDelete:
+			delete(s.entries, key)
+		case opPut:
+			val := make([]byte, valLen)
+			copy(val, rest[hdrLen+int64(keyLen):hdrLen+int64(keyLen)+int64(valLen)])
+			s.entries[key] = entry{val: val, at: at}
+		default:
+			// An operation this version does not know: treat the rest of
+			// the file like any other unparseable tail.
+			return off, ver, dropped + 1, nil
+		}
 		off += recLen
 	}
 }
 
-// appendRecord writes one timestamped (V2) record to w.
-func appendRecord(w io.Writer, key string, val []byte, at int64) (int64, error) {
+// appendRecord writes one current-format (V3) record to w.
+func appendRecord(w io.Writer, op byte, key string, val []byte, at int64) (int64, error) {
 	buf := make([]byte, 0, recordOverhead+len(key)+len(val))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(val)))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(at))
+	buf = append(buf, op)
 	buf = append(buf, key...)
 	buf = append(buf, val...)
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
@@ -355,7 +412,7 @@ func (s *Store) Put(key string, val []byte) error {
 	// a durability error must not also disable same-process caching.
 	at := time.Now().UnixNano()
 	s.entries[key] = entry{val: append([]byte(nil), val...), at: at}
-	n, err := appendRecord(s.wal, key, val, at)
+	n, err := appendRecord(s.wal, opPut, key, val, at)
 	if err != nil {
 		// Cut a partial append back off the WAL: left in place it would
 		// end replay at the next Open, silently dropping every good
@@ -379,6 +436,65 @@ func (s *Store) Put(key string, val []byte) error {
 		s.startCompactionLocked()
 	}
 	return nil
+}
+
+// Delete durably removes key: the entry leaves the in-memory map at once
+// and a delete record is appended to the WAL so the removal survives a
+// restart (the next snapshot rewrite drops the key and its tombstone
+// entirely). Deleting an absent key is a no-op.
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.entries[key]; !ok {
+		return nil
+	}
+	delete(s.entries, key)
+	n, err := appendRecord(s.wal, opDelete, key, nil, time.Now().UnixNano())
+	if err != nil {
+		// Same torn-append recovery as Put: cut the partial record off so
+		// it does not end replay early at the next Open.
+		if s.wal.Truncate(s.walBytes) == nil {
+			s.wal.Seek(s.walBytes, io.SeekStart)
+		} else {
+			s.walBytes += n
+		}
+		return fmt.Errorf("store: %w", err)
+	}
+	s.walBytes += n
+	if s.opts.SyncWrites {
+		if err := s.wal.Sync(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	return nil
+}
+
+// Range calls fn for every live entry until fn returns false. Iteration
+// order is unspecified. The callback runs outside the store's lock on a
+// point-in-time copy, so it may call back into the store.
+func (s *Store) Range(fn func(key string, val []byte) bool) {
+	type kv struct {
+		k string
+		v []byte
+	}
+	s.mu.Lock()
+	now := time.Now().UnixNano()
+	all := make([]kv, 0, len(s.entries))
+	for k, e := range s.entries {
+		if s.expiredLocked(e, now) {
+			continue
+		}
+		all = append(all, kv{k, e.val})
+	}
+	s.mu.Unlock()
+	for _, e := range all {
+		if !fn(e.k, e.v) {
+			return
+		}
+	}
 }
 
 // Len returns the number of live entries.
@@ -462,7 +578,7 @@ func (s *Store) rotateWALLocked() error {
 	walPath := filepath.Join(s.dir, walName)
 	oldPath := filepath.Join(s.dir, walOldName)
 	reopen := func() {
-		if f, err := os.OpenFile(walPath, os.O_CREATE|os.O_RDWR, 0o644); err == nil {
+		if f, err := s.fsys.OpenFile(walPath, os.O_CREATE|os.O_RDWR, 0o644); err == nil {
 			if _, err := f.Seek(0, io.SeekEnd); err == nil {
 				s.wal = f
 				return
@@ -474,21 +590,21 @@ func (s *Store) rotateWALLocked() error {
 		reopen()
 		return fmt.Errorf("store: %w", err)
 	}
-	if err := os.Rename(walPath, oldPath); err != nil {
+	if err := s.fsys.Rename(walPath, oldPath); err != nil {
 		reopen()
 		return fmt.Errorf("store: %w", err)
 	}
-	wal, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	wal, err := s.fsys.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err == nil {
 		if _, werr := wal.Write([]byte(magic)); werr != nil {
 			wal.Close()
-			os.Remove(walPath)
+			s.fsys.Remove(walPath)
 			err = werr
 		}
 	}
 	if err != nil {
 		// Undo the rotation and resume appending to the original WAL.
-		os.Rename(oldPath, walPath)
+		s.fsys.Rename(oldPath, walPath)
 		reopen()
 		return fmt.Errorf("store: %w", err)
 	}
@@ -502,7 +618,7 @@ func (s *Store) rotateWALLocked() error {
 func (s *Store) finishCompaction() error {
 	err := s.writeSnapshot()
 	if err == nil {
-		err = os.Remove(filepath.Join(s.dir, walOldName))
+		err = s.fsys.Remove(filepath.Join(s.dir, walOldName))
 		if err != nil {
 			err = fmt.Errorf("store: %w", err)
 		}
@@ -569,7 +685,7 @@ func (s *Store) writeSnapshot() error {
 	s.mu.Unlock()
 
 	tmpPath := filepath.Join(s.dir, snapTmpName)
-	f, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	f, err := s.fsys.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -579,7 +695,7 @@ func (s *Store) writeSnapshot() error {
 		return fmt.Errorf("store: %w", err)
 	}
 	for k, v := range dump {
-		n, err := appendRecord(f, k, v, ats[k])
+		n, err := appendRecord(f, opPut, k, v, ats[k])
 		bytes += n
 		if err != nil {
 			f.Close()
@@ -593,7 +709,7 @@ func (s *Store) writeSnapshot() error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	if err := os.Rename(tmpPath, filepath.Join(s.dir, snapshotName)); err != nil {
+	if err := s.fsys.Rename(tmpPath, filepath.Join(s.dir, snapshotName)); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	// Make the rename durable before the caller deletes the rotated WAL:

@@ -74,9 +74,13 @@ bench-baseline:
 		| $(GO) run ./cmd/benchjson > BENCH_baseline.json
 	@echo wrote BENCH_baseline.json
 
-# bench-compare re-runs the suite and prints the current snapshot next to
-# the committed baseline for manual diffing (jq-friendly JSON on both sides).
+# bench-compare re-runs the suite and diffs the current snapshot against
+# the committed baseline: BENCH_current.json holds the raw numbers,
+# BENCH_compare.txt the per-benchmark table (ns/op, allocs/op, and custom
+# metrics such as the canonical search's nodes/op). CI runs this on every
+# PR and uploads both files as the bench-compare artifact.
 bench-compare:
 	$(GO) test -bench=. -benchmem -count=1 -benchtime=1x -run '^$$' . \
 		| $(GO) run ./cmd/benchjson > BENCH_current.json
-	@echo wrote BENCH_current.json — diff against BENCH_baseline.json
+	$(GO) run ./cmd/benchjson -compare BENCH_baseline.json BENCH_current.json \
+		| tee BENCH_compare.txt

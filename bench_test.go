@@ -349,6 +349,58 @@ func BenchmarkParallelSolve(b *testing.B) {
 	b.Run("parallel-4", func(b *testing.B) { run(b, 4) })
 }
 
+// BenchmarkCanonicalForm times canonical labeling on the transitive
+// families where the orbit-pruned search pays off, pruned vs unpruned
+// (DisablePruning replays the pre-McKay exhaustive baseline). Each run
+// reports nodes/op so bench-compare tracks the search-tree size alongside
+// wall clock; on C_100 and K_12,12 the pruned tree is over an order of
+// magnitude smaller (on queen-8 refinement alone already collapses the
+// tree — irregular degrees — so the two variants sit close together).
+func BenchmarkCanonicalForm(b *testing.B) {
+	toAutom := func(g *graph.Graph) *autom.Graph {
+		a := autom.NewGraph(g.N())
+		for _, e := range g.Edges() {
+			a.AddEdge(e[0], e[1])
+		}
+		return a
+	}
+	cases := []struct {
+		name string
+		g    *autom.Graph
+	}{
+		{"C100", toAutom(graph.Cycle(100))},
+		{"queen8_8", toAutom(graph.Queens(8, 8))},
+		{"K12_12", func() *autom.Graph {
+			a := autom.NewGraph(24)
+			for u := 0; u < 12; u++ {
+				for v := 12; v < 24; v++ {
+					a.AddEdge(u, v)
+				}
+			}
+			return a
+		}()},
+	}
+	for _, tc := range cases {
+		for _, variant := range []struct {
+			name    string
+			disable bool
+		}{{"pruned", false}, {"unpruned", true}} {
+			b.Run(tc.name+"/"+variant.name, func(b *testing.B) {
+				b.ReportAllocs()
+				var nodes int64
+				for i := 0; i < b.N; i++ {
+					c := autom.CanonicalForm(tc.g, autom.CanonicalOptions{DisablePruning: variant.disable})
+					nodes = c.Nodes
+					if len(c.Bytes) == 0 {
+						b.Fatal("empty canonical encoding")
+					}
+				}
+				b.ReportMetric(float64(nodes), "nodes/op")
+			})
+		}
+	}
+}
+
 // BenchmarkSymmetryDetection times the Saucy-analogue on a full-size
 // encoding (anna, K=20).
 func BenchmarkSymmetryDetection(b *testing.B) {

@@ -7,6 +7,13 @@
 // Usage:
 //
 //	go test -bench=. -benchmem -count=1 -benchtime=1x | benchjson > BENCH_baseline.json
+//	benchjson -compare BENCH_baseline.json BENCH_current.json
+//
+// The -compare form prints a side-by-side table of two snapshots (ns/op,
+// allocs/op, and any custom metrics such as nodes/op) with the relative
+// change per benchmark. It is informational and always exits 0 on valid
+// input: single-iteration CI runs are too noisy to gate on, the table
+// exists so perf movement is visible in the job log and artifact.
 package main
 
 import (
@@ -14,8 +21,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 // Result is one benchmark line. Fields that the bench did not report are
@@ -39,6 +48,17 @@ type Snapshot struct {
 }
 
 func main() {
+	if len(os.Args) == 4 && os.Args[1] == "-compare" {
+		if err := compare(os.Args[2], os.Args[3]); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson < bench-output  |  benchjson -compare baseline.json current.json")
+		os.Exit(2)
+	}
 	snap, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -122,4 +142,106 @@ func parseBenchLine(line string) (Result, bool) {
 		}
 	}
 	return r, true
+}
+
+// loadSnapshot reads a JSON snapshot previously produced by this command.
+func loadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &snap, nil
+}
+
+// compare prints baseline vs current per benchmark: ns/op with relative
+// change, allocs/op, and every custom metric either side reported (a custom
+// metric like nodes/op is deterministic, so its delta is the signal even
+// when single-iteration timings jitter). Benchmarks present on only one
+// side are listed as new/gone rather than failing the run.
+func compare(basePath, curPath string) error {
+	base, err := loadSnapshot(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := loadSnapshot(curPath)
+	if err != nil {
+		return err
+	}
+	baseByName := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseByName[r.Name] = r
+	}
+	curByName := make(map[string]Result, len(cur.Results))
+	names := make([]string, 0, len(cur.Results))
+	for _, r := range cur.Results {
+		curByName[r.Name] = r
+		names = append(names, r.Name)
+	}
+	for _, r := range base.Results {
+		if _, ok := curByName[r.Name]; !ok {
+			names = append(names, r.Name)
+		}
+	}
+	sort.Strings(names)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "BENCHMARK\tBASE ns/op\tCUR ns/op\tΔ ns/op\tBASE allocs\tCUR allocs\tEXTRA")
+	for _, name := range names {
+		b, inBase := baseByName[name]
+		c, inCur := curByName[name]
+		switch {
+		case !inBase:
+			fmt.Fprintf(w, "%s\t-\t%.0f\tnew\t-\t%d\t%s\n", name, c.NsPerOp, c.AllocsPerOp, extraCell(Result{}, c))
+		case !inCur:
+			fmt.Fprintf(w, "%s\t%.0f\t-\tgone\t%d\t-\t\n", name, b.NsPerOp, b.AllocsPerOp)
+		default:
+			fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%s\t%d\t%d\t%s\n",
+				name, b.NsPerOp, c.NsPerOp, pctDelta(b.NsPerOp, c.NsPerOp),
+				b.AllocsPerOp, c.AllocsPerOp, extraCell(b, c))
+		}
+	}
+	return w.Flush()
+}
+
+// pctDelta renders the relative change from base to cur.
+func pctDelta(base, cur float64) string {
+	if base == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (cur-base)/base*100)
+}
+
+// extraCell renders the union of both sides' custom metrics as
+// "unit base->cur" pairs, sorted by unit for stable output.
+func extraCell(base, cur Result) string {
+	units := map[string]bool{}
+	for u := range base.Extra {
+		units[u] = true
+	}
+	for u := range cur.Extra {
+		units[u] = true
+	}
+	sorted := make([]string, 0, len(units))
+	for u := range units {
+		sorted = append(sorted, u)
+	}
+	sort.Strings(sorted)
+	parts := make([]string, 0, len(sorted))
+	for _, u := range sorted {
+		bv, inB := base.Extra[u]
+		cv, inC := cur.Extra[u]
+		switch {
+		case inB && inC:
+			parts = append(parts, fmt.Sprintf("%s %g->%g", u, bv, cv))
+		case inC:
+			parts = append(parts, fmt.Sprintf("%s %g", u, cv))
+		default:
+			parts = append(parts, fmt.Sprintf("%s %g->?", u, bv))
+		}
+	}
+	return strings.Join(parts, ", ")
 }

@@ -330,6 +330,8 @@ func runBatch(ctx context.Context, names []string, spec service.JobSpec, workers
 	st := svc.Stats()
 	fmt.Printf("batch: %d submitted, %d solver runs, %d cache hits, %d dedup joins\n",
 		st.Submitted, st.SolverRuns, st.CacheHits, st.DedupJoins)
+	fmt.Printf("canon: %d generators, %d orbit prunes, %d prefix prunes, %d inexact (%d skipped persists)\n",
+		st.CanonGenerators, st.CanonOrbitPrunes, st.CanonPrefixPrunes, st.CanonInexact, st.InexactSkips)
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintf(os.Stderr, "gcolor: %s: %v\n", f.name, f.err)

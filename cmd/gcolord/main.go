@@ -81,6 +81,7 @@ func main() {
 	queueDepth := flag.Int("queue", 1024, "max queued jobs before submissions are rejected")
 	timeout := flag.Duration("timeout", time.Minute, "default per-job solve budget")
 	cacheCap := flag.Int("cache", 4096, "canonical result cache capacity (memory backend)")
+	canonMaxNodes := flag.Int64("canon.maxnodes", 0, "node budget per canonical labeling search (0 = package default); exhausted searches yield inexact, non-persisted cache keys")
 	storeDir := flag.String("store.dir", "", "persist the result cache and job journal in this directory (snapshot+WAL); empty = memory only")
 	storeMaxAge := flag.Duration("store.maxage", 0, "drop persisted records older than this at compaction (0 = keep forever)")
 	storeMaxBytes := flag.Int64("store.maxbytes", 0, "target on-disk size of the persistent cache; oldest records dropped at compaction (0 = unbounded)")
@@ -154,6 +155,7 @@ func main() {
 		Workers:           *workers,
 		QueueDepth:        *queueDepth,
 		DefaultTimeout:    *timeout,
+		CanonMaxNodes:     *canonMaxNodes,
 		CacheCapacity:     *cacheCap,
 		Backend:           backend,
 		Journal:           journal,

@@ -8,6 +8,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/autom"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/httpapi"
@@ -43,7 +44,7 @@ func waitReady(addr string, budget time.Duration) error {
 // selftest's overload behavior depends only on admission arithmetic,
 // never on solver speed.
 func sleepSolve(d time.Duration) service.SolveFunc {
-	return func(ctx context.Context, g *graph.Graph, spec service.JobSpec, progress solverutil.ProgressFunc) core.Outcome {
+	return func(ctx context.Context, g *graph.Graph, spec service.JobSpec, sym []autom.Perm, progress solverutil.ProgressFunc) core.Outcome {
 		select {
 		case <-time.After(d):
 		case <-ctx.Done():

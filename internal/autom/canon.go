@@ -1,7 +1,6 @@
 package autom
 
 import (
-	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/binary"
@@ -16,8 +15,16 @@ type CanonicalOptions struct {
 	// false.
 	MaxNodes int64
 	// Context, when non-nil, aborts the search early (Exact=false) once
-	// cancelled.
+	// cancelled. Cancellation is observed on an amortized schedule that is
+	// independent of node progress, so it is honored during
+	// refinement-heavy stretches and on the first descent.
 	Context context.Context
+	// DisablePruning turns off automorphism discovery, orbit pruning and
+	// incumbent prefix pruning, exploring every child of every
+	// non-singleton cell. The canonical encoding is identical either way —
+	// pruning provably preserves the minimum leaf — so the switch exists
+	// only as the baseline for soundness tests and benchmarks.
+	DisablePruning bool
 }
 
 // Canonical is a canonical form of a colored graph: a relabelling chosen
@@ -31,9 +38,10 @@ type Canonical struct {
 	// labeling: vertex v becomes canonical vertex Perm[v].
 	Perm Perm
 	// Bytes encodes the relabelled graph: vertex count, per-position
-	// colors, and the upper-triangle adjacency bitmap. Two graphs with
-	// equal Bytes are isomorphic (the encoding reconstructs the graph);
-	// when Exact is true the converse also holds for isomorphic inputs.
+	// colors, and the column-major upper-triangle adjacency bitmap. Two
+	// graphs with equal Bytes are isomorphic (the encoding reconstructs
+	// the graph); when Exact is true the converse also holds for
+	// isomorphic inputs.
 	Bytes []byte
 	// Hash is the SHA-256 of Bytes, a compact cache key.
 	Hash [sha256.Size]byte
@@ -41,6 +49,18 @@ type Canonical struct {
 	Exact bool
 	// Nodes counts individualization steps performed.
 	Nodes int64
+	// Generators are verified automorphisms of the input graph discovered
+	// as a byproduct of the search (a leaf whose encoding ties the
+	// incumbent exhibits one). They generate a subgroup of the full
+	// automorphism group — enough to feed symmetry-breaking predicates,
+	// not guaranteed to be a complete generating set.
+	Generators []Perm
+	// OrbitPrunes counts sibling candidates skipped because a discovered
+	// automorphism maps them onto an already-explored sibling.
+	OrbitPrunes int64
+	// PrefixPrunes counts subtrees cut because their determined encoding
+	// prefix already exceeded the incumbent leaf.
+	PrefixPrunes int64
 }
 
 type canonizer struct {
@@ -48,19 +68,35 @@ type canonizer struct {
 	cnt      []int
 	maxNodes int64
 	nodes    int64
+	tick     int64
 	aborted  bool
+	disable  bool
 	ctx      context.Context
-	best     []byte // adjacency bitmap of the best (minimal) leaf so far
-	bestLab  []int  // elems of the best leaf: position -> vertex
+
+	best    []byte // column-major adjacency bitmap of the best (minimal) leaf
+	bestLab []int  // elems of the best leaf: position -> vertex
+	bestVer int64  // bumped whenever best is replaced
+
+	gens         []Perm     // verified automorphisms from equal-leaf collisions
+	uf           *unionFind // global orbits under gens (root-level stabilizer)
+	gensVer      int64
+	orbitPrunes  int64
+	prefixPrunes int64
 }
 
 // CanonicalForm computes a canonical labeling of g by
 // individualization-refinement: descend the refinement tree, branching on
-// every vertex of the first non-singleton cell, and keep the leaf whose
-// relabelled adjacency bitmap is lexicographically minimal. Cell order
-// under equitable refinement is label-invariant (cells sort by color, then
-// by splitter degree counts), so the set of leaf encodings — and hence
-// their minimum — depends only on the isomorphism class of g.
+// the first non-singleton cell, and keep the leaf whose relabelled
+// adjacency bitmap is lexicographically minimal (bit order: pair (i,j),
+// i<j, at index j(j-1)/2+i). Cell order under equitable refinement is
+// label-invariant, so the set of leaf encodings — and hence their minimum —
+// depends only on the isomorphism class of g.
+//
+// The search prunes nauty/Traces-style without changing that minimum:
+// a leaf whose encoding ties the incumbent exhibits an automorphism
+// (verified, recorded in a union-find), siblings in the same orbit under
+// the node's discovered stabilizer are skipped, and subtrees whose
+// determined encoding prefix already exceeds the incumbent are cut.
 //
 // The search is exponential in the worst case; MaxNodes bounds it. On
 // budget exhaustion the best leaf found so far is returned with
@@ -81,6 +117,8 @@ func CanonicalForm(g *Graph, opts CanonicalOptions) *Canonical {
 		cnt:      make([]int, n),
 		maxNodes: opts.MaxNodes,
 		ctx:      opts.Context,
+		disable:  opts.DisablePruning,
+		uf:       newUnionFind(n),
 	}
 	if c.maxNodes == 0 {
 		c.maxNodes = 200000
@@ -90,8 +128,16 @@ func CanonicalForm(g *Graph, opts CanonicalOptions) *Canonical {
 	for i := 0; i < n; i += p.clen[i] {
 		work = append(work, i)
 	}
-	refineRecord(g, p, work, c.cnt)
-	c.explore(p)
+	refineRecord(g, p, work, c.cnt, c.pollCancel)
+	c.explore(p, 0, 0)
+	if c.bestLab == nil {
+		// The context died before the first leaf completed: fall back to
+		// the root-refined ordering. Still a valid relabelling (sound key,
+		// equal encodings imply isomorphic graphs), just inexact.
+		c.aborted = true
+		c.bestLab = append([]int(nil), p.elems...)
+		c.best = adjacencyBits(g, c.bestLab)
+	}
 	out.Perm = make(Perm, n)
 	for pos, v := range c.bestLab {
 		out.Perm[v] = pos
@@ -100,47 +146,210 @@ func CanonicalForm(g *Graph, opts CanonicalOptions) *Canonical {
 	out.Hash = sha256.Sum256(out.Bytes)
 	out.Exact = !c.aborted
 	out.Nodes = c.nodes
+	out.Generators = c.gens
+	out.OrbitPrunes = c.orbitPrunes
+	out.PrefixPrunes = c.prefixPrunes
 	return out
 }
 
-// explore walks the individualization-refinement tree depth-first. The
-// leftmost descent always completes (the budget only cuts off once a first
-// leaf exists), so bestLab is never nil on return.
-func (c *canonizer) explore(p *partition) {
+// explore walks the individualization-refinement tree depth-first.
+// fixed is the parent's determined prefix length (singleton positions);
+// cmp is the comparison of the node's determined encoding prefix against
+// the incumbent leaf: 0 equal so far, -1 already strictly smaller. A node
+// whose prefix exceeds the incumbent never recurses (prefix pruning),
+// candidates mapped onto an explored sibling by a discovered automorphism
+// are skipped (orbit pruning), and a leaf that ties the incumbent yields a
+// verified generator instead of a relabelling.
+func (c *canonizer) explore(p *partition, fixed, cmp int) {
 	t := p.firstNonSingleton()
+	det := t
 	if t < 0 {
-		leaf := adjacencyBits(c.g, p.elems)
-		if c.best == nil || bytes.Compare(leaf, c.best) < 0 {
-			c.best = leaf
-			c.bestLab = append([]int(nil), p.elems...)
+		det = p.n()
+	}
+	if !c.disable && cmp == 0 && c.best != nil && det > fixed {
+		switch c.compareColumns(p.elems, fixed, det) {
+		case 1:
+			c.prefixPrunes++
+			return
+		case -1:
+			cmp = -1
 		}
+	}
+	if t < 0 {
+		c.leaf(p, cmp)
 		return
 	}
 	cands := append([]int(nil), p.elems[t:t+p.clen[t]]...)
+	var (
+		localUF  *unionFind
+		localVer int64 = -1
+		explored []int
+	)
+	ver := c.bestVer
 	for _, u := range cands {
 		if c.budgetExceeded() {
 			return
 		}
+		if !c.disable && len(c.gens) > 0 && len(explored) > 0 {
+			if localVer != c.gensVer {
+				localUF = c.stabilizerOrbits(p, t)
+				localVer = c.gensVer
+			}
+			skip := false
+			for _, w := range explored {
+				if localUF.same(u, w) {
+					skip = true
+					break
+				}
+			}
+			if skip {
+				c.orbitPrunes++
+				continue
+			}
+		}
 		cp := p.copy()
 		cp.individualize(u)
 		c.nodes++
-		refineRecord(c.g, cp, []int{t, t + 1}, c.cnt)
-		c.explore(cp)
+		refineRecord(c.g, cp, []int{t, t + 1}, c.cnt, c.pollCancel)
+		if c.aborted {
+			return
+		}
+		c.explore(cp, det, cmp)
+		if c.bestVer != ver {
+			// A descendant installed a new incumbent. Every new best found
+			// inside this loop descends from this node, so the node's
+			// determined prefix is a prefix of it: cmp resets to equal.
+			cmp = 0
+			ver = c.bestVer
+		}
+		explored = append(explored, u)
 	}
 }
 
-func (c *canonizer) budgetExceeded() bool {
+// leaf handles a discrete partition: install a strictly smaller leaf as
+// the incumbent, or — when it ties the incumbent byte-for-byte — record
+// the position-wise map between the two labelings as an automorphism.
+func (c *canonizer) leaf(p *partition, cmp int) {
 	if c.best == nil {
-		return false // always finish the leftmost leaf
+		c.setBest(p.elems)
+		return
 	}
+	if c.disable {
+		// No prefix comparisons were made on the way down; compare the
+		// whole leaf here and keep only strictly smaller ones.
+		if c.compareColumns(p.elems, 0, p.n()) < 0 {
+			c.setBest(p.elems)
+		}
+		return
+	}
+	switch cmp {
+	case -1:
+		c.setBest(p.elems)
+	case 0:
+		// Equal encodings: bestLab[i] -> elems[i] preserves adjacency and
+		// (since refinement never moves vertices across the initial color
+		// cells) colors. Verify defensively before trusting it.
+		perm := make(Perm, c.g.n)
+		for i, v := range c.bestLab {
+			perm[v] = p.elems[i]
+		}
+		if !perm.IsIdentity() && c.g.isAutomorphism(perm) {
+			c.gens = append(c.gens, perm)
+			c.uf.addPerm(perm)
+			c.gensVer++
+		}
+	}
+}
+
+func (c *canonizer) setBest(elems []int) {
+	c.best = adjacencyBits(c.g, elems)
+	c.bestLab = append(c.bestLab[:0], elems...)
+	c.bestVer++
+}
+
+// stabilizerOrbits returns vertex orbits under the discovered generators
+// that fix the node's determined prefix pointwise — exactly the group
+// elements that permute the node's subtrees among themselves, which is
+// what makes skipping same-orbit siblings sound. At the root (empty
+// prefix) that is the whole discovered group, for which the global
+// union-find is maintained incrementally.
+func (c *canonizer) stabilizerOrbits(p *partition, t int) *unionFind {
+	if t == 0 {
+		return c.uf
+	}
+	uf := newUnionFind(c.g.n)
+	for _, gen := range c.gens {
+		fixesPrefix := true
+		for i := 0; i < t; i++ {
+			if v := p.elems[i]; gen[v] != v {
+				fixesPrefix = false
+				break
+			}
+		}
+		if fixesPrefix {
+			uf.addPerm(gen)
+		}
+	}
+	return uf
+}
+
+// compareColumns compares adjacency columns [lo, hi) of the current
+// labeling against the incumbent leaf in canonical bit order. Because bit
+// (i,j) lives at index j(j-1)/2+i, the pairs internal to the first t
+// positions occupy the contiguous index range [0, t(t-1)/2): once those
+// positions are singletons the comparison is final for every leaf below —
+// the invariant prefix pruning rests on.
+func (c *canonizer) compareColumns(elems []int, lo, hi int) int {
+	if lo < 1 {
+		lo = 1
+	}
+	k := lo * (lo - 1) / 2
+	for j := lo; j < hi; j++ {
+		vj := elems[j]
+		for i := 0; i < j; i, k = i+1, k+1 {
+			mine := c.g.hasEdge(elems[i], vj)
+			if best := c.best[k/8]&(1<<uint(k%8)) != 0; mine != best {
+				if best {
+					return -1
+				}
+				return 1
+			}
+		}
+	}
+	return 0
+}
+
+// budgetExceeded stops the search once the node budget is spent (but never
+// before a first leaf exists, so the result is always usable) or the
+// context is cancelled (checked even before the first leaf: a dead context
+// falls back to the root-refined labeling).
+func (c *canonizer) budgetExceeded() bool {
 	if c.aborted {
 		return true
 	}
-	if c.nodes >= c.maxNodes {
+	if c.best != nil && c.nodes >= c.maxNodes {
 		c.aborted = true
 		return true
 	}
-	if c.ctx != nil && c.nodes%64 == 0 && c.ctx.Err() != nil {
+	return c.pollCancel()
+}
+
+// pollCancel samples the context on an amortized schedule independent of
+// node progress; it is also the stop hook threaded into refinement
+// worklist loops, bounding cancellation latency during refinement-heavy
+// stretches and on the first descent.
+func (c *canonizer) pollCancel() bool {
+	if c.aborted {
+		return true
+	}
+	if c.ctx == nil {
+		return false
+	}
+	c.tick++
+	if c.tick&15 != 0 {
+		return false
+	}
+	if c.ctx.Err() != nil {
 		c.aborted = true
 		return true
 	}
@@ -148,13 +357,16 @@ func (c *canonizer) budgetExceeded() bool {
 }
 
 // adjacencyBits packs the upper triangle of the relabelled adjacency
-// matrix: bit (i,j), i<j, is set when lab[i] and lab[j] are adjacent.
+// matrix column-major: bit (i,j), i<j, set when lab[i] and lab[j] are
+// adjacent, at index j(j-1)/2+i. Column-major order is load-bearing: all
+// pairs among the first t positions precede every pair reaching past
+// them, so a singleton prefix determines a contiguous encoding prefix.
 func adjacencyBits(g *Graph, lab []int) []byte {
 	n := len(lab)
 	out := make([]byte, (n*(n-1)/2+7)/8)
 	k := 0
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
+	for j := 1; j < n; j++ {
+		for i := 0; i < j; i++ {
 			if g.hasEdge(lab[i], lab[j]) {
 				out[k/8] |= 1 << uint(k%8)
 			}

@@ -39,6 +39,29 @@ func graphFromFuzz(data []byte) (*Graph, Perm, bool) {
 	return g, perm, true
 }
 
+// fuzzSeed builds a corpus entry reproducing g under graphFromFuzz's
+// decoding (vertex-count byte, MSB-first edge bits, permutation swap
+// bytes), so structured graphs can be planted in the seed corpus.
+func fuzzSeed(g *Graph, permBytes ...byte) []byte {
+	n := g.N()
+	if n < 2 || n > 11 {
+		panic("fuzzSeed: vertex count outside decodable range")
+	}
+	g.freeze()
+	edgeBytes := make([]byte, (n*(n-1)/2+7)/8)
+	bit := 0
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if g.hasEdge(a, b) {
+				edgeBytes[bit/8] |= 1 << (7 - bit%8)
+			}
+			bit++
+		}
+	}
+	out := append([]byte{byte(n - 2)}, edgeBytes...)
+	return append(out, permBytes...)
+}
+
 // FuzzCanonicalForm checks the canonical-labeling invariant the service's
 // isomorphism cache depends on: relabeling a graph by any permutation must
 // canonicalize to the identical encoding, and the reported Perm must be a
@@ -48,6 +71,14 @@ func FuzzCanonicalForm(f *testing.F) {
 	f.Add([]byte{5, 0xA5, 0x5A, 3, 1, 4})
 	f.Add([]byte{9, 0x12, 0x34, 0x56, 0x78, 0x9A, 7, 2, 5, 0, 1})
 	f.Add([]byte{2, 0x80})
+	// Vertex-transitive seeds: wide refinement cells exercise the orbit /
+	// prefix pruning and leaf-automorphism paths of the search.
+	f.Add(fuzzSeed(cycleGraph(10), 7, 3, 1))
+	f.Add(fuzzSeed(cycleGraph(11), 2, 9))
+	f.Add(fuzzSeed(petersenGraph(), 4, 8, 1, 6))
+	f.Add(fuzzSeed(completeBipartite(5), 5, 2, 7))
+	f.Add(fuzzSeed(completeGraph(7), 1, 3))
+	f.Add(fuzzSeed(circulantGraph(11, 1, 3), 6, 0, 2))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		g, perm, ok := graphFromFuzz(data)
 		if !ok {

@@ -129,11 +129,17 @@ type trace struct {
 
 // refineRecord runs equitable refinement to fixpoint starting from the
 // given worklist of cell starts, recording the transcript. cnt is a zeroed
-// scratch buffer of length g.n; it is returned zeroed.
-func refineRecord(g *Graph, p *partition, work []int, cnt []int) *trace {
+// scratch buffer of length g.n; it is returned zeroed. stop, when non-nil,
+// is polled once per worklist iteration so a cancelled search aborts
+// mid-refinement instead of waiting for the fixpoint; on stop the
+// transcript is truncated and the caller must discard the partition.
+func refineRecord(g *Graph, p *partition, work []int, cnt []int, stop func() bool) *trace {
 	tr := &trace{}
 	touchedList := make([]int, 0, 64)
 	for len(work) > 0 {
+		if stop != nil && stop() {
+			return tr
+		}
 		s := work[len(work)-1]
 		work = work[:len(work)-1]
 		// Stale worklist entry: s may no longer be a cell start after other
@@ -231,9 +237,15 @@ func splitCellByCount(p *partition, cs int, cnt []int) (newStarts []int, parts [
 // refineReplay replays a recorded transcript on a deviation partition,
 // verifying that every split matches the left side structurally. Returns
 // false on mismatch (no automorphism can extend this branch). cnt is a
-// zeroed scratch buffer of length g.n; it is returned zeroed.
-func refineReplay(g *Graph, p *partition, tr *trace, cnt []int) bool {
+// zeroed scratch buffer of length g.n; it is returned zeroed. stop, when
+// non-nil, is polled once per op so cancellation is observed inside long
+// replays; a stopped replay reports a mismatch, which is always sound
+// (the branch is merely not pursued).
+func refineReplay(g *Graph, p *partition, tr *trace, cnt []int, stop func() bool) bool {
 	for _, op := range tr.ops {
+		if stop != nil && stop() {
+			return false
+		}
 		s := op.splitter
 		if p.cbeg[s] != s {
 			return false

@@ -55,6 +55,7 @@ type searcher struct {
 	gens     []Perm
 	nodes    int64
 	maxNodes int64
+	tick     int64
 	aborted  bool
 	cnt      []int // shared scratch for refinement
 	deadline time.Time
@@ -93,16 +94,17 @@ func FindAutomorphisms(g *Graph, opts Options) *Result {
 	for i := 0; i < n; i += p.clen[i] {
 		work = append(work, i)
 	}
-	refineRecord(g, p, work, s.cnt)
+	refineRecord(g, p, work, s.cnt, s.pollCancel)
 	for {
 		t := p.firstNonSingleton()
-		if t < 0 {
+		if t < 0 || s.budgetExceeded() {
 			break
 		}
 		snap := p.copy()
 		b := p.elems[t]
 		p.individualize(b)
-		tr := refineRecord(g, p, []int{t, t + 1}, s.cnt)
+		s.nodes++
+		tr := refineRecord(g, p, []int{t, t + 1}, s.cnt, s.pollCancel)
 		s.levels = append(s.levels, level{snapshot: snap, target: t, base: b, tr: tr})
 	}
 	s.leafLeft = append([]int(nil), p.elems...)
@@ -126,7 +128,7 @@ func FindAutomorphisms(g *Graph, opts Options) *Result {
 			cp := lvl.snapshot.copy()
 			cp.individualize(u)
 			s.nodes++
-			if refineReplay(g, cp, lvl.tr, s.cnt) {
+			if refineReplay(g, cp, lvl.tr, s.cnt, s.pollCancel) {
 				s.dfs(cp, L+1)
 			}
 		}
@@ -156,15 +158,34 @@ func (s *searcher) budgetExceeded() bool {
 		s.aborted = true
 		return true
 	}
-	if s.nodes%64 == 0 {
-		if s.ctx != nil && s.ctx.Err() != nil {
-			s.aborted = true
-			return true
-		}
-		if !s.deadline.IsZero() && time.Now().After(s.deadline) {
-			s.aborted = true
-			return true
-		}
+	return s.pollCancel()
+}
+
+// pollCancel samples the context and deadline on an amortized schedule
+// (every 16 polls) that is independent of node progress — the old
+// nodes%64 gate could starve for the whole of a refinement-heavy stretch.
+// It doubles as the stop hook threaded into refineRecord/refineReplay, so
+// cancellation latency is bounded even inside a single refinement.
+// Aborting mid-search is sound: every generator is verified by
+// isAutomorphism before being reported.
+func (s *searcher) pollCancel() bool {
+	if s.aborted {
+		return true
+	}
+	if s.ctx == nil && s.deadline.IsZero() {
+		return false
+	}
+	s.tick++
+	if s.tick&15 != 0 {
+		return false
+	}
+	if s.ctx != nil && s.ctx.Err() != nil {
+		s.aborted = true
+		return true
+	}
+	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		s.aborted = true
+		return true
 	}
 	return false
 }
@@ -205,7 +226,7 @@ func (s *searcher) dfs(cp *partition, lvl int) bool {
 		cp2 := cp.copy()
 		cp2.individualize(u)
 		s.nodes++
-		if !refineReplay(s.g, cp2, s.levels[lvl].tr, s.cnt) {
+		if !refineReplay(s.g, cp2, s.levels[lvl].tr, s.cnt, s.pollCancel) {
 			continue
 		}
 		if s.dfs(cp2, lvl+1) {

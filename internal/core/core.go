@@ -36,6 +36,15 @@ type Config struct {
 	// generated 0-1 ILP instance before solving (the "w/ i.-d. SBPs"
 	// columns of Tables 3-5).
 	InstanceDependent bool
+	// GraphGens are automorphisms of the instance graph known to the
+	// caller (the service layer forwards generators its canonical-labeling
+	// search discovered). When InstanceDependent is set they are lifted to
+	// formula symmetries — x(v,j) -> x(π(v),j) — verified against the
+	// formula, deduplicated against symgraph's own detections, and fed to
+	// the same lex-leader construction. Generators the instance-independent
+	// SBP already broke fail verification and are dropped, so the lift is
+	// always sound.
+	GraphGens []autom.Perm
 	// Engine selects the solver configuration (PBS II / Galena / Pueblo /
 	// BnB-as-CPLEX). Ignored when Portfolio is set.
 	Engine pbsolver.Engine
@@ -111,6 +120,10 @@ type SymmetryStats struct {
 	DetectTime time.Duration
 	AddedVars  int // variables added by lex-leader SBPs
 	AddedCNF   int // clauses added by lex-leader SBPs
+	// FromGraph counts generators contributed by Config.GraphGens (the
+	// canonical search's discoveries) that survived verification and were
+	// not already found by formula-level detection.
+	FromGraph int
 }
 
 // Outcome is the result of solving one instance under one configuration.
@@ -158,7 +171,7 @@ func Solve(ctx context.Context, g *graph.Graph, cfg Config) Outcome {
 		EncodeStats: enc.F.Stats(),
 	}
 	if cfg.InstanceDependent {
-		out.Sym = breakSymmetries(ctx, enc.F, cfg)
+		out.Sym = breakSymmetries(ctx, enc, cfg)
 	}
 	sOpts := pbsolver.Options{
 		Engine:              cfg.Engine,
@@ -223,15 +236,38 @@ func EffectiveK(g *graph.Graph, k int) int {
 	return maxDeg + 1
 }
 
-// breakSymmetries detects symmetries of the formula and appends lex-leader
-// SBPs, returning the statistics.
-func breakSymmetries(ctx context.Context, f *pb.Formula, cfg Config) *SymmetryStats {
+// breakSymmetries detects symmetries of the formula, merges in any
+// caller-supplied graph automorphisms that survive verification, and
+// appends lex-leader SBPs, returning the statistics.
+func breakSymmetries(ctx context.Context, enc *encode.Encoding, cfg Config) *SymmetryStats {
 	aOpts := autom.Options{MaxNodes: cfg.SymMaxNodes, Context: ctx}
 	if cfg.SymTimeout > 0 {
 		aOpts.Deadline = time.Now().Add(cfg.SymTimeout)
 	}
-	perms, res := symgraph.Detect(f, aOpts)
-	st := sbp.AddSBPs(f, perms, sbp.Options{MaxSupport: cfg.SBPMaxSupport})
+	perms, res := symgraph.Detect(enc.F, aOpts)
+	fromGraph := 0
+	if len(cfg.GraphGens) > 0 {
+		seen := make(map[string]bool, len(perms))
+		for _, p := range perms {
+			seen[litPermKey(p)] = true
+		}
+		for _, gp := range cfg.GraphGens {
+			lp, ok := graphAutToLitPerm(enc, gp)
+			if !ok || lp.IsIdentity() || !symgraph.VerifyLitPerm(enc.F, lp) {
+				// Verification rejects exactly the generators the
+				// instance-independent SBP already broke (and any bogus
+				// input); keeping only verified lifts is what makes this
+				// source safe to combine with every SBPKind.
+				continue
+			}
+			if k := litPermKey(lp); !seen[k] {
+				seen[k] = true
+				perms = append(perms, lp)
+				fromGraph++
+			}
+		}
+	}
+	st := sbp.AddSBPs(enc.F, perms, sbp.Options{MaxSupport: cfg.SBPMaxSupport})
 	return &SymmetryStats{
 		Order:      res.Order,
 		Generators: len(perms),
@@ -239,7 +275,33 @@ func breakSymmetries(ctx context.Context, f *pb.Formula, cfg Config) *SymmetrySt
 		DetectTime: res.Time,
 		AddedVars:  st.AddedVars,
 		AddedCNF:   st.Clauses,
+		FromGraph:  fromGraph,
 	}
+}
+
+// graphAutToLitPerm lifts a vertex automorphism of the instance graph to a
+// literal permutation of its encoding: x(v,j) -> x(perm(v),j) for every
+// color j, with the color-usage and auxiliary variables fixed. Adjacency
+// preservation makes the lift map conflict constraints onto conflict
+// constraints, so for symmetric encodings it is a formula symmetry; the
+// caller still verifies before use.
+func graphAutToLitPerm(enc *encode.Encoding, perm autom.Perm) (symgraph.LitPerm, bool) {
+	n := enc.G.N()
+	if len(perm) != n {
+		return symgraph.LitPerm{}, false
+	}
+	lp := symgraph.NewIdentityPerm(enc.F.NumVars)
+	for v := 0; v < n; v++ {
+		for j := 0; j < enc.K; j++ {
+			lp.Img[enc.X(v, j)] = cnf.PosLit(enc.X(perm[v], j))
+		}
+	}
+	return lp, true
+}
+
+// litPermKey is a map key identifying a literal permutation by image.
+func litPermKey(p symgraph.LitPerm) string {
+	return fmt.Sprint(p.Img)
 }
 
 // DetectSymmetries runs only the symmetry-detection half of the flow on the

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/autom"
+	"repro/internal/encode"
+	"repro/internal/graph"
+	"repro/internal/pbsolver"
+)
+
+// rotation is the cyclic shift v -> v+1 (mod n), an automorphism of C_n.
+func rotation(n int) autom.Perm {
+	p := make(autom.Perm, n)
+	for v := range p {
+		p[v] = (v + 1) % n
+	}
+	return p
+}
+
+// TestGraphGensFeedSymmetryBreaking checks the generator hand-off: vertex
+// automorphisms supplied via Config.GraphGens are lifted onto the encoding,
+// verified, and counted in Sym.FromGraph — with formula-level detection
+// crippled so the contribution is unambiguous.
+func TestGraphGensFeedSymmetryBreaking(t *testing.T) {
+	g := graph.Cycle(6)
+	base := Config{
+		K: 3, Engine: pbsolver.EnginePueblo,
+		InstanceDependent: true,
+		SBP:               encode.SBPNone,
+		SymMaxNodes:       1, // starve symgraph so only lifted gens remain
+	}
+
+	cfg := base
+	cfg.GraphGens = []autom.Perm{rotation(6)}
+	out := Solve(context.Background(), g, cfg)
+	if out.Sym == nil {
+		t.Fatal("instance-dependent path did not run")
+	}
+	if out.Sym.FromGraph != 1 {
+		t.Fatalf("Sym.FromGraph = %d, want 1 (verified rotation lift)", out.Sym.FromGraph)
+	}
+	if out.Chi != 2 || out.Result.Status != pbsolver.StatusOptimal {
+		t.Fatalf("lifted SBPs changed the answer: chi=%d status=%v", out.Chi, out.Result.Status)
+	}
+
+	// A vertex swap that is not an automorphism of C6 must fail
+	// verification and contribute nothing.
+	bogus := autom.Perm{1, 0, 2, 3, 4, 5}
+	cfg = base
+	cfg.GraphGens = []autom.Perm{bogus}
+	out = Solve(context.Background(), g, cfg)
+	if out.Sym.FromGraph != 0 {
+		t.Fatalf("non-automorphism accepted: FromGraph = %d", out.Sym.FromGraph)
+	}
+
+	// Wrong-length permutations are rejected before lifting.
+	cfg = base
+	cfg.GraphGens = []autom.Perm{rotation(5)}
+	out = Solve(context.Background(), g, cfg)
+	if out.Sym.FromGraph != 0 {
+		t.Fatalf("wrong-length permutation accepted: FromGraph = %d", out.Sym.FromGraph)
+	}
+}
+
+// TestGraphGensRespectInstanceIndependentSBPs checks the composition rule:
+// under an instance-independent construction that already breaks a symmetry
+// (LI pins specific vertices), the same rotation no longer maps the formula
+// to itself, so verification rejects the lift instead of adding unsound
+// breaking predicates.
+func TestGraphGensRespectInstanceIndependentSBPs(t *testing.T) {
+	g := graph.Cycle(6)
+	cfg := Config{
+		K: 3, Engine: pbsolver.EnginePueblo,
+		InstanceDependent: true,
+		SBP:               encode.SBPLI,
+		SymMaxNodes:       1,
+		GraphGens:         []autom.Perm{rotation(6)},
+	}
+	out := Solve(context.Background(), g, cfg)
+	if out.Sym == nil {
+		t.Fatal("instance-dependent path did not run")
+	}
+	if out.Sym.FromGraph != 0 {
+		t.Fatalf("rotation survived verification under LI: FromGraph = %d", out.Sym.FromGraph)
+	}
+	if out.Chi != 2 || out.Result.Status != pbsolver.StatusOptimal {
+		t.Fatalf("answer changed: chi=%d status=%v", out.Chi, out.Result.Status)
+	}
+}

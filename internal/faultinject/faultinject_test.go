@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/autom"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/service"
@@ -119,7 +120,7 @@ func TestLatencyInjection(t *testing.T) {
 }
 
 func stubSolve(calls *atomic.Int64) service.SolveFunc {
-	return func(ctx context.Context, g *graph.Graph, spec service.JobSpec, progress solverutil.ProgressFunc) core.Outcome {
+	return func(ctx context.Context, g *graph.Graph, spec service.JobSpec, sym []autom.Perm, progress solverutil.ProgressFunc) core.Outcome {
 		calls.Add(1)
 		return core.Outcome{Instance: g.Name()}
 	}
@@ -137,7 +138,7 @@ func TestPanicsDecorator(t *testing.T) {
 				panicked = true
 			}
 		}()
-		solve(context.Background(), g, service.JobSpec{}, nil)
+		solve(context.Background(), g, service.JobSpec{}, nil, nil)
 		return false
 	}
 	want := []bool{false, true, false, true}
@@ -158,7 +159,7 @@ func TestDelayDecorator(t *testing.T) {
 	solve := Delay(stubSolve(&inner), time.Hour)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	out := solve(ctx, graph.New("g", 1), service.JobSpec{}, nil)
+	out := solve(ctx, graph.New("g", 1), service.JobSpec{}, nil, nil)
 	if inner.Load() != 0 {
 		t.Fatal("inner solver ran despite cancellation during injected delay")
 	}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/autom"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/service"
@@ -20,13 +21,13 @@ import (
 // StateFailed job, never a dead process.
 func Panics(inner service.SolveFunc, every int64) (service.SolveFunc, *atomic.Int64) {
 	var calls, fired atomic.Int64
-	return func(ctx context.Context, g *graph.Graph, spec service.JobSpec, progress solverutil.ProgressFunc) core.Outcome {
+	return func(ctx context.Context, g *graph.Graph, spec service.JobSpec, sym []autom.Perm, progress solverutil.ProgressFunc) core.Outcome {
 		n := calls.Add(1)
 		if every > 0 && n%every == 0 {
 			fired.Add(1)
 			panic(fmt.Sprintf("faultinject: injected solver panic (call %d)", n))
 		}
-		return inner(ctx, g, spec, progress)
+		return inner(ctx, g, spec, sym, progress)
 	}, &fired
 }
 
@@ -37,12 +38,12 @@ func Delay(inner service.SolveFunc, d time.Duration) service.SolveFunc {
 	if d <= 0 {
 		return inner
 	}
-	return func(ctx context.Context, g *graph.Graph, spec service.JobSpec, progress solverutil.ProgressFunc) core.Outcome {
+	return func(ctx context.Context, g *graph.Graph, spec service.JobSpec, sym []autom.Perm, progress solverutil.ProgressFunc) core.Outcome {
 		select {
 		case <-time.After(d):
 		case <-ctx.Done():
 			return core.Outcome{Instance: g.Name()}
 		}
-		return inner(ctx, g, spec, progress)
+		return inner(ctx, g, spec, sym, progress)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/autom"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/service"
@@ -36,7 +37,7 @@ func startStub(t *testing.T, cfg service.Config, api Config) (*httptest.Server, 
 // blockingSolve parks every solve until gate closes (or the job context
 // ends) and counts invocations.
 func blockingSolve(gate chan struct{}, runs *atomic.Int64) service.SolveFunc {
-	return func(ctx context.Context, g *graph.Graph, spec service.JobSpec, progress solverutil.ProgressFunc) core.Outcome {
+	return func(ctx context.Context, g *graph.Graph, spec service.JobSpec, sym []autom.Perm, progress solverutil.ProgressFunc) core.Outcome {
 		runs.Add(1)
 		select {
 		case <-gate:
@@ -333,7 +334,7 @@ func TestPriorityOrderingOverHTTP(t *testing.T) {
 	gate := make(chan struct{})
 	var mu sync.Mutex
 	var order []string
-	solve := func(ctx context.Context, g *graph.Graph, spec service.JobSpec, progress solverutil.ProgressFunc) core.Outcome {
+	solve := func(ctx context.Context, g *graph.Graph, spec service.JobSpec, sym []autom.Perm, progress solverutil.ProgressFunc) core.Outcome {
 		mu.Lock()
 		order = append(order, g.Name())
 		mu.Unlock()

@@ -46,6 +46,10 @@ func (a *api) metrics(w http.ResponseWriter, r *http.Request) {
 	counter("dedup_joins_total", "Submissions that joined an identical in-flight solve.", st.DedupJoins)
 	counter("store_errors_total", "Failed cache-backend writes.", st.StoreErrors)
 	counter("canon_inexact_total", "Canonical searches truncated by their node budget.", st.CanonInexact)
+	counter("inexact_skips_total", "Solved results not persisted because their canonical key was inexact.", st.InexactSkips)
+	counter("canon_generators_total", "Automorphism generators discovered by canonical labeling searches.", st.CanonGenerators)
+	counter("canon_orbit_prunes_total", "Canonical search subtrees skipped via discovered-automorphism orbits.", st.CanonOrbitPrunes)
+	counter("canon_prefix_prunes_total", "Canonical search subtrees cut by incumbent prefix comparison.", st.CanonPrefixPrunes)
 
 	counter("solver_panics_total", "Solver panics isolated into per-job failures.", st.Panics)
 	counter("jobs_replayed_total", "Jobs resurrected from the job journal at startup.", st.Replayed)

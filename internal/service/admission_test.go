@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/autom"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/pbsolver"
@@ -18,7 +19,7 @@ import (
 // gatedOrderSolve blocks every solve on gate and records the order solves
 // start in (by graph name).
 func gatedOrderSolve(gate chan struct{}, mu *sync.Mutex, order *[]string) SolveFunc {
-	return func(ctx context.Context, g *graph.Graph, spec JobSpec, progress solverutil.ProgressFunc) core.Outcome {
+	return func(ctx context.Context, g *graph.Graph, spec JobSpec, sym []autom.Perm, progress solverutil.ProgressFunc) core.Outcome {
 		mu.Lock()
 		*order = append(*order, g.Name())
 		mu.Unlock()
@@ -132,7 +133,7 @@ func TestAgingPreventsStarvation(t *testing.T) {
 // freely — A cannot starve B.
 func TestTenantQuotaIsolation(t *testing.T) {
 	gate := make(chan struct{})
-	blocking := func(ctx context.Context, g *graph.Graph, spec JobSpec, progress solverutil.ProgressFunc) core.Outcome {
+	blocking := func(ctx context.Context, g *graph.Graph, spec JobSpec, sym []autom.Perm, progress solverutil.ProgressFunc) core.Outcome {
 		select {
 		case <-gate:
 		case <-ctx.Done():
@@ -221,7 +222,7 @@ func TestTenantRateLimit(t *testing.T) {
 func TestDeadlineExpiresInQueue(t *testing.T) {
 	gate := make(chan struct{})
 	var runs atomic.Int64
-	blocking := func(ctx context.Context, g *graph.Graph, spec JobSpec, progress solverutil.ProgressFunc) core.Outcome {
+	blocking := func(ctx context.Context, g *graph.Graph, spec JobSpec, sym []autom.Perm, progress solverutil.ProgressFunc) core.Outcome {
 		runs.Add(1)
 		select {
 		case <-gate:

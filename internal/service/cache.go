@@ -21,8 +21,15 @@ import (
 // share entries. The same key addresses both the
 // in-flight singleflight table and the durable Backend, so its format is
 // part of the on-disk store contract (see docs/API.md).
+//
+// The leading version token tracks the canonical encoding format: v2
+// switched the adjacency bitmap to column-major bit order (the layout the
+// orbit-pruned search's prefix comparison requires). Bumping the version
+// quarantines records written under the old bit order — a v1 disk entry
+// simply never matches a v2 key, which is sound (a miss re-solves) and
+// lets store GC age the stale records out.
 func cacheKey(spec JobSpec, canon *autom.Canonical) string {
-	return fmt.Sprintf("k=%d sbp=%d eng=%d pf=%t id=%t %x",
+	return fmt.Sprintf("v2 k=%d sbp=%d eng=%d pf=%t id=%t %x",
 		spec.K, spec.SBP, spec.Engine, spec.Portfolio, spec.InstanceDependent,
 		canon.Hash)
 }

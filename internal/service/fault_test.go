@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/autom"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/solverutil"
@@ -50,7 +51,7 @@ func (w *flakyFile) Write(p []byte) (int, error) {
 // blockingSolve blocks until the job's context is canceled, so tests can
 // hold a worker (or a queue) in a known state.
 func blockingSolve() SolveFunc {
-	return func(ctx context.Context, g *graph.Graph, spec JobSpec, progress solverutil.ProgressFunc) core.Outcome {
+	return func(ctx context.Context, g *graph.Graph, spec JobSpec, sym []autom.Perm, progress solverutil.ProgressFunc) core.Outcome {
 		<-ctx.Done()
 		return core.Outcome{Instance: g.Name()}
 	}
@@ -59,7 +60,7 @@ func blockingSolve() SolveFunc {
 // TestPanicIsolation: a panicking solve fails its own job — typed error,
 // captured stack, panic counter — without disturbing jobs around it.
 func TestPanicIsolation(t *testing.T) {
-	solve := func(ctx context.Context, g *graph.Graph, spec JobSpec, progress solverutil.ProgressFunc) core.Outcome {
+	solve := func(ctx context.Context, g *graph.Graph, spec JobSpec, sym []autom.Perm, progress solverutil.ProgressFunc) core.Outcome {
 		if g.Name() == "boom" {
 			panic("kaboom")
 		}
@@ -332,7 +333,7 @@ func TestResilientBackendDegradesAndRecovers(t *testing.T) {
 // TestWaitAndNextProgressSurviveCloseRace: callers blocked in Wait and
 // NextProgress while the service shuts down get answers, not deadlocks.
 func TestWaitAndNextProgressSurviveCloseRace(t *testing.T) {
-	solve := func(ctx context.Context, g *graph.Graph, spec JobSpec, progress solverutil.ProgressFunc) core.Outcome {
+	solve := func(ctx context.Context, g *graph.Graph, spec JobSpec, sym []autom.Perm, progress solverutil.ProgressFunc) core.Outcome {
 		select {
 		case <-time.After(30 * time.Millisecond):
 		case <-ctx.Done():

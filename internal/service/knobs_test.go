@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/autom"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/pbsolver"
@@ -18,7 +19,7 @@ import (
 func TestKnobPlumbingReachesSolver(t *testing.T) {
 	var mu sync.Mutex
 	seen := map[string]JobSpec{}
-	svc := New(Config{Workers: 1, Solve: func(ctx context.Context, g *graph.Graph, spec JobSpec, progress solverutil.ProgressFunc) core.Outcome {
+	svc := New(Config{Workers: 1, Solve: func(ctx context.Context, g *graph.Graph, spec JobSpec, sym []autom.Perm, progress solverutil.ProgressFunc) core.Outcome {
 		mu.Lock()
 		seen[g.Name()] = spec
 		mu.Unlock()
@@ -56,7 +57,7 @@ func TestKnobPlumbingReachesSolver(t *testing.T) {
 // the key (K) must not.
 func TestKnobsShareCacheEntries(t *testing.T) {
 	runs := 0
-	svc := New(Config{Workers: 1, Solve: func(ctx context.Context, g *graph.Graph, spec JobSpec, progress solverutil.ProgressFunc) core.Outcome {
+	svc := New(Config{Workers: 1, Solve: func(ctx context.Context, g *graph.Graph, spec JobSpec, sym []autom.Perm, progress solverutil.ProgressFunc) core.Outcome {
 		runs++
 		col, k := greedyColor(g)
 		out := core.Outcome{Instance: g.Name(), Chi: k, Coloring: col}
@@ -139,7 +140,7 @@ func TestCancelThenResubmit(t *testing.T) {
 	calls := 0
 	started := make(chan struct{})
 	var once sync.Once
-	svc := New(Config{Workers: 1, Solve: func(ctx context.Context, g *graph.Graph, spec JobSpec, progress solverutil.ProgressFunc) core.Outcome {
+	svc := New(Config{Workers: 1, Solve: func(ctx context.Context, g *graph.Graph, spec JobSpec, sym []autom.Perm, progress solverutil.ProgressFunc) core.Outcome {
 		mu.Lock()
 		calls++
 		first := calls == 1

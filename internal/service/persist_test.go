@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/autom"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/pbsolver"
@@ -102,7 +103,7 @@ func TestUnsolvedOutcomesAreNotPersisted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	unknownSolve := func(ctx context.Context, g *graph.Graph, spec JobSpec, progress solverutil.ProgressFunc) core.Outcome {
+	unknownSolve := func(ctx context.Context, g *graph.Graph, spec JobSpec, sym []autom.Perm, progress solverutil.ProgressFunc) core.Outcome {
 		out := core.Outcome{Instance: g.Name()}
 		out.Result.Status = pbsolver.StatusUnknown
 		return out
@@ -136,7 +137,7 @@ func TestWaiterResolvePersists(t *testing.T) {
 	g := graph.Random("g", 14, 40, 21)
 	block := make(chan struct{})
 	var calls atomic.Int64
-	solve := func(ctx context.Context, gg *graph.Graph, spec JobSpec, progress solverutil.ProgressFunc) core.Outcome {
+	solve := func(ctx context.Context, gg *graph.Graph, spec JobSpec, sym []autom.Perm, progress solverutil.ProgressFunc) core.Outcome {
 		if calls.Add(1) == 1 {
 			// Leader: hold the singleflight slot until the waiter joined,
 			// then come back empty-handed (budget-exhausted shape).

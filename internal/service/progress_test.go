@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/autom"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/pbsolver"
@@ -16,7 +17,7 @@ import (
 // before returning a definitive outcome — a stand-in for a solver's
 // rate-limited callbacks.
 func reportingSolve(n int, gate chan struct{}) SolveFunc {
-	return func(ctx context.Context, g *graph.Graph, spec JobSpec, progress solverutil.ProgressFunc) core.Outcome {
+	return func(ctx context.Context, g *graph.Graph, spec JobSpec, sym []autom.Perm, progress solverutil.ProgressFunc) core.Outcome {
 		for i := 1; i <= n; i++ {
 			progress(solverutil.Progress{
 				Engine:    "pbs2",

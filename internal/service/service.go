@@ -215,6 +215,21 @@ type Stats struct {
 	StoreErrors int64 `json:"store_errors"`
 	// CanonInexact counts canonical searches that hit their node budget.
 	CanonInexact int64 `json:"canon_inexact"`
+	// InexactSkips counts solved results NOT persisted to the backend
+	// because their canonical key was inexact — such a key is budget- and
+	// order-dependent, so a durable entry under it would never be hit
+	// again and only bloat the store. (In-flight waiters under the same
+	// key still receive the result: an equal key in-process always means
+	// isomorphic graphs.)
+	InexactSkips int64 `json:"inexact_skips"`
+	// CanonGenerators / CanonOrbitPrunes / CanonPrefixPrunes report the
+	// automorphism discovery fused into the canonical labeling search:
+	// verified generators found at equal leaves, sibling subtrees skipped
+	// because a generator maps them onto an explored one, and subtrees cut
+	// by incumbent prefix comparison.
+	CanonGenerators   int64 `json:"canon_generators"`
+	CanonOrbitPrunes  int64 `json:"canon_orbit_prunes"`
+	CanonPrefixPrunes int64 `json:"canon_prefix_prunes"`
 	// CacheEntries is the number of definitive records in the backend;
 	// InFlight is the number of solves currently leading a singleflight
 	// group.
@@ -253,28 +268,32 @@ type Stats struct {
 }
 
 // SolveFunc produces the outcome for one job; tests inject counters and
-// stubs here. The default is DefaultSolve. progress may be nil; when
-// non-nil, implementations should forward it to the solver so the job
-// reports live search counters.
-type SolveFunc func(ctx context.Context, g *graph.Graph, spec JobSpec, progress solverutil.ProgressFunc) core.Outcome
+// stubs here. The default is DefaultSolve. sym carries automorphisms of
+// the job's graph discovered by the canonical-labeling search (possibly
+// empty); implementations may forward them to the solver as an
+// instance-symmetry source. progress may be nil; when non-nil,
+// implementations should forward it to the solver so the job reports live
+// search counters.
+type SolveFunc func(ctx context.Context, g *graph.Graph, spec JobSpec, sym []autom.Perm, progress solverutil.ProgressFunc) core.Outcome
 
 // DefaultSolve runs core.Solve with the spec's parameters and the default
 // progress pacing (solverutil.DefaultProgressInterval).
-func DefaultSolve(ctx context.Context, g *graph.Graph, spec JobSpec, progress solverutil.ProgressFunc) core.Outcome {
-	return defaultSolve(0)(ctx, g, spec, progress)
+func DefaultSolve(ctx context.Context, g *graph.Graph, spec JobSpec, sym []autom.Perm, progress solverutil.ProgressFunc) core.Outcome {
+	return defaultSolve(0)(ctx, g, spec, sym, progress)
 }
 
 // defaultSolve builds the core.Solve-backed SolveFunc with the given
 // progress interval (0 = the solverutil default). The service uses this to
 // honor Config.ProgressInterval; custom SolveFuncs pace themselves.
 func defaultSolve(progressInterval time.Duration) SolveFunc {
-	return func(ctx context.Context, g *graph.Graph, spec JobSpec, progress solverutil.ProgressFunc) core.Outcome {
+	return func(ctx context.Context, g *graph.Graph, spec JobSpec, sym []autom.Perm, progress solverutil.ProgressFunc) core.Outcome {
 		return core.Solve(ctx, g, core.Config{
 			K:                 spec.K,
 			SBP:               spec.SBP,
 			Engine:            spec.Engine,
 			Portfolio:         spec.Portfolio,
 			InstanceDependent: spec.InstanceDependent,
+			GraphGens:         sym,
 			Timeout:           spec.Timeout,
 			ChronoThreshold:   spec.ChronoThreshold,
 			VivifyBudget:      spec.VivifyBudget,
@@ -448,6 +467,11 @@ type Service struct {
 	pq      *pqueue
 	logger  *slog.Logger
 	wg      sync.WaitGroup
+	// stopCtx is cancelled when Close begins, aborting canonical labeling
+	// searches promptly on shutdown. It deliberately carries no deadline:
+	// cache keys must not depend on how much solve time a job has left.
+	stopCtx    context.Context
+	stopCancel context.CancelFunc
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -481,6 +505,10 @@ type Service struct {
 	dedupJoins  atomic.Int64
 	storeErrs   atomic.Int64
 	inexact     atomic.Int64
+	inexactSkip atomic.Int64
+	canonGens   atomic.Int64
+	canonOrbit  atomic.Int64
+	canonPrefix atomic.Int64
 	running     atomic.Int64
 	rejectFull  atomic.Int64
 	rejectQuota atomic.Int64
@@ -527,6 +555,7 @@ func New(cfg Config) *Service {
 		tenants:          make(map[string]*tenantState),
 		queueWaitBuckets: make([]int64, len(QueueWaitBucketsMS)+1),
 	}
+	s.stopCtx, s.stopCancel = context.WithCancel(context.Background())
 	if s.logger == nil {
 		s.logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -835,6 +864,10 @@ func (s *Service) Stats() Stats {
 		DedupJoins:         s.dedupJoins.Load(),
 		StoreErrors:        s.storeErrs.Load(),
 		CanonInexact:       s.inexact.Load(),
+		InexactSkips:       s.inexactSkip.Load(),
+		CanonGenerators:    s.canonGens.Load(),
+		CanonOrbitPrunes:   s.canonOrbit.Load(),
+		CanonPrefixPrunes:  s.canonPrefix.Load(),
 		CacheEntries:       s.backend.Len(),
 		InFlight:           inflight,
 		QueueDepth:         s.pq.len(),
@@ -869,6 +902,11 @@ func (s *Service) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	// Stop canonical searches promptly: jobs still draining solve under
+	// their own contexts, but shutdown does not wait out a labeling
+	// budget. Their keys turn inexact, which is sound (and, per the
+	// inexact-skip rule, never persisted).
+	s.stopCancel()
 	s.pq.close()
 	s.wg.Wait()
 	if err := s.backend.Close(); err != nil {
@@ -1014,10 +1052,23 @@ func (s *Service) run(j *job) {
 		defer cancel()
 	}
 
-	canon := canonicalize(ctx, j.g, s.cfg.CanonMaxNodes)
+	// Canonicalize under the node budget and cancellation only — never the
+	// deadline-derived solve context. A near-deadline job would otherwise
+	// get a timing-dependent (truncated, hence inexact) key, and isomorphic
+	// resubmissions would miss both the singleflight table and the backend.
+	// j.ctx carries explicit Cancel/CancelAll but no deadline; stopCtx
+	// aborts labeling when the service shuts down.
+	canonCtx, canonDone := context.WithCancel(j.ctx)
+	stopWatch := context.AfterFunc(s.stopCtx, canonDone)
+	canon := canonicalize(canonCtx, j.g, s.cfg.CanonMaxNodes)
+	stopWatch()
+	canonDone()
 	if !canon.Exact {
 		s.inexact.Add(1)
 	}
+	s.canonGens.Add(int64(len(canon.Generators)))
+	s.canonOrbit.Add(canon.OrbitPrunes)
+	s.canonPrefix.Add(canon.PrefixPrunes)
 	key := cacheKey(j.spec, canon)
 
 	s.mu.Lock()
@@ -1066,7 +1117,7 @@ func (s *Service) run(j *job) {
 		// through and re-solve; the fresh result overwrites it.
 	}
 
-	out, serr := s.runSolverOutcome(ctx, j)
+	out, serr := s.runSolverOutcome(ctx, j, canon.Generators)
 	if serr != nil {
 		// The solver panicked. Release the singleflight group first —
 		// waiters re-solve for themselves rather than inheriting a failure
@@ -1079,8 +1130,14 @@ func (s *Service) run(j *job) {
 	res := resultFromOutcome(out, j.spec, canon.Exact)
 	if res.Solved {
 		rec := recordFromOutcome(out, j.spec, canon)
+		// Waiters always get the record — an equal key in-process means
+		// isomorphic graphs even when inexact. Persisting is another
+		// matter: an inexact key is budget- and order-dependent, never
+		// produced again, so a durable entry under it is pure store bloat.
 		e.publishRecord(rec)
-		if err := s.backend.Put(key, rec); err != nil {
+		if !canon.Exact {
+			s.inexactSkip.Add(1)
+		} else if err := s.backend.Put(key, rec); err != nil {
 			// Best-effort persistence: the result still stands, the
 			// entry is just not durable.
 			s.storeErrs.Add(1)
@@ -1106,14 +1163,16 @@ func (s *Service) unregister(key string) {
 // it, persisting a definitive outcome under key so later isomorphic
 // submissions still hit the cache.
 func (s *Service) runSolver(ctx context.Context, j *job, canon *autom.Canonical, key string) {
-	out, serr := s.runSolverOutcome(ctx, j)
+	out, serr := s.runSolverOutcome(ctx, j, canon.Generators)
 	if serr != nil {
 		s.finish(j, nil, serr)
 		return
 	}
 	res := resultFromOutcome(out, j.spec, canon.Exact)
 	if res.Solved {
-		if err := s.backend.Put(key, recordFromOutcome(out, j.spec, canon)); err != nil {
+		if !canon.Exact {
+			s.inexactSkip.Add(1)
+		} else if err := s.backend.Put(key, recordFromOutcome(out, j.spec, canon)); err != nil {
 			s.storeErrs.Add(1)
 		}
 	}
@@ -1124,7 +1183,7 @@ func (s *Service) runSolver(ctx context.Context, j *job, canon *autom.Canonical,
 // panicking solver is isolated here: the worker recovers, the panic value
 // and stack become a *PanicError for this job alone, and the pool keeps
 // serving every other job.
-func (s *Service) runSolverOutcome(ctx context.Context, j *job) (out core.Outcome, err error) {
+func (s *Service) runSolverOutcome(ctx context.Context, j *job, sym []autom.Perm) (out core.Outcome, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			stack := string(debug.Stack())
@@ -1136,7 +1195,7 @@ func (s *Service) runSolverOutcome(ctx context.Context, j *job) (out core.Outcom
 	}()
 	effK := core.EffectiveK(j.g, j.spec.K)
 	progress := func(p solverutil.Progress) { j.recordProgress(effK, p) }
-	out = s.solve(ctx, j.g, j.spec, progress)
+	out = s.solve(ctx, j.g, j.spec, sym, progress)
 	s.solverRuns.Add(1)
 	return out, nil
 }

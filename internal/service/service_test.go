@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/autom"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/pbsolver"
@@ -63,7 +64,7 @@ func greedyColor(g *graph.Graph) ([]int, int) {
 // countingSolve returns a stub SolveFunc that counts invocations and
 // produces a definitive (optimal) outcome with a real witness coloring.
 func countingSolve(runs *atomic.Int64, delay time.Duration) SolveFunc {
-	return func(ctx context.Context, g *graph.Graph, spec JobSpec, progress solverutil.ProgressFunc) core.Outcome {
+	return func(ctx context.Context, g *graph.Graph, spec JobSpec, sym []autom.Perm, progress solverutil.ProgressFunc) core.Outcome {
 		runs.Add(1)
 		if delay > 0 {
 			select {
@@ -215,7 +216,7 @@ func TestSpecIsPartOfCacheKey(t *testing.T) {
 func TestNonDefinitiveResultsNotCached(t *testing.T) {
 	g := graph.Random("g", 16, 40, 5)
 	var runs atomic.Int64
-	unknownSolve := func(ctx context.Context, gg *graph.Graph, spec JobSpec, progress solverutil.ProgressFunc) core.Outcome {
+	unknownSolve := func(ctx context.Context, gg *graph.Graph, spec JobSpec, sym []autom.Perm, progress solverutil.ProgressFunc) core.Outcome {
 		runs.Add(1)
 		return core.Outcome{Instance: gg.Name()} // StatusUnknown
 	}
@@ -275,7 +276,7 @@ func TestCancelStopsInFlightPortfolio(t *testing.T) {
 func TestCancelQueuedJob(t *testing.T) {
 	var runs atomic.Int64
 	block := make(chan struct{})
-	blockingSolve := func(ctx context.Context, g *graph.Graph, spec JobSpec, progress solverutil.ProgressFunc) core.Outcome {
+	blockingSolve := func(ctx context.Context, g *graph.Graph, spec JobSpec, sym []autom.Perm, progress solverutil.ProgressFunc) core.Outcome {
 		runs.Add(1)
 		<-block
 		return core.Outcome{Instance: g.Name()}
@@ -313,7 +314,7 @@ func TestCancelQueuedJob(t *testing.T) {
 
 func TestQueueFull(t *testing.T) {
 	block := make(chan struct{})
-	blockingSolve := func(ctx context.Context, g *graph.Graph, spec JobSpec, progress solverutil.ProgressFunc) core.Outcome {
+	blockingSolve := func(ctx context.Context, g *graph.Graph, spec JobSpec, sym []autom.Perm, progress solverutil.ProgressFunc) core.Outcome {
 		<-block
 		return core.Outcome{Instance: g.Name()}
 	}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-baseline bench-compare fmt vet linkcheck docs loadtest chaostest crashtest
+.PHONY: build test race fuzz bench bench-baseline bench-compare fmt vet linkcheck docs loadtest chaostest crashtest sbpdata sbpdata-check
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,17 @@ FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzSATSolve$$' -fuzztime $(FUZZTIME) ./internal/sat
 	$(GO) test -run '^$$' -fuzz '^FuzzCanonicalForm$$' -fuzztime $(FUZZTIME) ./internal/autom
+	$(GO) test -run '^$$' -fuzz '^FuzzSBPVariant$$' -fuzztime $(FUZZTIME) ./internal/sbp
+
+# sbpdata regenerates the embedded canonizing-set data consumed by the
+# canonset SBP variant; sbpdata-check regenerates to memory and fails on
+# any diff against the committed copy (the CI staleness gate). Generation
+# is deterministic, so a clean tree stays clean.
+sbpdata:
+	$(GO) run ./cmd/sbpgen
+
+sbpdata-check:
+	$(GO) run ./cmd/sbpgen -check
 
 fmt:
 	gofmt -l -w .

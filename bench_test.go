@@ -324,6 +324,47 @@ func BenchmarkSolverSearchKnobs(b *testing.B) {
 	}
 }
 
+// BenchmarkSBPVariants solves one symmetric instance under each lex-leader
+// construction (full generator break, involution-restricted, precomputed
+// canonizing set, and the three-way race). Every variant must reach the
+// same χ — the knob only moves solve time and predicate volume — so
+// bench-compare records the speed/size trade-off side by side; the
+// deterministic sbp-clauses/op and sbp-perms/op metrics track how much
+// CNF each construction emits.
+func BenchmarkSBPVariants(b *testing.B) {
+	g, _ := graph.Benchmark("myciel4")
+	variants := []sbp.Variant{
+		sbp.VariantFull, sbp.VariantInvolution, sbp.VariantCanonSet, sbp.VariantRace,
+	}
+	for _, v := range variants {
+		b.Run(v.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			var clauses, perms int
+			for i := 0; i < b.N; i++ {
+				// SBPNone leaves all symmetry to the lex-leader layer, so
+				// each variant's predicate volume is visible (under NU/CA/LI
+				// the verification gate drops the color perms the
+				// construction would otherwise break — by design).
+				out := core.Solve(context.Background(), g, core.Config{
+					K: 8, SBP: encode.SBPNone, Engine: pbsolver.EnginePBS,
+					InstanceDependent: true, SBPVariant: v,
+					SymMaxNodes: 100000, Timeout: 30 * time.Second,
+				})
+				if out.Chi != 5 {
+					b.Fatalf("variant %v: chi=%d status=%v", v, out.Chi, out.Result.Status)
+				}
+				if out.Sym != nil {
+					clauses, perms = out.Sym.AddedCNF, out.Sym.PredicatePerms
+				}
+			}
+			if v != sbp.VariantRace { // race winners vary; sizes would be noisy
+				b.ReportMetric(float64(clauses), "sbp-clauses/op")
+				b.ReportMetric(float64(perms), "sbp-perms/op")
+			}
+		})
+	}
+}
+
 // BenchmarkParallelSolve compares the sequential engine against the
 // cube-and-conquer subsystem on a DSJC-style random instance (dense
 // enough that the optimality proof dominates). The sub-benchmarks share

@@ -26,6 +26,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"sync"
 	"syscall"
@@ -36,6 +37,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/heuristic"
 	"repro/internal/pbsolver"
+	"repro/internal/sbp"
 	"repro/internal/service"
 	"repro/internal/solverutil"
 	"repro/internal/store"
@@ -47,7 +49,7 @@ func main() {
 	batch := flag.String("batch", "", "comma-separated instances (bench names or .col paths) solved through the coloring service")
 	workers := flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 	k := flag.Int("k", 20, "color bound K")
-	sbpName := flag.String("sbp", "none", "instance-independent SBPs: none,NU,CA,LI,SC,NU+SC")
+	sbpName := flag.String("sbp", "none", "symmetry breaking: a construction (none,NU,CA,LI,SC,NU+SC) and/or a lex-leader variant (full,involution,canonset,race), comma-combinable, e.g. NU,involution; involution and race imply -instdep")
 	instDep := flag.Bool("instdep", false, "detect and break instance-dependent symmetries")
 	engineName := flag.String("engine", "pbs2", "solver engine: pbs2,galena,pueblo,bnb")
 	portfolio := flag.Bool("portfolio", false, "race all engines, keep the first definitive answer")
@@ -102,16 +104,21 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	kind, err := service.ParseSBP(*sbpName)
+	kind, variant, err := service.ParseSBPSpec(*sbpName)
 	if err != nil {
 		fatal(err)
+	}
+	if variant == sbp.VariantInvolution || variant == sbp.VariantRace {
+		// These variants consume detected generators; selecting them is an
+		// unambiguous request for instance-dependent breaking.
+		*instDep = true
 	}
 	eng, err := service.ParseEngine(*engineName)
 	if err != nil {
 		fatal(err)
 	}
 	spec := service.JobSpec{
-		K: *k, SBP: kind, Engine: eng, Portfolio: *portfolio,
+		K: *k, SBP: kind, SBPVariant: variant, Engine: eng, Portfolio: *portfolio,
 		InstanceDependent: *instDep, Timeout: *timeout,
 		Priority: *priority, Deadline: *deadline,
 		ChronoThreshold: *chrono, VivifyBudget: *vivify, DynamicLBD: *dynamicLBD,
@@ -153,7 +160,7 @@ func main() {
 	}
 
 	cfg := core.Config{
-		K: *k, SBP: kind, InstanceDependent: *instDep,
+		K: *k, SBP: kind, SBPVariant: variant, InstanceDependent: *instDep,
 		Engine: eng, Portfolio: *portfolio, Timeout: *timeout,
 		GlueLBD: *glueLBD, ReduceInterval: *reduceInterval, RestartBase: *restartBase,
 		ChronoThreshold: *chrono, VivifyBudget: *vivify, DynamicLBD: *dynamicLBD,
@@ -166,10 +173,22 @@ func main() {
 	out := core.Solve(ctx, g, cfg)
 	fmt.Printf("encoding: %d vars, %d clauses, %d PB constraints (SBP=%v)\n",
 		out.EncodeStats.Vars, out.EncodeStats.CNF, out.EncodeStats.PB, kind)
-	if out.Sym != nil {
-		fmt.Printf("symmetries: |Aut|=%s, %d generators, detect %v, +%d SBP clauses\n",
-			out.Sym.Order.String(), out.Sym.Generators, out.Sym.DetectTime.Round(time.Millisecond),
-			out.Sym.AddedCNF)
+	if s := out.Sym; s != nil {
+		// A canonset run skips detection: no group order to report.
+		order := "-"
+		if s.Order != nil {
+			order = s.Order.String()
+		}
+		detail := ""
+		switch s.Variant {
+		case sbp.VariantInvolution:
+			detail = fmt.Sprintf(", %d involutions", s.Involutions)
+		case sbp.VariantCanonSet:
+			detail = fmt.Sprintf(", canon set %d", s.CanonSetSize)
+		}
+		fmt.Printf("symmetries: variant=%s, |Aut|=%s, %d generators%s, %d perms broken, detect %v, +%d SBP clauses\n",
+			s.Variant, order, s.Generators, detail, s.PredicatePerms,
+			s.DetectTime.Round(time.Millisecond), s.AddedCNF)
 	}
 	winner := ""
 	if *portfolio && out.Solved() {
@@ -332,6 +351,19 @@ func runBatch(ctx context.Context, names []string, spec service.JobSpec, workers
 		st.Submitted, st.SolverRuns, st.CacheHits, st.DedupJoins)
 	fmt.Printf("canon: %d generators, %d orbit prunes, %d prefix prunes, %d inexact (%d skipped persists)\n",
 		st.CanonGenerators, st.CanonOrbitPrunes, st.CanonPrefixPrunes, st.CanonInexact, st.InexactSkips)
+	if len(st.SBPVariants) > 0 {
+		variants := make([]string, 0, len(st.SBPVariants))
+		for name := range st.SBPVariants {
+			variants = append(variants, name)
+		}
+		sort.Strings(variants)
+		parts := make([]string, 0, len(variants))
+		for _, name := range variants {
+			vs := st.SBPVariants[name]
+			parts = append(parts, fmt.Sprintf("%s %d runs/%d perms/%d clauses", name, vs.Runs, vs.Perms, vs.Clauses))
+		}
+		fmt.Printf("sbp: %s\n", strings.Join(parts, ", "))
+	}
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintf(os.Stderr, "gcolor: %s: %v\n", f.name, f.err)

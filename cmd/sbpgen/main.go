@@ -1,0 +1,70 @@
+// sbpgen precomputes the canonizing permutation sets consumed by the
+// canonset SBP variant (internal/sbp.VariantCanonSet) and writes them in
+// the embedded canonsets.json format. Generation is deterministic, so the
+// committed data is reproducible: `make sbpdata` regenerates it in place
+// and `make sbpdata-check` (run by CI) regenerates to memory and fails on
+// any diff against the committed copy.
+//
+// Usage:
+//
+//	sbpgen [-out internal/sbp/canonsets.json] [-kmin 2] [-kmax 12] [-maxsize N]
+//	sbpgen -check [-out ...]    # diff mode: exit 1 if committed data is stale
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sbp"
+)
+
+func main() {
+	out := flag.String("out", "internal/sbp/canonsets.json", "output path (and the committed copy -check diffs against)")
+	kmin := flag.Int("kmin", 2, "smallest color bound to cover")
+	kmax := flag.Int("kmax", 12, "largest color bound to cover")
+	maxSize := flag.Int("maxsize", 0, "canonizing-set size cap per band (0 = 2k default)")
+	check := flag.Bool("check", false, "regenerate to memory and diff against -out instead of writing")
+	flag.Parse()
+
+	if *kmin < 2 || *kmax < *kmin {
+		fmt.Fprintf(os.Stderr, "sbpgen: invalid band range [%d,%d]\n", *kmin, *kmax)
+		os.Exit(2)
+	}
+
+	sets := make(map[int][][]int, *kmax-*kmin+1)
+	for k := *kmin; k <= *kmax; k++ {
+		set := sbp.GreedyCanonSet(k, *maxSize)
+		if len(set) == 0 {
+			fmt.Fprintf(os.Stderr, "sbpgen: empty set for k=%d\n", k)
+			os.Exit(1)
+		}
+		sets[k] = set
+	}
+	data, err := sbp.EncodeCanonSets(sets)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sbpgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *check {
+		committed, err := os.ReadFile(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sbpgen: read committed data: %v\n", err)
+			os.Exit(1)
+		}
+		if !bytes.Equal(committed, data) {
+			fmt.Fprintf(os.Stderr, "sbpgen: %s is stale — regenerate with make sbpdata\n", *out)
+			os.Exit(1)
+		}
+		fmt.Printf("sbpgen: %s up to date (%d bands)\n", *out, len(sets))
+		return
+	}
+
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "sbpgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("sbpgen: wrote %s (%d bands, k=%d..%d)\n", *out, len(sets), *kmin, *kmax)
+}

@@ -36,6 +36,15 @@ type Config struct {
 	// generated 0-1 ILP instance before solving (the "w/ i.-d. SBPs"
 	// columns of Tables 3-5).
 	InstanceDependent bool
+	// SBPVariant selects the lex-leader construction the predicate layer
+	// emits: the full detected-generator break (default), the involution
+	// restriction, the precomputed canonizing set of color permutations, or
+	// a race of all three. VariantFull and VariantInvolution only act when
+	// InstanceDependent is set (they consume detected generators);
+	// VariantCanonSet needs no detection and acts whenever selected. Every
+	// variant is a sound partial break, so the knob never changes the
+	// answer — only how fast the solver reaches it.
+	SBPVariant sbp.Variant
 	// GraphGens are automorphisms of the instance graph known to the
 	// caller (the service layer forwards generators its canonical-labeling
 	// search discovered). When InstanceDependent is set they are lifted to
@@ -124,6 +133,20 @@ type SymmetryStats struct {
 	// canonical search's discoveries) that survived verification and were
 	// not already found by formula-level detection.
 	FromGraph int
+	// Variant is the SBP construction that produced the predicates.
+	Variant sbp.Variant
+	// PredicatePerms counts the permutations whose lex-leader predicates
+	// were actually emitted (after variant filtering, verification, and
+	// empty-support drops) — the per-variant counter /v1/stats and /metrics
+	// aggregate.
+	PredicatePerms int
+	// Involutions counts the involutions derived from the generator set
+	// (VariantInvolution only).
+	Involutions int
+	// CanonSetSize is the size of the precomputed canonizing set consulted
+	// for the color bound (VariantCanonSet only; emitted perms can be fewer
+	// when the instance-independent SBP already broke some).
+	CanonSetSize int
 }
 
 // Outcome is the result of solving one instance under one configuration.
@@ -131,6 +154,9 @@ type Outcome struct {
 	Instance string
 	K        int
 	SBP      encode.SBPKind
+	// SBPVariant is the predicate construction this outcome was solved
+	// under; after a VariantRace it is the concrete variant that won.
+	SBPVariant sbp.Variant
 	// EncodeStats are the formula sizes before instance-dependent SBPs.
 	EncodeStats pb.Stats
 	// Sym is nil unless instance-dependent symmetry breaking ran.
@@ -162,15 +188,19 @@ func (o Outcome) Solved() bool {
 // solve (and symmetry detection) promptly; the outcome then reports the
 // best result reached.
 func Solve(ctx context.Context, g *graph.Graph, cfg Config) Outcome {
+	if cfg.SBPVariant == sbp.VariantRace {
+		return solveVariantRace(ctx, g, cfg)
+	}
 	cfg.K = EffectiveK(g, cfg.K)
 	enc := encode.Build(g, cfg.K, cfg.SBP)
 	out := Outcome{
 		Instance:    g.Name(),
 		K:           cfg.K,
 		SBP:         cfg.SBP,
+		SBPVariant:  cfg.SBPVariant,
 		EncodeStats: enc.F.Stats(),
 	}
-	if cfg.InstanceDependent {
+	if cfg.InstanceDependent || cfg.SBPVariant == sbp.VariantCanonSet {
 		out.Sym = breakSymmetries(ctx, enc, cfg)
 	}
 	sOpts := pbsolver.Options{
@@ -236,10 +266,35 @@ func EffectiveK(g *graph.Graph, k int) int {
 	return maxDeg + 1
 }
 
-// breakSymmetries detects symmetries of the formula, merges in any
-// caller-supplied graph automorphisms that survive verification, and
-// appends lex-leader SBPs, returning the statistics.
+// breakSymmetries appends the lex-leader predicates the configured SBP
+// variant selects and returns the statistics. VariantFull and
+// VariantInvolution consume detected symmetries of the formula (merged
+// with any caller-supplied graph automorphisms that survive verification);
+// VariantCanonSet skips detection entirely and lifts the precomputed
+// canonizing set of color permutations instead. Returns nil when the
+// variant has no generator source (full/involution without
+// InstanceDependent).
 func breakSymmetries(ctx context.Context, enc *encode.Encoding, cfg Config) *SymmetryStats {
+	opts := sbp.Options{MaxSupport: cfg.SBPMaxSupport}
+	if cfg.SBPVariant == sbp.VariantCanonSet {
+		// The canonizing set is precomputed per color bound: no detection
+		// run, no group order to report (Order stays nil). Lifts broken by
+		// the instance-independent SBP fail verification and drop out.
+		set := sbp.CanonSet(enc.K)
+		perms := canonSetLitPerms(enc, set)
+		st := sbp.AddSBPs(enc.F, perms, opts)
+		return &SymmetryStats{
+			Generators:     len(perms),
+			Variant:        cfg.SBPVariant,
+			PredicatePerms: st.Generators,
+			CanonSetSize:   len(set),
+			AddedVars:      st.AddedVars,
+			AddedCNF:       st.Clauses,
+		}
+	}
+	if !cfg.InstanceDependent {
+		return nil
+	}
 	aOpts := autom.Options{MaxNodes: cfg.SymMaxNodes, Context: ctx}
 	if cfg.SymTimeout > 0 {
 		aOpts.Deadline = time.Now().Add(cfg.SymTimeout)
@@ -267,16 +322,97 @@ func breakSymmetries(ctx context.Context, enc *encode.Encoding, cfg Config) *Sym
 			}
 		}
 	}
-	st := sbp.AddSBPs(enc.F, perms, sbp.Options{MaxSupport: cfg.SBPMaxSupport})
-	return &SymmetryStats{
+	sym := &SymmetryStats{
 		Order:      res.Order,
 		Generators: len(perms),
 		Exact:      res.Exact,
 		DetectTime: res.Time,
-		AddedVars:  st.AddedVars,
-		AddedCNF:   st.Clauses,
 		FromGraph:  fromGraph,
+		Variant:    cfg.SBPVariant,
 	}
+	emit := perms
+	if cfg.SBPVariant == sbp.VariantInvolution {
+		// Restrict the break to involutions derived from the generators
+		// (order-2 generators, involutive powers, involutive products) —
+		// weaker in general, far more compact on high-order generators.
+		emit = sbp.Involutions(perms, 0, 0)
+		sym.Involutions = len(emit)
+	}
+	st := sbp.AddSBPs(enc.F, emit, opts)
+	sym.PredicatePerms = st.Generators
+	sym.AddedVars = st.AddedVars
+	sym.AddedCNF = st.Clauses
+	return sym
+}
+
+// canonSetLitPerms lifts the canonizing set's color permutations to
+// literal permutations of the encoding — σ acts on color values:
+// x(v,j) → x(v,σ(j)) for every vertex, y(j) → y(σ(j)) — keeping only
+// lifts verified to be symmetries of the formula. Instance-independent
+// constructions that order colors (NU, CA, LI) break some or all color
+// permutations; those fail verification and contribute nothing, which is
+// what keeps the variant sound under every SBPKind.
+func canonSetLitPerms(enc *encode.Encoding, set [][]int) []symgraph.LitPerm {
+	var out []symgraph.LitPerm
+	for _, cp := range set {
+		if len(cp) != enc.K {
+			continue
+		}
+		lp := symgraph.NewIdentityPerm(enc.F.NumVars)
+		for v := 0; v < enc.G.N(); v++ {
+			for j := 0; j < enc.K; j++ {
+				lp.Img[enc.X(v, j)] = cnf.PosLit(enc.X(v, cp[j]))
+			}
+		}
+		for j := 0; j < enc.K; j++ {
+			lp.Img[enc.Y(j)] = cnf.PosLit(enc.Y(cp[j]))
+		}
+		if lp.IsIdentity() || !symgraph.VerifyLitPerm(enc.F, lp) {
+			continue
+		}
+		out = append(out, lp)
+	}
+	return out
+}
+
+// solveVariantRace races the three concrete SBP variants on independent
+// encodings of the instance and keeps the first definitive answer,
+// cancelling the rest — the same first-past-the-post rule as the engine
+// portfolio, one level up. If nobody solves within budget, the best
+// partial outcome (a satisfiable incumbent beats none; lower objective
+// beats higher) is returned.
+func solveVariantRace(ctx context.Context, g *graph.Graph, cfg Config) Outcome {
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// Buffered to the racer count: losers finishing after the return have
+	// a slot to exit through, so no goroutine leaks.
+	ch := make(chan Outcome, len(sbp.Variants))
+	for _, v := range sbp.Variants {
+		vcfg := cfg
+		vcfg.SBPVariant = v
+		go func() { ch <- Solve(rctx, g, vcfg) }()
+	}
+	var best Outcome
+	for i := 0; i < len(sbp.Variants); i++ {
+		out := <-ch
+		if out.Solved() {
+			return out
+		}
+		if i == 0 || betterPartial(out, best) {
+			best = out
+		}
+	}
+	return best
+}
+
+// betterPartial orders unsolved outcomes for the race fallback.
+func betterPartial(a, b Outcome) bool {
+	aSat := a.Result.Status == pbsolver.StatusSat
+	bSat := b.Result.Status == pbsolver.StatusSat
+	if aSat != bSat {
+		return aSat
+	}
+	return aSat && a.Result.Objective < b.Result.Objective
 }
 
 // graphAutToLitPerm lifts a vertex automorphism of the instance graph to a

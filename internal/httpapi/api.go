@@ -293,8 +293,12 @@ type JobRequest struct {
 	N      int      `json:"n,omitempty"`
 	Edges  [][2]int `json:"edges,omitempty"`
 
-	K                 int    `json:"k,omitempty"`
-	SBP               string `json:"sbp,omitempty"`
+	K   int    `json:"k,omitempty"`
+	SBP string `json:"sbp,omitempty"`
+	// SBPVariant selects the lex-leader construction of the predicate
+	// layer: "full" (default), "involution", "canonset", or "race".
+	// Answer-invariant and excluded from the result-cache key.
+	SBPVariant        string `json:"sbp_variant,omitempty"`
 	Engine            string `json:"engine,omitempty"`
 	Portfolio         bool   `json:"portfolio,omitempty"`
 	InstanceDependent bool   `json:"instance_dependent,omitempty"`
@@ -367,12 +371,16 @@ func (r *JobRequest) Spec() (service.JobSpec, error) {
 	if err != nil {
 		return spec, err
 	}
+	variant, err := service.ParseSBPVariant(r.SBPVariant)
+	if err != nil {
+		return spec, err
+	}
 	eng, err := service.ParseEngine(r.Engine)
 	if err != nil {
 		return spec, err
 	}
 	spec = service.JobSpec{
-		K: r.K, SBP: kind, Engine: eng,
+		K: r.K, SBP: kind, SBPVariant: variant, Engine: eng,
 		Portfolio: r.Portfolio, InstanceDependent: r.InstanceDependent,
 		Priority:        r.Priority,
 		ChronoThreshold: r.ChronoThreshold, VivifyBudget: r.VivifyBudget,

@@ -51,6 +51,27 @@ func (a *api) metrics(w http.ResponseWriter, r *http.Request) {
 	counter("canon_orbit_prunes_total", "Canonical search subtrees skipped via discovered-automorphism orbits.", st.CanonOrbitPrunes)
 	counter("canon_prefix_prunes_total", "Canonical search subtrees cut by incumbent prefix comparison.", st.CanonPrefixPrunes)
 
+	// Per-SBP-variant predicate emission, labeled and sorted so scrapes
+	// are deterministic. Rows appear once a variant's predicate layer has
+	// run at least once.
+	variants := make([]string, 0, len(st.SBPVariants))
+	for name := range st.SBPVariants {
+		variants = append(variants, name)
+	}
+	sort.Strings(variants)
+	header("sbp_runs_total", "Solver runs that emitted symmetry-breaking predicates, per SBP variant.", "counter")
+	for _, name := range variants {
+		fmt.Fprintf(w, "gcolord_sbp_runs_total{variant=%q} %d\n", name, st.SBPVariants[name].Runs)
+	}
+	header("sbp_perms_total", "Lex-leader permutations emitted, per SBP variant.", "counter")
+	for _, name := range variants {
+		fmt.Fprintf(w, "gcolord_sbp_perms_total{variant=%q} %d\n", name, st.SBPVariants[name].Perms)
+	}
+	header("sbp_clauses_total", "CNF clauses added by symmetry-breaking predicates, per SBP variant.", "counter")
+	for _, name := range variants {
+		fmt.Fprintf(w, "gcolord_sbp_clauses_total{variant=%q} %d\n", name, st.SBPVariants[name].Clauses)
+	}
+
 	counter("solver_panics_total", "Solver panics isolated into per-job failures.", st.Panics)
 	counter("jobs_replayed_total", "Jobs resurrected from the job journal at startup.", st.Replayed)
 

@@ -1,0 +1,264 @@
+package sbp
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Canonizing-set generation: the offline construction behind
+// VariantCanonSet, following the set-covering perspective on symmetry
+// breaking. The group is the value symmetry S_k acting on the K colors of
+// the coloring encoding (σ maps color j to σ[j], lifting to the formula
+// symmetry x(v,j) → x(v,σ(j)), y(j) → y(σ(j))). A canonizing set C ⊆ S_k
+// approximates the complete lex-leader break: the conjunction of the
+// lex-leader constraints of the members of C excludes as many
+// non-lex-least assignments as possible while staying small.
+//
+// The greedy chooses permutations one at a time, each step keeping the
+// candidate that minimizes the number of surviving vectors over a
+// universe of color vectors — exactly the classic greedy set-cover bound
+// applied to "assignments still to exclude". Soundness never depends on
+// the choice: any subset of the group keeps at least the lex-least member
+// of every orbit.
+//
+// cmd/sbpgen runs this generator offline and embeds the result
+// (canonsets.json); CanonSet falls back to SyntheticCanonSet for color
+// bounds outside the embedded bands.
+
+// Generation bounds. Exact enumeration (all k^k vectors, all k!
+// candidates) is used for small k; larger bands switch to a seeded sampled
+// universe and a structured candidate pool so generation stays fast and
+// deterministic.
+const (
+	// GreedyExactMaxK is the largest k whose universe is enumerated
+	// exhaustively.
+	GreedyExactMaxK = 6
+	// GreedyFullGroupMaxK is the largest k whose candidate pool is all of
+	// S_k; beyond it the pool is transpositions, rotations, and the
+	// reversal.
+	GreedyFullGroupMaxK = 7
+	// greedySampleSize is the sampled-universe size for k > GreedyExactMaxK.
+	greedySampleSize = 4096
+	// greedySeed fixes the sampled universe; regeneration must be
+	// byte-identical for the committed-data CI diff.
+	greedySeed = 1
+)
+
+// GreedyCanonSet computes a canonizing set of at most maxSize color
+// permutations for a K = k coloring band (maxSize <= 0 selects 2k).
+// Deterministic: identical inputs always yield the identical set, which is
+// what lets CI diff regenerated data against the committed copy. Returns
+// nil for k < 2 (no value symmetry to break).
+func GreedyCanonSet(k, maxSize int) [][]int {
+	if k < 2 {
+		return nil
+	}
+	if maxSize <= 0 {
+		maxSize = 2 * k
+	}
+	universe := canonUniverse(k)
+	candidates := canonCandidates(k)
+	target := canonicalCount(universe)
+	survivors := universe
+	var set [][]int
+	img := make([]int, k) // scratch for applyValuePerm
+	for len(set) < maxSize && len(survivors) > target {
+		bestIdx, bestKept := -1, len(survivors)
+		for ci, p := range candidates {
+			kept := 0
+			for _, vec := range survivors {
+				if lexLeqImage(vec, p, img) {
+					kept++
+				}
+			}
+			if kept < bestKept {
+				bestKept, bestIdx = kept, ci
+			}
+		}
+		if bestIdx < 0 || bestKept == len(survivors) {
+			break // no candidate excludes anything further
+		}
+		p := candidates[bestIdx]
+		next := make([][]int, 0, bestKept)
+		for _, vec := range survivors {
+			if lexLeqImage(vec, p, img) {
+				next = append(next, vec)
+			}
+		}
+		survivors = next
+		set = append(set, p)
+	}
+	return set
+}
+
+// SyntheticCanonSet is the structured fallback for color bounds outside
+// the embedded data: the adjacent transpositions (the classic value-precede
+// partial break), the rotation by one, and the full reversal. Valid for
+// every k >= 2 and cheap to build at encode time.
+func SyntheticCanonSet(k int) [][]int {
+	if k < 2 {
+		return nil
+	}
+	out := make([][]int, 0, k+1)
+	for j := 0; j+1 < k; j++ {
+		p := identityPerm(k)
+		p[j], p[j+1] = p[j+1], p[j]
+		out = append(out, p)
+	}
+	rot := make([]int, k)
+	for j := 0; j < k; j++ {
+		rot[j] = (j + 1) % k
+	}
+	out = append(out, rot)
+	if k > 2 {
+		rev := make([]int, k)
+		for j := 0; j < k; j++ {
+			rev[j] = k - 1 - j
+		}
+		out = append(out, rev)
+	}
+	return out
+}
+
+// lexLeqImage reports vec <=lex σ(vec), where σ acts on values:
+// σ(vec)[i] = p[vec[i]]. img is caller-provided scratch.
+func lexLeqImage(vec, p, img []int) bool {
+	for i, v := range vec {
+		img[i] = p[v]
+	}
+	for i := range vec {
+		if vec[i] != img[i] {
+			return vec[i] < img[i]
+		}
+	}
+	return true
+}
+
+// canonUniverse is the vector set the greedy scores against: all k^k
+// color vectors of length k for small k, a seeded sample beyond.
+func canonUniverse(k int) [][]int {
+	if k <= GreedyExactMaxK {
+		total := 1
+		for i := 0; i < k; i++ {
+			total *= k
+		}
+		out := make([][]int, 0, total)
+		vec := make([]int, k)
+		for {
+			out = append(out, append([]int(nil), vec...))
+			i := k - 1
+			for ; i >= 0; i-- {
+				vec[i]++
+				if vec[i] < k {
+					break
+				}
+				vec[i] = 0
+			}
+			if i < 0 {
+				return out
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(greedySeed))
+	seen := map[string]bool{}
+	out := make([][]int, 0, greedySampleSize)
+	buf := make([]byte, k)
+	for len(out) < greedySampleSize {
+		vec := make([]int, k)
+		for i := range vec {
+			vec[i] = rng.Intn(k)
+			buf[i] = byte(vec[i])
+		}
+		if key := string(buf); !seen[key] {
+			seen[key] = true
+			out = append(out, vec)
+		}
+	}
+	return out
+}
+
+// canonCandidates is the permutation pool the greedy selects from.
+func canonCandidates(k int) [][]int {
+	if k <= GreedyFullGroupMaxK {
+		return allPerms(k)
+	}
+	// Structured pool: every transposition, every rotation, the reversal.
+	var out [][]int
+	for a := 0; a < k; a++ {
+		for b := a + 1; b < k; b++ {
+			p := identityPerm(k)
+			p[a], p[b] = p[b], p[a]
+			out = append(out, p)
+		}
+	}
+	for r := 1; r < k; r++ {
+		p := make([]int, k)
+		for j := 0; j < k; j++ {
+			p[j] = (j + r) % k
+		}
+		out = append(out, p)
+	}
+	rev := make([]int, k)
+	for j := 0; j < k; j++ {
+		rev[j] = k - 1 - j
+	}
+	return append(out, rev)
+}
+
+// canonicalCount counts universe vectors that are the lex-least member of
+// their own S_k value orbit — those satisfy every lex-leader constraint,
+// so no canonizing set can push survivors below this floor. Reaching it
+// means the break is complete over the universe; it is the greedy's
+// stopping target. The lex-least orbit member is exactly the
+// first-occurrence relabeling (colors appear in order 0,1,2,... as read),
+// so the check is a single pass per vector.
+func canonicalCount(universe [][]int) int {
+	count := 0
+	for _, vec := range universe {
+		next, canonical := 0, true
+		for _, v := range vec {
+			if v > next {
+				canonical = false
+				break
+			}
+			if v == next {
+				next++
+			}
+		}
+		if canonical {
+			count++
+		}
+	}
+	return count
+}
+
+// allPerms enumerates S_k in a deterministic (lexicographic) order.
+func allPerms(k int) [][]int {
+	var out [][]int
+	p := identityPerm(k)
+	for {
+		out = append(out, append([]int(nil), p...))
+		// next lexicographic permutation
+		i := k - 2
+		for i >= 0 && p[i] >= p[i+1] {
+			i--
+		}
+		if i < 0 {
+			return out
+		}
+		j := k - 1
+		for p[j] <= p[i] {
+			j--
+		}
+		p[i], p[j] = p[j], p[i]
+		sort.Ints(p[i+1:])
+	}
+}
+
+func identityPerm(k int) []int {
+	p := make([]int, k)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}

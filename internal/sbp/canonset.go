@@ -1,0 +1,141 @@
+package sbp
+
+import (
+	"bytes"
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Embedded canonizing-set data for VariantCanonSet. The file is generated
+// offline by cmd/sbpgen (make sbpdata) from GreedyCanonSet and committed;
+// CI regenerates it and fails the build on any diff, so the data can never
+// drift from the generator. Color bounds outside the embedded bands fall
+// back to SyntheticCanonSet — the variant stays total over K.
+
+//go:embed canonsets.json
+var canonSetData []byte
+
+// CanonSetFileVersion is the format version stamped into canonsets.json;
+// loading any other version panics at init (stale committed data).
+const CanonSetFileVersion = 1
+
+type canonSetFile struct {
+	Version int             `json:"version"`
+	Sets    []canonSetEntry `json:"sets"`
+}
+
+type canonSetEntry struct {
+	K     int     `json:"k"`
+	Perms [][]int `json:"perms"`
+}
+
+var embeddedCanonSets = mustLoadCanonSets(canonSetData)
+
+// CanonSet returns the canonizing set of color permutations for color
+// bound k: the embedded precomputed set when the band is covered,
+// otherwise the synthesized structural fallback. Every returned
+// permutation is over {0..k-1}. Callers must not mutate the result.
+func CanonSet(k int) [][]int {
+	if set, ok := embeddedCanonSets[k]; ok {
+		return set
+	}
+	return SyntheticCanonSet(k)
+}
+
+// EmbeddedCanonSetBands lists the color bounds covered by the embedded
+// data, ascending.
+func EmbeddedCanonSetBands() []int {
+	ks := make([]int, 0, len(embeddedCanonSets))
+	for k := range embeddedCanonSets {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+// EncodeCanonSets renders canonizing sets in the canonsets.json format —
+// the single serializer shared by cmd/sbpgen and the stale-data check, so
+// "regenerate and diff" is byte-exact. Bands are emitted ascending.
+func EncodeCanonSets(sets map[int][][]int) ([]byte, error) {
+	file := canonSetFile{Version: CanonSetFileVersion}
+	ks := make([]int, 0, len(sets))
+	for k := range sets {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	for _, k := range ks {
+		if err := validateCanonSet(k, sets[k]); err != nil {
+			return nil, err
+		}
+		file.Sets = append(file.Sets, canonSetEntry{K: k, Perms: sets[k]})
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(file); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeCanonSets parses canonsets.json-format data, validating every
+// permutation. The inverse of EncodeCanonSets.
+func DecodeCanonSets(data []byte) (map[int][][]int, error) {
+	var file canonSetFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		return nil, fmt.Errorf("canonsets: %w", err)
+	}
+	if file.Version != CanonSetFileVersion {
+		return nil, fmt.Errorf("canonsets: version %d, want %d", file.Version, CanonSetFileVersion)
+	}
+	sets := make(map[int][][]int, len(file.Sets))
+	for _, e := range file.Sets {
+		if _, dup := sets[e.K]; dup {
+			return nil, fmt.Errorf("canonsets: duplicate band k=%d", e.K)
+		}
+		if err := validateCanonSet(e.K, e.Perms); err != nil {
+			return nil, err
+		}
+		sets[e.K] = e.Perms
+	}
+	return sets, nil
+}
+
+// validateCanonSet checks every entry is a genuine non-identity
+// permutation of {0..k-1}. Corrupt data must fail loudly: a non-bijective
+// "permutation" would make the lex-leader break unsound.
+func validateCanonSet(k int, perms [][]int) error {
+	if k < 2 {
+		return fmt.Errorf("canonsets: band k=%d below 2", k)
+	}
+	for pi, p := range perms {
+		if len(p) != k {
+			return fmt.Errorf("canonsets: k=%d perm %d has length %d", k, pi, len(p))
+		}
+		seen := make([]bool, k)
+		identity := true
+		for j, v := range p {
+			if v < 0 || v >= k || seen[v] {
+				return fmt.Errorf("canonsets: k=%d perm %d is not a permutation", k, pi)
+			}
+			seen[v] = true
+			if v != j {
+				identity = false
+			}
+		}
+		if identity {
+			return fmt.Errorf("canonsets: k=%d perm %d is the identity", k, pi)
+		}
+	}
+	return nil
+}
+
+func mustLoadCanonSets(data []byte) map[int][][]int {
+	sets, err := DecodeCanonSets(data)
+	if err != nil {
+		panic(fmt.Sprintf("sbp: embedded canonizing-set data invalid (regenerate with make sbpdata): %v", err))
+	}
+	return sets
+}

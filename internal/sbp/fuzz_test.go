@@ -1,0 +1,66 @@
+package sbp_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/pbsolver"
+	"repro/internal/sbp"
+	"repro/internal/testutil"
+)
+
+// FuzzSBPVariant cross-checks every SBP variant against the brute-force
+// chromatic oracle on arbitrary tiny graphs: the variant knob must never
+// change a definitive answer. Input encoding: byte 0 picks n in [3,6],
+// byte 1 picks k in [2,4], byte 2 picks the variant, and the remaining
+// bytes are the upper-triangle edge bitmap.
+func FuzzSBPVariant(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0xff})             // triangle-ish, k=2, full
+	f.Add([]byte{1, 1, 1, 0b101101})         // n=4, k=3, involution
+	f.Add([]byte{2, 2, 2, 0xaa, 0x55})       // n=5, k=4, canonset
+	f.Add([]byte{3, 0, 2, 0x00, 0x00, 0x01}) // n=6 sparse, k=2, canonset
+	f.Add([]byte{3, 2, 0, 0xff, 0xff, 0xff}) // n=6 dense, k=4, full
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		n := 3 + int(data[0]%4)
+		k := 2 + int(data[1]%3)
+		variant := sbp.Variant(int(data[2]) % len(sbp.Variants))
+		g := graph.New("fuzz", n)
+		bit := 0
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				byteIdx := 3 + bit/8
+				if byteIdx < len(data) && data[byteIdx]&(1<<(bit%8)) != 0 {
+					g.AddEdge(a, b)
+				}
+				bit++
+			}
+		}
+		chi := testutil.BruteForceChromatic(g)
+		out := core.Solve(context.Background(), g, core.Config{
+			K:                 k,
+			SBPVariant:        variant,
+			InstanceDependent: true,
+		})
+		if chi <= k {
+			if out.Result.Status != pbsolver.StatusOptimal {
+				t.Fatalf("n=%d k=%d chi=%d variant=%v: status = %v, want optimal",
+					n, k, chi, variant, out.Result.Status)
+			}
+			if out.Chi != chi {
+				t.Fatalf("n=%d k=%d variant=%v: chi = %d, oracle says %d",
+					n, k, variant, out.Chi, chi)
+			}
+			if err := testutil.CheckColoring(g, out.Coloring, k); err != nil {
+				t.Fatalf("n=%d k=%d variant=%v: witness: %v", n, k, variant, err)
+			}
+		} else if out.Result.Status != pbsolver.StatusUnsat {
+			t.Fatalf("n=%d k=%d chi=%d variant=%v: status = %v, want unsat",
+				n, k, chi, variant, out.Result.Status)
+		}
+	})
+}

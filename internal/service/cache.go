@@ -15,10 +15,11 @@ import (
 // truncation only costs dedup opportunities. Timeout, the six engine
 // tuning knobs (ChronoThreshold, VivifyBudget, DynamicLBD, GlueLBD,
 // ReduceInterval, RestartBase), the parallel knobs (Parallel, CubeDepth,
-// ShareLBD), and the admission fields (Priority, Deadline) are
-// deliberately left out: they change how fast a definitive answer is
-// reached, never which answer, so differently tuned submissions safely
-// share entries. The same key addresses both the
+// ShareLBD), the SBP variant (SBPVariant — every variant is a sound
+// partial break of the same group, see internal/sbp), and the admission
+// fields (Priority, Deadline) are deliberately left out: they change how
+// fast a definitive answer is reached, never which answer, so differently
+// tuned submissions safely share entries. The same key addresses both the
 // in-flight singleflight table and the durable Backend, so its format is
 // part of the on-disk store contract (see docs/API.md).
 //

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/pbsolver"
+	"repro/internal/sbp"
 	"repro/internal/solverutil"
 	"repro/internal/testutil"
 )
@@ -33,6 +34,7 @@ func TestKnobPlumbingReachesSolver(t *testing.T) {
 	g := graph.Random("knobs", 10, 20, 3)
 	want := JobSpec{
 		K: 5, Engine: pbsolver.EnginePueblo,
+		InstanceDependent: true, SBPVariant: sbp.VariantInvolution,
 		ChronoThreshold: 7, VivifyBudget: 1234, DynamicLBD: true,
 		GlueLBD: 3, ReduceInterval: 4000, RestartBase: 64,
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/encode"
 	"repro/internal/pbsolver"
+	"repro/internal/sbp"
 )
 
 // ParseSBP maps a user-facing SBP name ("none", "NU", "NU+SC", ...) to its
@@ -26,6 +27,53 @@ func ParseSBP(name string) (encode.SBPKind, error) {
 		return encode.SBPNUSC, nil
 	}
 	return 0, fmt.Errorf("unknown SBP %q", name)
+}
+
+// ParseSBPVariant maps a user-facing SBP-variant name to its enum value:
+// "full" (or empty), "involution", "canonset", "race".
+func ParseSBPVariant(name string) (sbp.Variant, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "full":
+		return sbp.VariantFull, nil
+	case "involution", "inv":
+		return sbp.VariantInvolution, nil
+	case "canonset", "canon":
+		return sbp.VariantCanonSet, nil
+	case "race":
+		return sbp.VariantRace, nil
+	}
+	return 0, fmt.Errorf("unknown SBP variant %q", name)
+}
+
+// ParseSBPSpec parses the gcolor -sbp flag's combined syntax: a
+// comma-separated list mixing at most one instance-independent
+// construction name (ParseSBP) with at most one variant name
+// (ParseSBPVariant), in any order. A bare variant ("involution") keeps
+// SBPNone; a bare kind ("NU") keeps VariantFull; "NU,canonset" sets both.
+func ParseSBPSpec(s string) (encode.SBPKind, sbp.Variant, error) {
+	kind, variant := encode.SBPNone, sbp.VariantFull
+	kindSet, variantSet := false, false
+	for _, tok := range strings.Split(s, ",") {
+		if strings.TrimSpace(tok) == "" {
+			continue
+		}
+		if k, err := ParseSBP(tok); err == nil {
+			if kindSet {
+				return 0, 0, fmt.Errorf("duplicate SBP kind %q", tok)
+			}
+			kind, kindSet = k, true
+			continue
+		}
+		v, err := ParseSBPVariant(tok)
+		if err != nil {
+			return 0, 0, fmt.Errorf("unknown SBP kind or variant %q", strings.TrimSpace(tok))
+		}
+		if variantSet {
+			return 0, 0, fmt.Errorf("duplicate SBP variant %q", tok)
+		}
+		variant, variantSet = v, true
+	}
+	return kind, variant, nil
 }
 
 // ParseEngine maps a user-facing engine name to its configuration.

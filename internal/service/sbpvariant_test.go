@@ -1,0 +1,151 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/autom"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/pbsolver"
+	"repro/internal/sbp"
+	"repro/internal/solverutil"
+	"repro/internal/testutil"
+)
+
+// TestSBPVariantsShareCacheEntries: every SBP variant is a sound partial
+// break of the same symmetry group, so the variant knob must be excluded
+// from the cache key — four submissions of one graph differing only in
+// SBPVariant share a single solver run.
+func TestSBPVariantsShareCacheEntries(t *testing.T) {
+	runs := 0
+	svc := New(Config{Workers: 1, Solve: func(ctx context.Context, g *graph.Graph, spec JobSpec, sym []autom.Perm, progress solverutil.ProgressFunc) core.Outcome {
+		runs++
+		col, k := greedyColor(g)
+		out := core.Outcome{Instance: g.Name(), Chi: k, Coloring: col}
+		out.Result.Status = pbsolver.StatusOptimal
+		return out
+	}})
+	defer svc.Close()
+
+	g := graph.Random("sbpshared", 12, 30, 9)
+	submitAndWait := func(spec JobSpec) *Result {
+		t.Helper()
+		id, err := svc.Submit(g, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info, err := svc.Wait(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Result == nil {
+			t.Fatalf("job %s finished %s without result", id, info.State)
+		}
+		return info.Result
+	}
+
+	first := submitAndWait(JobSpec{K: 6, InstanceDependent: true, SBPVariant: sbp.VariantFull})
+	for _, v := range []sbp.Variant{sbp.VariantInvolution, sbp.VariantCanonSet, sbp.VariantRace} {
+		res := submitAndWait(JobSpec{K: 6, InstanceDependent: true, SBPVariant: v})
+		if !res.CacheHit {
+			t.Fatalf("variant %v missed the cache; the SBP variant must not be part of the key", v)
+		}
+		if res.Chi != first.Chi {
+			t.Fatalf("variant %v: cached chi=%d, original chi=%d", v, res.Chi, first.Chi)
+		}
+	}
+	if runs != 1 {
+		t.Fatalf("solver ran %d times across 4 variant submissions, want 1", runs)
+	}
+}
+
+// TestSBPVariantStatsAggregation: Stats.SBPVariants folds each solver
+// run's emitted-predicate counters into its variant's row; outcomes whose
+// predicate layer never ran contribute nothing.
+func TestSBPVariantStatsAggregation(t *testing.T) {
+	svc := New(Config{Workers: 1, Solve: func(ctx context.Context, g *graph.Graph, spec JobSpec, sym []autom.Perm, progress solverutil.ProgressFunc) core.Outcome {
+		col, k := greedyColor(g)
+		out := core.Outcome{Instance: g.Name(), Chi: k, Coloring: col}
+		out.Result.Status = pbsolver.StatusOptimal
+		out.SBPVariant = spec.SBPVariant
+		if spec.InstanceDependent {
+			out.Sym = &core.SymmetryStats{
+				Variant:        spec.SBPVariant,
+				PredicatePerms: 3,
+				AddedCNF:       40,
+			}
+		}
+		return out
+	}})
+	defer svc.Close()
+
+	g := graph.Random("sbpstats", 12, 30, 11)
+	submit := func(spec JobSpec) {
+		t.Helper()
+		id, err := svc.Submit(g, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := svc.Wait(context.Background(), id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Distinct K values force distinct cache entries, so each submission
+	// is a real solver run.
+	submit(JobSpec{K: 5, InstanceDependent: true, SBPVariant: sbp.VariantInvolution})
+	submit(JobSpec{K: 6, InstanceDependent: true, SBPVariant: sbp.VariantInvolution})
+	submit(JobSpec{K: 7, InstanceDependent: true, SBPVariant: sbp.VariantCanonSet})
+	submit(JobSpec{K: 8}) // no predicate layer: must not appear in the table
+
+	st := svc.Stats()
+	if got := st.SBPVariants["involution"]; got.Runs != 2 || got.Perms != 6 || got.Clauses != 80 {
+		t.Fatalf("involution row = %+v, want runs=2 perms=6 clauses=80", got)
+	}
+	if got := st.SBPVariants["canonset"]; got.Runs != 1 || got.Perms != 3 || got.Clauses != 40 {
+		t.Fatalf("canonset row = %+v, want runs=1 perms=3 clauses=40", got)
+	}
+	if _, ok := st.SBPVariants["full"]; ok {
+		t.Fatal("a run without a predicate layer produced a full-variant row")
+	}
+}
+
+// TestSBPVariantRaceEndToEnd runs the real solve flow with the variant
+// race: the portfolio must return the brute-force optimum, name a
+// concrete winning variant, and surface that variant in Stats.
+func TestSBPVariantRaceEndToEnd(t *testing.T) {
+	svc := New(Config{Workers: 1, DefaultTimeout: 30 * time.Second})
+	defer svc.Close()
+	g := graph.Random("sbprace", 8, 16, 2)
+	chi := testutil.BruteForceChromatic(g)
+	id, err := svc.Submit(g, JobSpec{K: 8, InstanceDependent: true, SBPVariant: sbp.VariantRace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := svc.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Result == nil || !info.Result.Solved {
+		t.Fatalf("race job did not solve: %+v", info)
+	}
+	if info.Result.Chi != chi {
+		t.Fatalf("race chi = %d, brute force says %d", info.Result.Chi, chi)
+	}
+	if err := testutil.CheckColoring(g, info.Result.Coloring, 8); err != nil {
+		t.Fatal(err)
+	}
+	winner := info.Result.SBPVariant
+	switch winner {
+	case sbp.VariantFull.String(), sbp.VariantInvolution.String(), sbp.VariantCanonSet.String():
+	default:
+		t.Fatalf("race winner %q is not a concrete variant", winner)
+	}
+	st := svc.Stats()
+	row, ok := st.SBPVariants[winner]
+	if !ok || row.Runs < 1 {
+		t.Fatalf("stats missing a row for race winner %q: %+v", winner, st.SBPVariants)
+	}
+}

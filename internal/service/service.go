@@ -31,6 +31,7 @@ import (
 	"repro/internal/encode"
 	"repro/internal/graph"
 	"repro/internal/pbsolver"
+	"repro/internal/sbp"
 	"repro/internal/solverutil"
 )
 
@@ -78,6 +79,14 @@ type JobSpec struct {
 	Portfolio bool `json:"portfolio"`
 	// InstanceDependent adds lex-leader SBPs for detected symmetries.
 	InstanceDependent bool `json:"instance_dependent"`
+	// SBPVariant selects the lex-leader construction of the predicate
+	// layer: full detected-generator break (default), involution-restricted
+	// break, precomputed canonizing set, or a race of all three (see
+	// sbp.Variant). Every variant is a sound partial break of the same
+	// group — the knob changes solve speed, never the answer — so it is
+	// excluded from the cache key and differently configured submissions
+	// share results.
+	SBPVariant sbp.Variant `json:"sbp_variant,omitempty"`
 	// Timeout bounds this job's solve; 0 = the service default.
 	Timeout time.Duration `json:"timeout"`
 	// Priority is the admission class, 0 (normal) to MaxPriority (most
@@ -167,6 +176,11 @@ type Result struct {
 	Coloring []int `json:"coloring,omitempty"`
 	// Winner is the engine that produced the result (portfolio runs).
 	Winner string `json:"winner,omitempty"`
+	// SBPVariant is the symmetry-breaking construction the solve emitted
+	// predicates under ("full", "involution", "canonset"); after a variant
+	// race it names the winner. Empty when no predicate layer ran or the
+	// result came from the cache.
+	SBPVariant string `json:"sbp_variant,omitempty"`
 	// Runtime is the solver wall-clock time (the original solve's, for
 	// cache hits).
 	Runtime time.Duration `json:"runtime"`
@@ -222,6 +236,13 @@ type Stats struct {
 	// key still receive the result: an equal key in-process always means
 	// isomorphic graphs.)
 	InexactSkips int64 `json:"inexact_skips"`
+	// SBPVariants aggregates predicate emission per SBP variant across all
+	// solver runs whose symmetry-breaking layer ran: run count, lex-leader
+	// permutations emitted, and CNF clauses added. Keyed by variant wire
+	// name ("full", "involution", "canonset"); a variant race contributes
+	// one row per finished racer through the winning outcome only (losers
+	// are cancelled mid-flight and report nothing).
+	SBPVariants map[string]SBPVariantStats `json:"sbp_variants,omitempty"`
 	// CanonGenerators / CanonOrbitPrunes / CanonPrefixPrunes report the
 	// automorphism discovery fused into the canonical labeling search:
 	// verified generators found at equal leaves, sibling subtrees skipped
@@ -267,6 +288,18 @@ type Stats struct {
 	JournalPending int     `json:"journal_pending,omitempty"`
 }
 
+// SBPVariantStats is one row of Stats.SBPVariants: the cumulative
+// symmetry-breaking work done under one SBP variant.
+type SBPVariantStats struct {
+	// Runs counts solver runs that emitted predicates under this variant.
+	Runs int64 `json:"runs"`
+	// Perms counts lex-leader permutations actually emitted (after variant
+	// filtering and verification).
+	Perms int64 `json:"perms"`
+	// Clauses counts the CNF clauses those predicates added.
+	Clauses int64 `json:"clauses"`
+}
+
 // SolveFunc produces the outcome for one job; tests inject counters and
 // stubs here. The default is DefaultSolve. sym carries automorphisms of
 // the job's graph discovered by the canonical-labeling search (possibly
@@ -293,6 +326,7 @@ func defaultSolve(progressInterval time.Duration) SolveFunc {
 			Engine:            spec.Engine,
 			Portfolio:         spec.Portfolio,
 			InstanceDependent: spec.InstanceDependent,
+			SBPVariant:        spec.SBPVariant,
 			GraphGens:         sym,
 			Timeout:           spec.Timeout,
 			ChronoThreshold:   spec.ChronoThreshold,
@@ -484,6 +518,9 @@ type Service struct {
 	// tenants holds per-tenant admission state (token bucket, in-flight
 	// count, counters), created on first submission.
 	tenants map[string]*tenantState
+	// sbpVariants aggregates per-variant predicate emission (guarded by
+	// mu), keyed by variant wire name; see Stats.SBPVariants.
+	sbpVariants map[string]*SBPVariantStats
 	// Queue-wait histogram: one count per QueueWaitBucketsMS bound plus
 	// the +Inf overflow bucket.
 	queueWaitBuckets []int64
@@ -553,6 +590,7 @@ func New(cfg Config) *Service {
 		jobs:             make(map[string]*job),
 		inflight:         make(map[string]*entry),
 		tenants:          make(map[string]*tenantState),
+		sbpVariants:      make(map[string]*SBPVariantStats),
 		queueWaitBuckets: make([]int64, len(QueueWaitBucketsMS)+1),
 	}
 	s.stopCtx, s.stopCancel = context.WithCancel(context.Background())
@@ -830,6 +868,13 @@ func (s *Service) Stats() Stats {
 	for name, ts := range s.tenants {
 		tenants[name] = TenantStats{Accepts: ts.accepts, Rejects: ts.rejects, InFlight: ts.inFlight}
 	}
+	var sbpVariants map[string]SBPVariantStats
+	if len(s.sbpVariants) > 0 {
+		sbpVariants = make(map[string]SBPVariantStats, len(s.sbpVariants))
+		for name, st := range s.sbpVariants {
+			sbpVariants[name] = *st
+		}
+	}
 	hist := Histogram{
 		Count:   s.queueWaitCount,
 		SumMS:   s.queueWaitSumMS,
@@ -879,6 +924,7 @@ func (s *Service) Stats() Stats {
 		RejectsDraining:    s.rejectDrain.Load(),
 		QueueWait:          hist,
 		Tenants:            tenants,
+		SBPVariants:        sbpVariants,
 		Panics:             s.panics.Load(),
 		Replayed:           s.replayed.Load(),
 		Draining:           draining,
@@ -1197,7 +1243,28 @@ func (s *Service) runSolverOutcome(ctx context.Context, j *job, sym []autom.Perm
 	progress := func(p solverutil.Progress) { j.recordProgress(effK, p) }
 	out = s.solve(ctx, j.g, j.spec, sym, progress)
 	s.solverRuns.Add(1)
+	s.noteSBPVariant(out)
 	return out, nil
+}
+
+// noteSBPVariant folds one outcome's symmetry-breaking work into the
+// per-variant aggregates. Outcomes whose predicate layer never ran (Sym
+// nil) contribute nothing.
+func (s *Service) noteSBPVariant(out core.Outcome) {
+	if out.Sym == nil {
+		return
+	}
+	name := out.Sym.Variant.String()
+	s.mu.Lock()
+	st := s.sbpVariants[name]
+	if st == nil {
+		st = &SBPVariantStats{}
+		s.sbpVariants[name] = st
+	}
+	st.Runs++
+	st.Perms += int64(out.Sym.PredicatePerms)
+	st.Clauses += int64(out.Sym.AddedCNF)
+	s.mu.Unlock()
 }
 
 // Progress returns the job's latest progress snapshot. A Seq of 0 means
@@ -1370,6 +1437,9 @@ func resultFromOutcome(out core.Outcome, spec JobSpec, canonExact bool) *Result 
 		VivifiedLits:     out.Result.Stats.VivifiedLits,
 		LBDUpdates:       out.Result.Stats.LBDUpdates,
 		CanonExact:       canonExact,
+	}
+	if out.Sym != nil {
+		res.SBPVariant = out.SBPVariant.String()
 	}
 	if out.Par != nil {
 		res.ParWorkers = out.Par.Workers

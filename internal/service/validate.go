@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/encode"
 	"repro/internal/pbsolver"
+	"repro/internal/sbp"
 )
 
 // Validation bounds for JobSpec fields. They are deliberately generous —
@@ -77,6 +78,9 @@ func (s JobSpec) Validate() error {
 	}
 	if s.Engine < pbsolver.EnginePBS || s.Engine > pbsolver.EngineBnB {
 		add("engine", "unknown engine %d", s.Engine)
+	}
+	if s.SBPVariant < sbp.VariantFull || s.SBPVariant > sbp.VariantRace {
+		add("sbp_variant", "unknown SBP variant %d", s.SBPVariant)
 	}
 	if s.Timeout < 0 || s.Timeout > MaxTimeout {
 		add("timeout", "must be in [0, %v]", MaxTimeout)

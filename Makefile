@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-baseline bench-compare fmt vet linkcheck docs loadtest chaostest crashtest sbpdata sbpdata-check
+.PHONY: build test race fuzz bench bench-baseline bench-compare fmt vet linkcheck docs loadtest chaostest crashtest tracecheck sbpdata sbpdata-check
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,15 @@ vet:
 # everything). Exits nonzero if either contract breaks.
 loadtest:
 	$(GO) run ./cmd/loadgen -selftest
+
+# tracecheck is the observability audit: loadgen drives real solves
+# through an in-process daemon and requires every completed job to expose
+# a well-formed span tree (single root, unique ids, children nested in
+# parents) whose phases account for the job's wall time — including
+# per-worker spans on a parallel solve, the phase histograms on /metrics,
+# the flight-recorder listing, and the 404 envelope for unknown jobs.
+tracecheck:
+	$(GO) run ./cmd/loadgen -tracecheck
 
 # chaostest drives the self-contained chaos drill: an in-process daemon
 # with injected store write faults (including torn writes) and periodic

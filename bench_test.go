@@ -498,3 +498,34 @@ func BenchmarkServiceIsomorphicBatch(b *testing.B) {
 		svc.Close()
 	}
 }
+
+// BenchmarkTraceOverhead pins the cost of per-job phase tracing: the same
+// real solve (myciel4 at K=8, ~tens of ms of search) through the service
+// with the flight recorder on (the default) and off. The sub-benchmark
+// ratio is the overhead budget — tracing must stay within 2% of the
+// untraced path, since it is on by default in production. The absolute
+// cost is a few dozen spans' worth of bookkeeping per job (~tens of µs),
+// so on realistic solves it vanishes into the solver's noise floor.
+func BenchmarkTraceOverhead(b *testing.B) {
+	base, _ := graph.Benchmark("myciel4")
+	runJob := func(b *testing.B, traceKeep int) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			svc := service.New(service.Config{DefaultTimeout: time.Minute, TraceKeep: traceKeep})
+			id, err := svc.Submit(base, service.JobSpec{K: 8, SBP: encode.SBPNU})
+			if err != nil {
+				b.Fatal(err)
+			}
+			info, err := svc.Wait(context.Background(), id)
+			if err != nil || info.Result == nil || info.Result.Chi != 5 {
+				b.Fatalf("info=%+v err=%v", info, err)
+			}
+			if (traceKeep >= 0) != svc.TracingEnabled() {
+				b.Fatalf("TracingEnabled()=%v with TraceKeep=%d", svc.TracingEnabled(), traceKeep)
+			}
+			svc.Close()
+		}
+	}
+	b.Run("traced", func(b *testing.B) { runJob(b, 0) })
+	b.Run("untraced", func(b *testing.B) { runJob(b, -1) })
+}

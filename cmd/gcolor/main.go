@@ -250,8 +250,12 @@ func watchJobProgress(svc *service.Service, id, name string) {
 			if p.Incumbent >= 0 {
 				best = fmt.Sprintf("%d", p.Incumbent)
 			}
-			fmt.Fprintf(os.Stderr, "%s %s: k=%d engine=%s best=%s conflicts=%d restarts=%d\n",
-				id, name, p.K, p.Engine, best, p.Conflicts, p.Restarts)
+			phase := p.Phase
+			if phase == "" {
+				phase = "-"
+			}
+			fmt.Fprintf(os.Stderr, "%s %s: phase=%s k=%d engine=%s best=%s conflicts=%d restarts=%d\n",
+				id, name, phase, p.K, p.Engine, best, p.Conflicts, p.Restarts)
 		}
 		if !more {
 			return

@@ -35,6 +35,8 @@
 //	GET    /v1/jobs/{id}         job status snapshot
 //	GET    /v1/jobs/{id}/result  result (202 while pending)
 //	GET    /v1/jobs/{id}/events  NDJSON stream: progress, heartbeats, result
+//	GET    /v1/jobs/{id}/trace   completed job's span tree (see -trace.keep)
+//	GET    /v1/trace/recent      newest completed traces, newest first
 //	DELETE /v1/jobs/{id}         cancel the job
 //	GET    /v1/stats             service + admission counters
 //	GET    /v1/store             persistent-store counters (with -store.dir)
@@ -90,6 +92,7 @@ func main() {
 	reqTimeout := flag.Duration("req.timeout", 30*time.Second, "per-request timeout on non-streaming /v1 endpoints (<0 disables)")
 	drain := flag.Duration("drain", 30*time.Second, "SIGTERM grace: how long in-flight jobs may finish before they are canceled")
 	enablePprof := flag.Bool("pprof", false, "expose /debug/pprof (profiling) on the same listener")
+	traceKeep := flag.Int("trace.keep", 256, "completed job traces kept by the flight recorder (/v1/jobs/{id}/trace); 0 disables tracing")
 	tenantRate := flag.Float64("tenant.rate", 0, "per-tenant submissions per second (token bucket; 0 = unlimited)")
 	tenantBurst := flag.Int("tenant.burst", 0, "per-tenant token-bucket burst (0 = derived from -tenant.rate)")
 	tenantInFlight := flag.Int("tenant.maxinflight", 0, "per-tenant queued+running job quota (0 = unlimited)")
@@ -163,6 +166,7 @@ func main() {
 		TenantRate:        *tenantRate,
 		TenantBurst:       *tenantBurst,
 		TenantMaxInFlight: *tenantInFlight,
+		TraceKeep:         traceKeepConfig(*traceKeep),
 		Logger:            logger,
 		Solve:             solve,
 	})
@@ -220,4 +224,15 @@ func main() {
 	}
 	svc.Close()
 	logger.Info("gcolord stopped")
+}
+
+// traceKeepConfig maps the -trace.keep flag onto service.Config.TraceKeep:
+// the flag's 0 ("don't keep traces") selects the config's negative value
+// ("tracing disabled"), and positive values pass through as the flight
+// recorder's ring size.
+func traceKeepConfig(n int) int {
+	if n <= 0 {
+		return -1
+	}
+	return n
 }

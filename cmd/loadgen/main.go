@@ -48,6 +48,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed (runs are reproducible)")
 	selftest := flag.Bool("selftest", false, "run the self-contained overload/light smoke against an in-process daemon")
 	chaos := flag.Bool("chaos", false, "run the self-contained chaos drill: injected solver panics and store write faults against an in-process daemon")
+	tracecheck := flag.Bool("tracecheck", false, "run the self-contained trace audit: every completed job must expose a well-formed span tree whose phases account for its wall time")
 	flag.Parse()
 
 	if *selftest {
@@ -56,6 +57,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("loadgen: selftest ok")
+		return
+	}
+	if *tracecheck {
+		if err := runTracecheck(); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: tracecheck:", err)
+			os.Exit(1)
+		}
+		fmt.Println("loadgen: tracecheck ok")
 		return
 	}
 	if *chaos {
@@ -109,7 +118,17 @@ type report struct {
 	latencies      []time.Duration
 	elapsed        time.Duration
 	stats          map[string]any // daemon /v1/stats snapshot, if reachable
+	// ids holds accepted job ids, up to traceSample of them, for the
+	// post-run trace fetch; phases aggregates per-phase durations (ms)
+	// from the traces actually retrieved.
+	ids    []string
+	phases map[string][]float64
+	traced int
 }
+
+// traceSample bounds how many accepted jobs the post-run trace fetch
+// inspects — enough for stable percentiles without hammering the daemon.
+const traceSample = 64
 
 func (r *report) print(w io.Writer) {
 	fmt.Fprintf(w, "loadgen: %d submitted in %v (%.1f req/s)\n",
@@ -132,6 +151,21 @@ func (r *report) print(w io.Writer) {
 	if r.stats != nil {
 		fmt.Fprintf(w, "  daemon: solver_runs=%v cache_hits=%v dedup_joins=%v expired=%v\n",
 			r.stats["solver_runs"], r.stats["cache_hits"], r.stats["dedup_joins"], r.stats["expired"])
+	}
+	if len(r.phases) > 0 {
+		fmt.Fprintf(w, "  phase latency over %d traced jobs:\n", r.traced)
+		names := make([]string, 0, len(r.phases))
+		for name := range r.phases {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			ds := r.phases[name]
+			sort.Float64s(ds)
+			pct := func(p float64) float64 { return ds[int(p*float64(len(ds)-1))] }
+			fmt.Fprintf(w, "    %-12s n=%-4d p50=%.2fms p95=%.2fms p99=%.2fms\n",
+				name, len(ds), pct(0.50), pct(0.95), pct(0.99))
+		}
 	}
 }
 
@@ -255,6 +289,16 @@ func run(cfg runConfig) (*report, error) {
 					defer resp.Body.Close()
 					if resp.StatusCode == http.StatusAccepted {
 						atomic.AddInt64(&rep.accepted, 1)
+						var acc struct {
+							ID string `json:"id"`
+						}
+						if json.NewDecoder(resp.Body).Decode(&acc) == nil && acc.ID != "" {
+							mu.Lock()
+							if len(rep.ids) < traceSample {
+								rep.ids = append(rep.ids, acc.ID)
+							}
+							mu.Unlock()
+						}
 						io.Copy(io.Discard, resp.Body)
 						return
 					}
@@ -287,5 +331,91 @@ func run(cfg runConfig) (*report, error) {
 			rep.stats = stats
 		}
 	}
+	collectTraces(client, cfg.addr, rep)
 	return rep, nil
+}
+
+// spanView / traceView mirror the /v1/jobs/{id}/trace JSON structurally,
+// like envelope does for errors: loadgen exercises the wire contract, not
+// the server's Go types.
+type spanView struct {
+	ID            uint64     `json:"id"`
+	Name          string     `json:"name"`
+	StartOffsetMS float64    `json:"start_offset_ms"`
+	DurationMS    float64    `json:"duration_ms"`
+	Children      []spanView `json:"children"`
+}
+
+type traceView struct {
+	TraceID    string     `json:"trace_id"`
+	JobID      string     `json:"job_id"`
+	DurationMS float64    `json:"duration_ms"`
+	Spans      []spanView `json:"spans"`
+}
+
+// findSpan returns the first span with the given name, depth-first.
+func findSpan(spans []spanView, name string) *spanView {
+	for i := range spans {
+		if spans[i].Name == name {
+			return &spans[i]
+		}
+		if hit := findSpan(spans[i].Children, name); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// collectTraces fetches the span tree for the sampled accepted jobs and
+// folds every span's duration into the per-phase aggregate. Jobs whose
+// trace is not yet available (still running, or already evicted from the
+// flight recorder) are skipped; the whole pass is bounded so a stuck job
+// cannot hang the report.
+func collectTraces(client *http.Client, addr string, rep *report) {
+	if len(rep.ids) == 0 {
+		return
+	}
+	rep.phases = map[string][]float64{}
+	deadline := time.Now().Add(15 * time.Second)
+	for _, id := range rep.ids {
+		tv, ok := fetchTrace(client, addr, id, deadline)
+		if !ok {
+			continue
+		}
+		rep.traced++
+		var walk func(spans []spanView)
+		walk = func(spans []spanView) {
+			for _, s := range spans {
+				rep.phases[s.Name] = append(rep.phases[s.Name], s.DurationMS)
+				walk(s.Children)
+			}
+		}
+		walk(tv.Spans)
+	}
+}
+
+// fetchTrace polls one job's trace endpoint until it serves a trace, the
+// global deadline passes, or the answer shows no trace will ever come
+// (unknown job, tracing disabled).
+func fetchTrace(client *http.Client, addr, id string, deadline time.Time) (traceView, bool) {
+	for {
+		resp, err := client.Get(addr + "/v1/jobs/" + id + "/trace")
+		if err != nil {
+			return traceView{}, false
+		}
+		if resp.StatusCode == http.StatusOK {
+			var tv traceView
+			err := json.NewDecoder(resp.Body).Decode(&tv)
+			resp.Body.Close()
+			return tv, err == nil
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		// 404 not_found means "no completed trace yet" — retry until the
+		// job finishes; anything else will not improve with time.
+		if resp.StatusCode != http.StatusNotFound || time.Now().After(deadline) {
+			return traceView{}, false
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -107,11 +108,18 @@ func runSelftest() error {
 		addr: srv.URL, n: 30, concurrency: 2, tenants: 2, isoFrac: 0.5,
 		vertices: 12, degree: 2, k: 4, timeout: "5s", seed: 11,
 	})
+	var traceErr error
+	if err == nil {
+		traceErr = checkSelftestTraces(srv.URL, rep)
+	}
 	srv.Close()
 	light.CancelAll()
 	light.Close()
 	if err != nil {
 		return fmt.Errorf("light run: %w", err)
+	}
+	if traceErr != nil {
+		return fmt.Errorf("light traces: %w", traceErr)
 	}
 	rep.print(os.Stderr)
 	if rep.protocolErrors > 0 {
@@ -119,6 +127,43 @@ func runSelftest() error {
 	}
 	if rep.rejected429 != 0 {
 		return fmt.Errorf("light: got %d spurious 429s under light load", rep.rejected429)
+	}
+	return nil
+}
+
+// checkSelftestTraces asserts the trace plumbing held up under the light
+// scenario: the run retrieved traces for its sampled jobs, each phase of
+// the job lifecycle appears in the aggregate (the stub solver skips the
+// encode/persist internals, so only the scheduler-side phases are
+// guaranteed), one trace has the expected single-root shape, and an
+// unknown job id gets the unified 404 envelope.
+func checkSelftestTraces(addr string, rep *report) error {
+	if rep.traced == 0 {
+		return fmt.Errorf("no traces retrieved for %d accepted jobs", rep.accepted)
+	}
+	for _, phase := range []string{"job", "admission", "queue", "canon", "solve"} {
+		if len(rep.phases[phase]) == 0 {
+			return fmt.Errorf("phase %q missing from all %d traces", phase, rep.traced)
+		}
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	tv, ok := fetchTrace(client, addr, rep.ids[0], time.Now().Add(5*time.Second))
+	if !ok {
+		return fmt.Errorf("job %s: trace not retrievable", rep.ids[0])
+	}
+	if len(tv.Spans) != 1 || tv.Spans[0].Name != "job" {
+		return fmt.Errorf("job %s: want one root span named job, got %d roots", rep.ids[0], len(tv.Spans))
+	}
+	resp, err := client.Get(addr + "/v1/jobs/no-such-job/trace")
+	if err != nil {
+		return err
+	}
+	var env envelope
+	err = json.NewDecoder(resp.Body).Decode(&env)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || err != nil || env.Error.Code == "" {
+		return fmt.Errorf("unknown-job trace: want enveloped 404, got status=%d err=%v code=%q",
+			resp.StatusCode, err, env.Error.Code)
 	}
 	return nil
 }

@@ -1,0 +1,233 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"repro/internal/httpapi"
+	"repro/internal/service"
+)
+
+// runTracecheck is the CI audit behind `make tracecheck`: against an
+// in-process daemon running the real solver, every completed job must
+// expose a well-formed span tree — one root, unique span ids, children
+// contained in their parents — whose top-level phases account for the
+// job's wall time. It also checks the surrounding plumbing: per-worker
+// spans on a parallel solve, the phase histograms on /metrics, the
+// flight-recorder listing, and the 404 envelope for unknown jobs.
+func runTracecheck() error {
+	svc := service.New(service.Config{Workers: 4, QueueDepth: 64})
+	srv := httptest.NewServer(httpapi.New(httpapi.Config{Service: svc}))
+	defer func() {
+		srv.Close()
+		svc.CancelAll()
+		svc.Close()
+	}()
+	if err := waitReady(srv.URL, 5*time.Second); err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	// Three jobs cover the interesting trace shapes: a plain sequential
+	// solve, a parallel solve (must show per-worker child spans under
+	// "solve"), and an isomorphic duplicate of the first (served from the
+	// canonical cache, so its trace legitimately has no solve phase).
+	rng := rand.New(rand.NewSource(42))
+	base := randomGraph(rng, 14, 3)
+	_, isoEdges := genGraph(rng, base, 14, 3, true, 1)
+
+	plainID, err := submitJob(client, srv.URL, fmt.Sprintf(
+		`{"name":"trace-plain","n":14,"edges":%s,"k":6,"timeout":"30s"}`, edgesJSON(base)))
+	if err != nil {
+		return fmt.Errorf("submit plain: %w", err)
+	}
+	parID, err := submitJob(client, srv.URL, fmt.Sprintf(
+		`{"name":"trace-par","n":14,"edges":%s,"k":6,"timeout":"30s","parallel":2,"instance_dependent":true}`,
+		edgesJSON(randomGraph(rng, 14, 3))))
+	if err != nil {
+		return fmt.Errorf("submit parallel: %w", err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	// The iso duplicate goes in after the plain job's trace confirms the
+	// original completed, so the duplicate deterministically hits the cache
+	// instead of joining the in-flight solve.
+	plain, ok := fetchTrace(client, srv.URL, plainID, deadline)
+	if !ok {
+		return fmt.Errorf("no trace for plain job %s", plainID)
+	}
+	isoID, err := submitJob(client, srv.URL, fmt.Sprintf(
+		`{"name":"trace-iso","n":14,"edges":%s,"k":6,"timeout":"30s"}`, edgesJSON(isoEdges)))
+	if err != nil {
+		return fmt.Errorf("submit iso: %w", err)
+	}
+	par, ok := fetchTrace(client, srv.URL, parID, deadline)
+	if !ok {
+		return fmt.Errorf("no trace for parallel job %s", parID)
+	}
+	iso, ok := fetchTrace(client, srv.URL, isoID, deadline)
+	if !ok {
+		return fmt.Errorf("no trace for iso job %s", isoID)
+	}
+
+	for _, tc := range []struct {
+		label string
+		tv    traceView
+		id    string
+		// phases that must appear somewhere in the tree
+		want []string
+	}{
+		{"plain", plain, plainID, []string{"admission", "queue", "canon", "solve", "encode", "persist"}},
+		{"parallel", par, parID, []string{"admission", "queue", "canon", "solve", "solve.worker"}},
+		{"iso", iso, isoID, []string{"admission", "queue", "canon"}},
+	} {
+		if err := checkTraceShape(tc.label, tc.tv, tc.id, tc.want); err != nil {
+			return err
+		}
+	}
+	if ws := findSpan(par.Spans, "solve.worker"); ws == nil {
+		return fmt.Errorf("parallel: no solve.worker span")
+	}
+
+	// The recorder must list all three completed jobs, newest first.
+	resp, err := client.Get(srv.URL + "/v1/trace/recent?n=10")
+	if err != nil {
+		return fmt.Errorf("trace/recent: %w", err)
+	}
+	var recent struct {
+		Traces []traceView `json:"traces"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&recent)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("trace/recent decode: %w", err)
+	}
+	if len(recent.Traces) < 3 {
+		return fmt.Errorf("trace/recent: want >=3 traces, got %d", len(recent.Traces))
+	}
+
+	// Completed traces feed the per-phase histograms on /metrics.
+	resp, err = client.Get(srv.URL + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("metrics read: %w", err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		`gcolord_phase_seconds_bucket{phase="solve"`,
+		`gcolord_phase_seconds_count{phase="canon"}`,
+		"gcolord_traces_recorded_total",
+	} {
+		if !strings.Contains(body, want) {
+			return fmt.Errorf("metrics: missing %s", want)
+		}
+	}
+
+	// Unknown job id: the trace endpoint must answer with the unified
+	// error envelope, like every other /v1 route.
+	resp, err = client.Get(srv.URL + "/v1/jobs/no-such-job/trace")
+	if err != nil {
+		return fmt.Errorf("unknown-job trace: %w", err)
+	}
+	var env envelope
+	err = json.NewDecoder(resp.Body).Decode(&env)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || err != nil || env.Error.Code == "" {
+		return fmt.Errorf("unknown-job trace: want enveloped 404, got status=%d err=%v code=%q",
+			resp.StatusCode, err, env.Error.Code)
+	}
+	fmt.Printf("loadgen: tracecheck audited 3 traces (plain %.1fms, parallel %.1fms, cache-hit %.1fms)\n",
+		plain.DurationMS, par.DurationMS, iso.DurationMS)
+	return nil
+}
+
+// checkTraceShape enforces the structural invariants every completed
+// trace must satisfy: a single root named "job", globally unique span
+// ids, children that lie inside their parent's interval, the expected
+// phases present, and top-level phases that sum to the job's wall time.
+func checkTraceShape(label string, tv traceView, jobID string, want []string) error {
+	if tv.JobID != jobID {
+		return fmt.Errorf("%s: trace names job %q, want %q", label, tv.JobID, jobID)
+	}
+	if tv.TraceID == "" {
+		return fmt.Errorf("%s: empty trace id", label)
+	}
+	if len(tv.Spans) != 1 || tv.Spans[0].Name != "job" {
+		return fmt.Errorf("%s: want exactly one root span named job, got %d roots", label, len(tv.Spans))
+	}
+	seen := map[uint64]bool{}
+	var walk func(parent *spanView, s *spanView) error
+	walk = func(parent *spanView, s *spanView) error {
+		if seen[s.ID] {
+			return fmt.Errorf("%s: duplicate span id %d (%s)", label, s.ID, s.Name)
+		}
+		seen[s.ID] = true
+		if parent != nil {
+			// A child must start no earlier than its parent and end no
+			// later; 5ms of slack absorbs clock rounding in the view.
+			if s.StartOffsetMS < parent.StartOffsetMS-5 ||
+				s.StartOffsetMS+s.DurationMS > parent.StartOffsetMS+parent.DurationMS+5 {
+				return fmt.Errorf("%s: span %s [%.2f,%.2f] escapes parent %s [%.2f,%.2f]",
+					label, s.Name, s.StartOffsetMS, s.StartOffsetMS+s.DurationMS,
+					parent.Name, parent.StartOffsetMS, parent.StartOffsetMS+parent.DurationMS)
+			}
+		}
+		for i := range s.Children {
+			if err := walk(s, &s.Children[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	root := &tv.Spans[0]
+	if err := walk(nil, root); err != nil {
+		return err
+	}
+	for _, name := range want {
+		if findSpan(tv.Spans, name) == nil {
+			return fmt.Errorf("%s: missing %q span", label, name)
+		}
+	}
+	// The root's direct children are the sequential job phases; their sum
+	// must account for the job's wall time. The budget is generous — the
+	// point is catching phases that were never instrumented, not µs drift.
+	var phaseSum float64
+	for _, c := range root.Children {
+		phaseSum += c.DurationMS
+	}
+	slack := math.Max(50, 0.25*root.DurationMS)
+	if math.Abs(root.DurationMS-phaseSum) > slack {
+		return fmt.Errorf("%s: phases sum to %.1fms but job ran %.1fms (slack %.1fms)",
+			label, phaseSum, root.DurationMS, slack)
+	}
+	return nil
+}
+
+// submitJob POSTs one job spec and returns the accepted id.
+func submitJob(client *http.Client, addr, body string) (string, error) {
+	resp, err := client.Post(addr+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return "", fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", err
+	}
+	return out.ID, nil
+}

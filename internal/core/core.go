@@ -16,6 +16,7 @@ import (
 	"repro/internal/cnf"
 	"repro/internal/encode"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/pb"
 	"repro/internal/pbsolver"
@@ -192,6 +193,7 @@ func Solve(ctx context.Context, g *graph.Graph, cfg Config) Outcome {
 		return solveVariantRace(ctx, g, cfg)
 	}
 	cfg.K = EffectiveK(g, cfg.K)
+	_, encSpan := obs.StartSpan(ctx, "encode")
 	enc := encode.Build(g, cfg.K, cfg.SBP)
 	out := Outcome{
 		Instance:    g.Name(),
@@ -200,8 +202,25 @@ func Solve(ctx context.Context, g *graph.Graph, cfg Config) Outcome {
 		SBPVariant:  cfg.SBPVariant,
 		EncodeStats: enc.F.Stats(),
 	}
+	encSpan.End(
+		obs.Int("vars", int64(out.EncodeStats.Vars)),
+		obs.Int("cnf", int64(out.EncodeStats.CNF)),
+		obs.Int("pb", int64(out.EncodeStats.PB)),
+	)
+	// The sbp span is emitted even when the predicate layer is skipped so
+	// every trace has the same phase skeleton.
+	sbpCtx, sbpSpan := obs.StartSpan(ctx, "sbp",
+		obs.String("variant", cfg.SBPVariant.String()))
 	if cfg.InstanceDependent || cfg.SBPVariant == sbp.VariantCanonSet {
-		out.Sym = breakSymmetries(ctx, enc, cfg)
+		out.Sym = breakSymmetries(sbpCtx, enc, cfg)
+	}
+	if out.Sym != nil {
+		sbpSpan.End(
+			obs.Int("perms", int64(out.Sym.PredicatePerms)),
+			obs.Int("clauses", int64(out.Sym.AddedCNF)),
+		)
+	} else {
+		sbpSpan.End(obs.Bool("skipped", true))
 	}
 	sOpts := pbsolver.Options{
 		Engine:              cfg.Engine,

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -136,6 +137,7 @@ func New(cfg Config) http.Handler {
 		}
 	}))
 	mux.HandleFunc("/v1/jobs/", a.jobRoutes)
+	mux.HandleFunc("/v1/trace/recent", a.timed(a.getOnly(a.recentTraces)))
 	return withRequestID(withLogging(cfg.Logger, mux))
 }
 
@@ -216,7 +218,9 @@ func (a *api) jobRoute(w http.ResponseWriter, r *http.Request, id, sub string) {
 		a.streamEvents(w, r, id)
 	case r.Method == http.MethodGet && sub == "result":
 		a.result(w, r, id)
-	case sub == "" || sub == "events" || sub == "result":
+	case r.Method == http.MethodGet && sub == "trace":
+		a.trace(w, r, id)
+	case sub == "" || sub == "events" || sub == "result" || sub == "trace":
 		apiError(w, r, http.StatusMethodNotAllowed, ErrorDetail{
 			Code: CodeMethodNotAllowed, Message: "unsupported method for this route",
 		})
@@ -440,7 +444,10 @@ func (a *api) submit(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	id, err := a.svc.SubmitTenant(tenantOf(r), g, spec)
+	// The request id doubles as the trace correlation id, so the
+	// X-Request-ID a client sent (or we generated) finds the job's span
+	// tree under /v1/jobs/{id}/trace.
+	id, err := a.svc.SubmitTenantTraced(tenantOf(r), requestID(r), g, spec)
 	if err != nil {
 		a.submitError(w, r, err)
 		return
@@ -490,13 +497,61 @@ func (a *api) submitError(w http.ResponseWriter, r *http.Request, err error) {
 	}
 }
 
+// trace serves GET /v1/jobs/{id}/trace: the job's completed span tree
+// from the flight recorder. 404 job_not_found for unknown ids; 404
+// not_found when the job exists but no completed trace is available
+// (still running, evicted by -trace.keep, or tracing disabled).
+func (a *api) trace(w http.ResponseWriter, r *http.Request, id string) {
+	v, err := a.svc.Trace(id)
+	if err != nil {
+		if errors.Is(err, service.ErrNoSuchJob) {
+			a.jobNotFound(w, r, id)
+			return
+		}
+		apiError(w, r, http.StatusNotFound, ErrorDetail{
+			Code:    CodeNotFound,
+			Message: fmt.Sprintf("no completed trace for job %s (still running, evicted, or tracing disabled)", id),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// recentTraces serves GET /v1/trace/recent?n=: the newest completed
+// traces in the flight recorder, newest first (default 20).
+func (a *api) recentTraces(w http.ResponseWriter, r *http.Request) {
+	n := 20
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 {
+			apiError(w, r, http.StatusBadRequest, ErrorDetail{
+				Code: CodeInvalidSpec, Message: "n must be a positive integer",
+			})
+			return
+		}
+		n = parsed
+	}
+	views := a.svc.RecentTraces(n)
+	if views == nil {
+		views = []*obs.TraceView{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": views})
+}
+
 // event is one NDJSON line on a /v1/jobs/{id}/events stream.
 type event struct {
 	// Type is "progress" (live solver counters), "heartbeat" (stream
 	// keep-alive while the search is between reports), or "result" (the
 	// terminal event: the job's final snapshot; the stream closes after
 	// it).
-	Type     string            `json:"type"`
+	Type string `json:"type"`
+	// TS is the server's wall-clock timestamp for the event, so clients
+	// can show staleness without trusting their own clock skew.
+	TS time.Time `json:"ts"`
+	// Phase names the job's lifecycle stage at emission time ("queued",
+	// "canon", "solve", "persist", "done") — the live phase indicator
+	// `gcolor -progress` renders.
+	Phase    string            `json:"phase,omitempty"`
 	Progress *service.Progress `json:"progress,omitempty"`
 	Job      *service.JobInfo  `json:"job,omitempty"`
 }
@@ -537,6 +592,7 @@ func (a *api) streamEvents(w http.ResponseWriter, r *http.Request, id string) {
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 	emit := func(ev event) bool {
+		ev.TS = time.Now()
 		if err := enc.Encode(ev); err != nil {
 			return false
 		}
@@ -551,7 +607,7 @@ func (a *api) streamEvents(w http.ResponseWriter, r *http.Request, id string) {
 		switch {
 		case err == nil && more:
 			seq = p.Seq
-			if !emit(event{Type: "progress", Progress: &p}) {
+			if !emit(event{Type: "progress", Phase: p.Phase, Progress: &p}) {
 				return
 			}
 		case err == nil && !more:
@@ -559,10 +615,11 @@ func (a *api) streamEvents(w http.ResponseWriter, r *http.Request, id string) {
 			if jerr != nil {
 				return // pruned between calls
 			}
-			emit(event{Type: "result", Job: &info})
+			emit(event{Type: "result", Phase: "done", Job: &info})
 			return
 		case errors.Is(err, context.DeadlineExceeded) && r.Context().Err() == nil:
-			if !emit(event{Type: "heartbeat"}) {
+			phase, _ := a.svc.JobPhase(id)
+			if !emit(event{Type: "heartbeat", Phase: phase}) {
 				return
 			}
 		default:

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strconv"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -115,6 +116,37 @@ func (a *api) metrics(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprintf(w, "gcolord_queue_wait_seconds_sum %g\n", float64(st.QueueWait.SumMS)/1000)
 	fmt.Fprintf(w, "gcolord_queue_wait_seconds_count %d\n", st.QueueWait.Count)
+
+	// Per-phase latency histograms from the trace flight recorder, one
+	// labeled series per span name, sorted for deterministic scrapes.
+	// Absent entirely when tracing is disabled (-trace.keep=0).
+	if a.svc.TracingEnabled() {
+		phases := a.svc.PhaseStats()
+		names := make([]string, 0, len(phases))
+		for name := range phases {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		header("phase_seconds", "Time spent per job lifecycle phase, from completed traces.", "histogram")
+		for _, name := range names {
+			h := phases[name]
+			var cum int64
+			for i, c := range h.Buckets {
+				cum += c
+				le := "+Inf"
+				if i < len(obs.PhaseBuckets) {
+					le = strconv.FormatFloat(obs.PhaseBuckets[i], 'g', -1, 64)
+				}
+				fmt.Fprintf(w, "gcolord_phase_seconds_bucket{phase=%q,le=%q} %d\n", name, le, cum)
+			}
+			fmt.Fprintf(w, "gcolord_phase_seconds_sum{phase=%q} %g\n", name, h.SumSeconds)
+			fmt.Fprintf(w, "gcolord_phase_seconds_count{phase=%q} %d\n", name, h.Count)
+		}
+		ts := a.svc.TraceStats()
+		counter("traces_recorded_total", "Completed job traces recorded by the flight recorder.", ts.Completed)
+		counter("traces_evicted_total", "Traces pushed out of the flight recorder ring by newer ones.", ts.Evicted)
+		gauge("traces_kept", "Completed traces currently held by the flight recorder.", int64(ts.Kept))
+	}
 
 	gauge("cache_entries", "Definitive records in the cache backend.", int64(st.CacheEntries))
 	gauge("in_flight", "Solves currently leading a singleflight group.", int64(st.InFlight))

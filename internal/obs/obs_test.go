@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	// Every operation must be a no-op without a trace in the context:
+	// this is the disabled-tracing fast path every call site relies on.
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "phase")
+	if sp != nil || ctx2 != ctx {
+		t.Fatalf("StartSpan without a trace must return (ctx, nil)")
+	}
+	sp.SetAttrs(Int("n", 1))
+	sp.End(Bool("ok", true))
+	if sp.Name() != "" {
+		t.Fatalf("nil span name = %q", sp.Name())
+	}
+	var tr *Trace
+	if tr.StartSpan(nil, "x") != nil || tr.View() != nil || tr.ID() != "" {
+		t.Fatalf("nil trace must be inert")
+	}
+	var rec *Recorder
+	rec.Record(nil) // must not panic
+	if _, ok := rec.Trace("j"); ok {
+		t.Fatalf("nil recorder returned a trace")
+	}
+}
+
+func TestSpanTreeShape(t *testing.T) {
+	tr := NewTrace("req-1", "job-1")
+	root := tr.StartSpan(nil, "job")
+	a := tr.StartSpan(root, "canon", Int("nodes", 42))
+	a.End(Bool("exact", true))
+	ctx := ContextWithSpan(context.Background(), root)
+	sctx, solve := StartSpan(ctx, "solve")
+	_, w0 := StartSpan(sctx, "solve.worker", Int("worker", 0))
+	w0.End()
+	solve.End(Int("conflicts", 7))
+	root.End()
+
+	v := tr.View()
+	if v.TraceID != "req-1" || v.JobID != "job-1" {
+		t.Fatalf("ids: %+v", v)
+	}
+	if len(v.Spans) != 1 || v.Spans[0].Name != "job" {
+		t.Fatalf("want single root 'job', got %+v", v.Spans)
+	}
+	if v.Find("canon") == nil || v.Find("solve") == nil {
+		t.Fatalf("missing phases in %+v", v)
+	}
+	sv := v.Find("solve")
+	if len(sv.Children) != 1 || sv.Children[0].Name != "solve.worker" {
+		t.Fatalf("solve children = %+v", sv.Children)
+	}
+	if v.Find("solve.worker").ID == 0 {
+		t.Fatalf("span ids must be assigned")
+	}
+	// Attrs round-trip through JSON as {"key","value"} pairs.
+	raw, err := json.Marshal(v.Find("canon").Attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []struct {
+		Key   string `json:"key"`
+		Value any    `json:"value"`
+	}
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 2 || decoded[0].Key != "nodes" || decoded[1].Key != "exact" {
+		t.Fatalf("attrs decoded as %+v", decoded)
+	}
+}
+
+func TestPhaseDurationAndEndIdempotent(t *testing.T) {
+	tr := NewTrace("t", "j")
+	s := tr.StartSpanAt(nil, "queue", time.Now().Add(-50*time.Millisecond))
+	s.End()
+	first := tr.PhaseDuration("queue")
+	if first < 50*time.Millisecond {
+		t.Fatalf("queue duration %v < backdated 50ms", first)
+	}
+	s.End() // second End must not restretch the duration
+	if got := tr.PhaseDuration("queue"); got != first {
+		t.Fatalf("End not idempotent: %v then %v", first, got)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	// Parallel conquer workers start and end sibling spans concurrently;
+	// run with -race to make this meaningful.
+	tr := NewTrace("t", "j")
+	root := tr.StartSpan(nil, "job")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := tr.StartSpan(root, "solve.worker", Int("worker", int64(w)))
+			s.SetAttrs(Int("conflicts", int64(w*10)))
+			s.End()
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	v := tr.View()
+	if n := len(v.Spans[0].Children); n != 8 {
+		t.Fatalf("want 8 worker spans, got %d", n)
+	}
+}
+
+func TestRecorderEvictionAndLookup(t *testing.T) {
+	rec := NewRecorder(3)
+	for i := 0; i < 5; i++ {
+		tr := NewTrace(fmt.Sprintf("t%d", i), fmt.Sprintf("job-%d", i))
+		tr.StartSpan(nil, "job").End()
+		rec.Record(tr)
+	}
+	if _, ok := rec.Trace("job-0"); ok {
+		t.Fatalf("job-0 should have been evicted")
+	}
+	if _, ok := rec.Trace("job-1"); ok {
+		t.Fatalf("job-1 should have been evicted")
+	}
+	for i := 2; i < 5; i++ {
+		if _, ok := rec.Trace(fmt.Sprintf("job-%d", i)); !ok {
+			t.Fatalf("job-%d missing from ring", i)
+		}
+	}
+	recent := rec.Recent(0)
+	if len(recent) != 3 || recent[0].JobID != "job-4" || recent[2].JobID != "job-2" {
+		t.Fatalf("recent order wrong: %+v", recent)
+	}
+	if got := rec.Recent(2); len(got) != 2 || got[0].JobID != "job-4" {
+		t.Fatalf("Recent(2) = %+v", got)
+	}
+	st := rec.Stats()
+	if st.Completed != 5 || st.Evicted != 2 || st.Kept != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRecorderHistograms(t *testing.T) {
+	rec := NewRecorder(2)
+	tr := NewTrace("t", "j")
+	s := tr.StartSpanAt(nil, "canon", time.Now().Add(-2*time.Millisecond))
+	s.End()
+	rec.Record(tr)
+	phases := rec.Phases()
+	h, ok := phases["canon"]
+	if !ok || h.Count != 1 {
+		t.Fatalf("canon histogram = %+v", phases)
+	}
+	if h.SumSeconds < 0.002 {
+		t.Fatalf("sum %v < 2ms", h.SumSeconds)
+	}
+	if len(h.Buckets) != len(PhaseBuckets)+1 {
+		t.Fatalf("bucket count %d != %d", len(h.Buckets), len(PhaseBuckets)+1)
+	}
+	var total int64
+	for _, c := range h.Buckets {
+		total += c
+	}
+	if total != h.Count {
+		t.Fatalf("bucket counts sum to %d, count %d", total, h.Count)
+	}
+	// A 2ms observation belongs in a bucket with bound >= 0.002s and the
+	// first such bound no larger than 5ms.
+	for i, b := range PhaseBuckets {
+		if h.Buckets[i] > 0 {
+			if b < 0.002 || b > 0.005 {
+				t.Fatalf("2ms observation landed in le=%v", b)
+			}
+			return
+		}
+	}
+	t.Fatalf("observation fell through to +Inf: %+v", h.Buckets)
+}
+
+func TestRecorderReplacesReplayedJob(t *testing.T) {
+	rec := NewRecorder(4)
+	for i := 0; i < 2; i++ {
+		tr := NewTrace("t", "job-1")
+		tr.StartSpan(nil, "job").End()
+		rec.Record(tr)
+	}
+	if st := rec.Stats(); st.Kept != 1 {
+		t.Fatalf("re-recorded job id must replace, kept=%d", st.Kept)
+	}
+}

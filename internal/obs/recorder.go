@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SpanView is the serialized form of one span in a trace's JSON tree:
+// offsets are relative to the trace start so a client can render a
+// flame/waterfall view without clock arithmetic.
+type SpanView struct {
+	ID            uint64      `json:"id"`
+	Name          string      `json:"name"`
+	StartOffsetMS float64     `json:"start_offset_ms"`
+	DurationMS    float64     `json:"duration_ms"`
+	Attrs         []Attr      `json:"attrs,omitempty"`
+	Children      []*SpanView `json:"children,omitempty"`
+}
+
+// TraceView is the completed trace as served by GET /v1/jobs/{id}/trace:
+// the correlation id, the wall-clock start, the end-to-end duration, and
+// the span tree (Spans holds the roots; the service's taxonomy has a
+// single "job" root).
+type TraceView struct {
+	TraceID    string      `json:"trace_id"`
+	JobID      string      `json:"job_id"`
+	Start      time.Time   `json:"start"`
+	DurationMS float64     `json:"duration_ms"`
+	Spans      []*SpanView `json:"spans"`
+}
+
+// Find returns the first span view with the given name in depth-first
+// order (nil when absent) — the shape tests' accessor.
+func (v *TraceView) Find(name string) *SpanView {
+	if v == nil {
+		return nil
+	}
+	var walk func(list []*SpanView) *SpanView
+	walk = func(list []*SpanView) *SpanView {
+		for _, s := range list {
+			if s.Name == name {
+				return s
+			}
+			if hit := walk(s.Children); hit != nil {
+				return hit
+			}
+		}
+		return nil
+	}
+	return walk(v.Spans)
+}
+
+// View snapshots the trace as a span tree. Unended spans (a trace
+// snapshotted mid-flight, or a phase orphaned by a panic) appear with the
+// duration they had accumulated at snapshot time. Spans whose parent id
+// is unknown are promoted to roots rather than dropped.
+func (t *Trace) View() *TraceView {
+	if t == nil {
+		return nil
+	}
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v := &TraceView{TraceID: t.id, JobID: t.jobID, Start: t.start}
+	views := make(map[uint64]*SpanView, len(t.spans))
+	var total time.Duration
+	for _, s := range t.spans {
+		dur := s.dur
+		if !s.ended {
+			dur = now.Sub(s.start)
+		}
+		sv := &SpanView{
+			ID:            s.id,
+			Name:          s.name,
+			StartOffsetMS: durMS(s.start.Sub(t.start)),
+			DurationMS:    durMS(dur),
+			Attrs:         append([]Attr(nil), s.attrs...),
+		}
+		views[s.id] = sv
+		if end := s.start.Sub(t.start) + dur; end > total {
+			total = end
+		}
+	}
+	// Spans were appended in start order, so children attach in order.
+	for _, s := range t.spans {
+		sv := views[s.id]
+		if p, ok := views[s.parent]; ok && s.parent != s.id {
+			p.Children = append(p.Children, sv)
+		} else {
+			v.Spans = append(v.Spans, sv)
+		}
+	}
+	v.DurationMS = durMS(total)
+	return v
+}
+
+func durMS(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// PhaseBuckets are the upper bounds, in seconds, of the per-phase latency
+// histograms (an implicit +Inf bucket follows). Sub-millisecond buckets
+// exist because admission and persist phases run in microseconds while
+// solve phases run in seconds — one bucket layout covers both.
+var PhaseBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Histogram is a snapshot of one phase's latency distribution. Buckets
+// holds one non-cumulative count per PhaseBuckets bound plus a final
+// +Inf overflow count.
+type Histogram struct {
+	Count      int64   `json:"count"`
+	SumSeconds float64 `json:"sum_seconds"`
+	Buckets    []int64 `json:"buckets"`
+}
+
+// RecorderStats are the flight recorder's own counters.
+type RecorderStats struct {
+	// Completed counts traces recorded since startup; Evicted counts
+	// traces pushed out of the ring by newer ones; Kept is the current
+	// ring occupancy.
+	Completed int64 `json:"completed"`
+	Evicted   int64 `json:"evicted"`
+	Kept      int   `json:"kept"`
+}
+
+// Recorder is the bounded in-memory flight recorder: the newest keep
+// completed traces, indexed by job id, plus cumulative per-phase latency
+// histograms over every trace ever recorded (histograms survive ring
+// eviction — they aggregate, the ring retains detail).
+type Recorder struct {
+	mu    sync.Mutex
+	keep  int
+	ring  []*TraceView // oldest first
+	byJob map[string]*TraceView
+	hist  map[string]*Histogram
+	stats RecorderStats
+}
+
+// NewRecorder builds a recorder retaining the newest keep traces
+// (keep < 1 is clamped to 1; fully disabled tracing is the service not
+// constructing a recorder at all).
+func NewRecorder(keep int) *Recorder {
+	if keep < 1 {
+		keep = 1
+	}
+	return &Recorder{
+		keep:  keep,
+		byJob: make(map[string]*TraceView, keep),
+		hist:  make(map[string]*Histogram),
+	}
+}
+
+// Record finalizes t into the ring and folds every span's duration into
+// its phase histogram. Call once, after the job reached a terminal state
+// and all spans have ended.
+func (r *Recorder) Record(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	v := t.View()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats.Completed++
+	if old, ok := r.byJob[v.JobID]; ok {
+		// A replayed job id re-traced after a restart: replace in place.
+		for i, e := range r.ring {
+			if e == old {
+				r.ring = append(r.ring[:i], r.ring[i+1:]...)
+				break
+			}
+		}
+	}
+	r.ring = append(r.ring, v)
+	r.byJob[v.JobID] = v
+	for len(r.ring) > r.keep {
+		old := r.ring[0]
+		r.ring = r.ring[1:]
+		r.stats.Evicted++
+		if r.byJob[old.JobID] == old {
+			delete(r.byJob, old.JobID)
+		}
+	}
+	r.stats.Kept = len(r.ring)
+	var walk func(list []*SpanView)
+	walk = func(list []*SpanView) {
+		for _, s := range list {
+			r.observeLocked(s.Name, s.DurationMS/1e3)
+			walk(s.Children)
+		}
+	}
+	walk(v.Spans)
+}
+
+// observeLocked folds one duration (seconds) into the phase's histogram.
+func (r *Recorder) observeLocked(phase string, seconds float64) {
+	h := r.hist[phase]
+	if h == nil {
+		h = &Histogram{Buckets: make([]int64, len(PhaseBuckets)+1)}
+		r.hist[phase] = h
+	}
+	h.Count++
+	h.SumSeconds += seconds
+	i := sort.SearchFloat64s(PhaseBuckets, seconds)
+	// SearchFloat64s finds the first bound >= seconds, which is exactly
+	// the le-bucket; seconds above every bound land in the +Inf slot.
+	h.Buckets[i]++
+}
+
+// Trace returns the completed trace for one job id, if still in the ring.
+func (r *Recorder) Trace(jobID string) (*TraceView, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.byJob[jobID]
+	return v, ok
+}
+
+// Recent returns up to n completed traces, newest first (all of them when
+// n <= 0).
+func (r *Recorder) Recent(n int) []*TraceView {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n <= 0 || n > len(r.ring) {
+		n = len(r.ring)
+	}
+	out := make([]*TraceView, 0, n)
+	for i := len(r.ring) - 1; i >= len(r.ring)-n; i-- {
+		out = append(out, r.ring[i])
+	}
+	return out
+}
+
+// Phases snapshots the per-phase latency histograms, keyed by span name.
+func (r *Recorder) Phases() map[string]Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]Histogram, len(r.hist))
+	for name, h := range r.hist {
+		c := *h
+		c.Buckets = append([]int64(nil), h.Buckets...)
+		out[name] = c
+	}
+	return out
+}
+
+// Stats returns the recorder's own counters.
+func (r *Recorder) Stats() RecorderStats {
+	if r == nil {
+		return RecorderStats{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}

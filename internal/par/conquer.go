@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cnf"
+	"repro/internal/obs"
 	"repro/internal/pb"
 	"repro/internal/pbsolver"
 	"repro/internal/sat"
@@ -107,6 +108,7 @@ func Optimize(ctx context.Context, f *pb.Formula, opts Options) Result {
 		wg.Add(1)
 		go func(wid int) {
 			defer wg.Done()
+			_, wspan := obs.StartSpan(pctx, "solve.worker", obs.Int("worker", int64(wid)))
 			o := base
 			o.Progress = merge.hook(wid)
 			if exch != nil {
@@ -115,7 +117,15 @@ func Optimize(ctx context.Context, f *pb.Formula, opts Options) Result {
 				o.Import = exch.Importer(wid)
 			}
 			sess := pbsolver.NewSession(pctx, f, o)
-			defer func() { perWorker[wid] = sess.Stats() }()
+			defer func() {
+				st := sess.Stats()
+				perWorker[wid] = st
+				wspan.End(
+					obs.Int("conflicts", st.Conflicts),
+					obs.Int("restarts", st.Restarts),
+					obs.Int("solver_calls", st.SolverCalls),
+				)
+			}()
 			appliedBound := int(^uint(0) >> 1) // no bound yet
 			for cube := range cubeCh {
 				for {
@@ -284,6 +294,19 @@ func SolveCNF(ctx context.Context, f *cnf.Formula, opts Options) (sat.Status, cn
 		wg.Add(1)
 		go func(wid int) {
 			defer wg.Done()
+			_, wspan := obs.StartSpan(pctx, "solve.worker", obs.Int("worker", int64(wid)))
+			var s *sat.Solver
+			defer func() {
+				if s == nil {
+					wspan.End()
+					return
+				}
+				st := s.Stats()
+				wspan.End(
+					obs.Int("conflicts", st.Conflicts),
+					obs.Int("restarts", st.Restarts),
+				)
+			}()
 			o := sat.Options{
 				Context:          pctx,
 				MaxConflicts:     base.MaxConflicts,
@@ -303,7 +326,7 @@ func SolveCNF(ctx context.Context, f *cnf.Formula, opts Options) (sat.Status, cn
 				o.ExportLBD = opts.shareLBD()
 				o.Import = exch.Importer(wid)
 			}
-			s := sat.New(f, o)
+			s = sat.New(f, o)
 			for cube := range cubeCh {
 				switch s.SolveAssuming(cube) {
 				case sat.Sat:

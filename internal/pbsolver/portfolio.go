@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/pb"
 )
 
@@ -70,9 +71,16 @@ func PortfolioSolve(ctx context.Context, f *pb.Formula, opts PortfolioOptions) P
 	results := make(chan tagged, len(engines))
 	for i, eng := range engines {
 		go func(i int, eng Engine) {
+			ectx, espan := obs.StartSpan(pctx, "solve.engine",
+				obs.String("engine", eng.String()))
 			o := base
 			o.Engine = eng
-			res := Optimize(pctx, f, o)
+			res := Optimize(ectx, f, o)
+			espan.End(
+				obs.String("status", res.Status.String()),
+				obs.Int("conflicts", res.Stats.Conflicts),
+				obs.Int("restarts", res.Stats.Restarts),
+			)
 			if res.Status == StatusOptimal || res.Status == StatusUnsat {
 				once.Do(cancel)
 			}

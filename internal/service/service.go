@@ -20,6 +20,7 @@ import (
 	"math"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/encode"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/pbsolver"
 	"repro/internal/sbp"
 	"repro/internal/solverutil"
@@ -47,6 +49,10 @@ var (
 	// ErrDraining rejects submissions while the service is draining for
 	// shutdown; in-flight jobs keep running, new work belongs elsewhere.
 	ErrDraining = errors.New("service: draining")
+	// ErrNoTrace is returned by Trace for a job the service knows but has
+	// no completed trace for: the job has not finished yet, its trace was
+	// evicted from the flight recorder, or tracing is disabled.
+	ErrNoTrace = errors.New("service: no trace for job")
 )
 
 // PanicError is the typed failure a job receives when its solver panicked:
@@ -371,6 +377,12 @@ type Config struct {
 	// solverutil.DefaultProgressInterval, 200ms). It applies to the
 	// built-in solver; a custom Solve paces its own reports.
 	ProgressInterval time.Duration
+	// TraceKeep bounds the flight recorder: completed jobs keep their span
+	// trace, served by Trace/RecentTraces, and the newest TraceKeep traces
+	// are retained (0 selects the default of 256). Negative disables
+	// tracing entirely — no per-job trace, no recorder, no phase
+	// histograms — which is the `-trace.keep=0` benchmark baseline.
+	TraceKeep int
 	// MaxJobs bounds retained job records (default 16384). When exceeded,
 	// the oldest *finished* jobs are forgotten — their ids then return
 	// ErrNoSuchJob — so a long-running daemon does not grow without bound.
@@ -423,6 +435,14 @@ type job struct {
 	vtime      time.Time
 	deadlineAt time.Time
 
+	// Tracing state: the per-job trace, its root "job" span, and the
+	// "queue" span opened at admission and closed when a worker picks the
+	// job up. All nil when tracing is disabled — every obs operation is a
+	// nil-receiver no-op. Immutable after the job is enqueued.
+	trace     *obs.Trace
+	rootSpan  *obs.Span
+	queueSpan *obs.Span
+
 	mu        sync.Mutex
 	state     State
 	submitted time.Time
@@ -433,6 +453,9 @@ type job struct {
 	result    *Result
 	canceled  bool // explicit Cancel call (vs timeout)
 	expired   bool // deadline elapsed while still queued
+	// phase names the lifecycle stage the job is in right now ("queued",
+	// "canon", "solve", "persist", "done") for progress/heartbeat events.
+	phase string
 
 	// Live progress: the latest snapshot, a monotonically increasing
 	// sequence number, and a wake channel closed (and replaced) on every
@@ -454,6 +477,9 @@ type Progress struct {
 	K int `json:"k"`
 	// Elapsed is the time since the job started running.
 	Elapsed time.Duration `json:"elapsed"`
+	// Phase names the lifecycle stage the job was in when the snapshot was
+	// taken ("queued", "canon", "solve", "persist", "done").
+	Phase string `json:"phase,omitempty"`
 	solverutil.Progress
 }
 
@@ -465,10 +491,18 @@ func (j *job) recordProgress(effK int, p solverutil.Progress) {
 		Seq:      j.prog.Seq + 1,
 		K:        effK,
 		Elapsed:  time.Since(j.started),
+		Phase:    j.phase,
 		Progress: p,
 	}
 	close(j.progWake)
 	j.progWake = make(chan struct{})
+	j.mu.Unlock()
+}
+
+// setPhase records the lifecycle stage the job just entered.
+func (j *job) setPhase(p string) {
+	j.mu.Lock()
+	j.phase = p
 	j.mu.Unlock()
 }
 
@@ -500,7 +534,10 @@ type Service struct {
 	journal Journal
 	pq      *pqueue
 	logger  *slog.Logger
-	wg      sync.WaitGroup
+	// recorder is the bounded flight recorder completed job traces land
+	// in; nil when Config.TraceKeep is negative (tracing disabled).
+	recorder *obs.Recorder
+	wg       sync.WaitGroup
 	// stopCtx is cancelled when Close begins, aborting canonical labeling
 	// searches promptly on shutdown. It deliberately carries no deadline:
 	// cache keys must not depend on how much solve time a job has left.
@@ -593,6 +630,13 @@ func New(cfg Config) *Service {
 		sbpVariants:      make(map[string]*SBPVariantStats),
 		queueWaitBuckets: make([]int64, len(QueueWaitBucketsMS)+1),
 	}
+	if cfg.TraceKeep >= 0 {
+		keep := cfg.TraceKeep
+		if keep == 0 {
+			keep = 256
+		}
+		s.recorder = obs.NewRecorder(keep)
+	}
 	s.stopCtx, s.stopCancel = context.WithCancel(context.Background())
 	if s.logger == nil {
 		s.logger = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -662,6 +706,7 @@ func (s *Service) replayJob(e JournalEntry) {
 		deadlineAt: e.Deadline,
 		state:      StateQueued,
 		submitted:  e.Submitted,
+		phase:      "queued",
 		progWake:   make(chan struct{}),
 		done:       make(chan struct{}),
 	}
@@ -682,6 +727,7 @@ func (s *Service) replayJob(e JournalEntry) {
 		s.finish(j, nil, nil)
 		return
 	}
+	s.attachTrace(j, "", time.Now())
 	s.pq.push(j)
 	s.logger.Info("job replayed from journal", "job", j.id, "tenant", tenant,
 		"instance", j.g.Name())
@@ -690,7 +736,7 @@ func (s *Service) replayJob(e JournalEntry) {
 // Submit enqueues one coloring job for the anonymous default tenant. The
 // graph must not be mutated by the caller afterwards. Returns the job id.
 func (s *Service) Submit(g *graph.Graph, spec JobSpec) (string, error) {
-	return s.SubmitTenant("", g, spec)
+	return s.SubmitTenantTraced("", "", g, spec)
 }
 
 // SubmitTenant enqueues one coloring job on behalf of the named tenant
@@ -701,9 +747,18 @@ func (s *Service) Submit(g *graph.Graph, spec JobSpec) (string, error) {
 // ErrOverQuota / ErrQueueFull via errors.Is — the service never blocks
 // the caller and rejected jobs never occupy a worker.
 func (s *Service) SubmitTenant(tenant string, g *graph.Graph, spec JobSpec) (string, error) {
+	return s.SubmitTenantTraced(tenant, "", g, spec)
+}
+
+// SubmitTenantTraced is SubmitTenant with an explicit trace correlation
+// id, normally the request id the HTTP layer echoes as X-Request-ID, so a
+// log line's request id finds the job's trace and vice versa. Empty falls
+// back to the job id.
+func (s *Service) SubmitTenantTraced(tenant, traceID string, g *graph.Graph, spec JobSpec) (string, error) {
 	if tenant == "" {
 		tenant = "default"
 	}
+	admitStart := time.Now()
 	if err := spec.Validate(); err != nil {
 		s.rejectSpec.Add(1)
 		s.logger.Warn("job rejected", "tenant", tenant, "reason", ReasonInvalidSpec, "err", err)
@@ -723,6 +778,7 @@ func (s *Service) SubmitTenant(tenant string, g *graph.Graph, spec JobSpec) (str
 		vtime:     now.Add(-time.Duration(spec.Priority) * s.cfg.AgingStep),
 		state:     StateQueued,
 		submitted: now,
+		phase:     "queued",
 		progWake:  make(chan struct{}),
 		done:      make(chan struct{}),
 	}
@@ -781,12 +837,35 @@ func (s *Service) SubmitTenant(tenant string, g *graph.Graph, spec JobSpec) (str
 			s.storeErrs.Add(1)
 		}
 	}
+	// Trace must be attached before the job is runnable: a worker may pop
+	// it the instant push returns.
+	s.attachTrace(j, traceID, admitStart)
 	s.pq.push(j)
 	s.mu.Unlock()
 	s.submitted.Add(1)
 	s.logger.Debug("job accepted", "tenant", tenant, "job", j.id,
 		"priority", spec.Priority, "queue_depth", s.pq.len())
 	return j.id, nil
+}
+
+// attachTrace opens the job's trace: the root "job" span, an "admission"
+// span backdated to the submission's entry into admission control, and
+// the "queue" span left open until a worker picks the job up. No-op when
+// tracing is disabled (the job's trace fields stay nil and every span
+// operation downstream is a nil no-op).
+func (s *Service) attachTrace(j *job, traceID string, admitStart time.Time) {
+	if s.recorder == nil {
+		return
+	}
+	if traceID == "" {
+		traceID = j.id
+	}
+	j.trace = obs.NewTrace(traceID, j.id)
+	j.rootSpan = j.trace.StartSpanAt(nil, "job", admitStart,
+		obs.String("tenant", j.tenant), obs.String("instance", j.g.Name()))
+	adm := j.trace.StartSpanAt(j.rootSpan, "admission", admitStart)
+	adm.End()
+	j.queueSpan = j.trace.StartSpan(j.rootSpan, "queue")
 }
 
 // reject counts and logs one admission rejection.
@@ -1058,6 +1137,7 @@ func (s *Service) run(j *job) {
 	j.mu.Lock()
 	j.queueWait = wait
 	j.mu.Unlock()
+	j.queueSpan.End()
 	s.observeQueueWait(wait)
 	if j.ctx.Err() != nil {
 		s.finish(j, nil, nil)
@@ -1104,11 +1184,24 @@ func (s *Service) run(j *job) {
 	// resubmissions would miss both the singleflight table and the backend.
 	// j.ctx carries explicit Cancel/CancelAll but no deadline; stopCtx
 	// aborts labeling when the service shuts down.
+	j.setPhase("canon")
+	canonSpan := j.trace.StartSpan(j.rootSpan, "canon")
 	canonCtx, canonDone := context.WithCancel(j.ctx)
 	stopWatch := context.AfterFunc(s.stopCtx, canonDone)
-	canon := canonicalize(canonCtx, j.g, s.cfg.CanonMaxNodes)
+	var canon *autom.Canonical
+	pprof.Do(canonCtx, pprof.Labels("tenant", j.tenant, "job", j.id, "phase", "canon"),
+		func(ctx context.Context) {
+			canon = canonicalize(ctx, j.g, s.cfg.CanonMaxNodes)
+		})
 	stopWatch()
 	canonDone()
+	canonSpan.End(
+		obs.Int("nodes", canon.Nodes),
+		obs.Int("generators", int64(len(canon.Generators))),
+		obs.Int("orbit_prunes", canon.OrbitPrunes),
+		obs.Int("prefix_prunes", canon.PrefixPrunes),
+		obs.Bool("exact", canon.Exact),
+	)
 	if !canon.Exact {
 		s.inexact.Add(1)
 	}
@@ -1183,10 +1276,16 @@ func (s *Service) run(j *job) {
 		e.publishRecord(rec)
 		if !canon.Exact {
 			s.inexactSkip.Add(1)
-		} else if err := s.backend.Put(key, rec); err != nil {
-			// Best-effort persistence: the result still stands, the
-			// entry is just not durable.
-			s.storeErrs.Add(1)
+		} else {
+			j.setPhase("persist")
+			persist := j.trace.StartSpan(j.rootSpan, "persist")
+			err := s.backend.Put(key, rec)
+			persist.End(obs.Bool("cache_write", err == nil))
+			if err != nil {
+				// Best-effort persistence: the result still stands, the
+				// entry is just not durable.
+				s.storeErrs.Add(1)
+			}
 		}
 	} else {
 		// Do not let a budget-exhausted result poison future submissions
@@ -1218,8 +1317,14 @@ func (s *Service) runSolver(ctx context.Context, j *job, canon *autom.Canonical,
 	if res.Solved {
 		if !canon.Exact {
 			s.inexactSkip.Add(1)
-		} else if err := s.backend.Put(key, recordFromOutcome(out, j.spec, canon)); err != nil {
-			s.storeErrs.Add(1)
+		} else {
+			j.setPhase("persist")
+			persist := j.trace.StartSpan(j.rootSpan, "persist")
+			err := s.backend.Put(key, recordFromOutcome(out, j.spec, canon))
+			persist.End(obs.Bool("cache_write", err == nil))
+			if err != nil {
+				s.storeErrs.Add(1)
+			}
 		}
 	}
 	s.finish(j, res, nil)
@@ -1230,6 +1335,8 @@ func (s *Service) runSolver(ctx context.Context, j *job, canon *autom.Canonical,
 // and stack become a *PanicError for this job alone, and the pool keeps
 // serving every other job.
 func (s *Service) runSolverOutcome(ctx context.Context, j *job, sym []autom.Perm) (out core.Outcome, err error) {
+	j.setPhase("solve")
+	solveSpan := j.trace.StartSpan(j.rootSpan, "solve")
 	defer func() {
 		if r := recover(); r != nil {
 			stack := string(debug.Stack())
@@ -1237,11 +1344,26 @@ func (s *Service) runSolverOutcome(ctx context.Context, j *job, sym []autom.Perm
 			s.logger.Error("solver panic isolated", "job", j.id, "tenant", j.tenant,
 				"instance", j.g.Name(), "panic", fmt.Sprint(r), "stack", stack)
 			err = &PanicError{Value: fmt.Sprint(r), Stack: stack}
+			solveSpan.End(obs.String("panic", fmt.Sprint(r)))
+			return
 		}
+		solveSpan.End(
+			obs.String("status", out.Result.Status.String()),
+			obs.Int("conflicts", out.Result.Stats.Conflicts),
+			obs.Int("restarts", out.Result.Stats.Restarts),
+		)
 	}()
 	effK := core.EffectiveK(j.g, j.spec.K)
 	progress := func(p solverutil.Progress) { j.recordProgress(effK, p) }
-	out = s.solve(ctx, j.g, j.spec, sym, progress)
+	// Thread the solve span through the context so core.Solve's phases
+	// (encode, sbp) and the per-engine / per-worker spans in pbsolver and
+	// par nest under it; label the goroutine so CPU profiles attribute
+	// solver samples to (tenant, job, phase).
+	sctx := obs.ContextWithSpan(ctx, solveSpan)
+	pprof.Do(sctx, pprof.Labels("tenant", j.tenant, "job", j.id, "phase", "solve"),
+		func(ctx context.Context) {
+			out = s.solve(ctx, j.g, j.spec, sym, progress)
+		})
 	s.solverRuns.Add(1)
 	s.noteSBPVariant(out)
 	return out, nil
@@ -1321,6 +1443,57 @@ func (s *Service) NextProgress(ctx context.Context, id string, afterSeq int64) (
 	}
 }
 
+// JobPhase reports the lifecycle stage the job is in right now ("queued",
+// "canon", "solve", "persist", "done").
+func (s *Service) JobPhase(id string) (string, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return "", ErrNoSuchJob
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.phase, nil
+}
+
+// TracingEnabled reports whether per-job tracing is on (Config.TraceKeep
+// was not negative).
+func (s *Service) TracingEnabled() bool { return s.recorder != nil }
+
+// Trace returns the completed span tree for one job. ErrNoSuchJob when the
+// id is unknown; ErrNoTrace when the job exists but no completed trace is
+// available (still running, evicted from the recorder, or tracing off).
+func (s *Service) Trace(id string) (*obs.TraceView, error) {
+	if v, ok := s.recorder.Trace(id); ok {
+		return v, nil
+	}
+	s.mu.Lock()
+	_, known := s.jobs[id]
+	s.mu.Unlock()
+	if !known {
+		return nil, ErrNoSuchJob
+	}
+	return nil, ErrNoTrace
+}
+
+// RecentTraces returns up to n completed traces, newest first (n <= 0 =
+// everything the flight recorder holds).
+func (s *Service) RecentTraces(n int) []*obs.TraceView {
+	return s.recorder.Recent(n)
+}
+
+// PhaseStats snapshots the per-phase latency histograms aggregated over
+// every recorded trace (nil when tracing is disabled), keyed by span name.
+func (s *Service) PhaseStats() map[string]obs.Histogram {
+	return s.recorder.Phases()
+}
+
+// TraceStats returns the flight recorder's own counters.
+func (s *Service) TraceStats() obs.RecorderStats {
+	return s.recorder.Stats()
+}
+
 // finish moves a job to its terminal state. A nil result means the job
 // was cancelled (or, with j.expired set, its deadline elapsed in queue).
 func (s *Service) finish(j *job, res *Result, err error) {
@@ -1352,6 +1525,7 @@ func (s *Service) finish(j *job, res *Result, err error) {
 		solveTime = time.Since(j.started)
 	}
 	j.finished = time.Now()
+	j.phase = "done"
 	j.mu.Unlock()
 	close(j.done)
 
@@ -1360,18 +1534,40 @@ func (s *Service) finish(j *job, res *Result, err error) {
 	// surfacing here (see DiskJournal); worst case a replay re-finishes an
 	// already-answered job through the result cache.
 	if s.journal != nil {
-		if err := s.journal.Done(j.id); err != nil {
+		persist := j.trace.StartSpan(j.rootSpan, "persist")
+		err := s.journal.Done(j.id)
+		persist.End(obs.Bool("journal_retire", err == nil))
+		if err != nil {
 			s.storeErrs.Add(1)
 		}
 	}
 
+	// Finalize the trace: a queue span still open here means the job never
+	// reached a worker (expired or cancelled in queue); End is idempotent
+	// for the normal path. The completed trace lands in the flight
+	// recorder, feeding /v1/jobs/{id}/trace and the phase histograms.
+	j.queueSpan.End()
+	j.rootSpan.End(obs.String("outcome", state.String()))
+	s.recorder.Record(j.trace)
+
 	// One structured record per finished job: who, what, how long it
-	// waited and ran, and how it ended.
+	// waited and ran, and how it ended. With tracing on, the per-phase
+	// durations and the trace id correlate this line with the job's span
+	// tree (the trace id is the request id when the client sent one).
 	attrs := []any{
 		"tenant", j.tenant, "job", j.id, "instance", j.g.Name(),
 		"outcome", state.String(),
 		"queue_wait_ms", queueWait.Milliseconds(),
-		"solve_ms", solveTime.Milliseconds(),
+	}
+	if j.trace != nil {
+		attrs = append(attrs,
+			"solve_ms", j.trace.PhaseDuration("solve").Milliseconds(),
+			"canon_ms", j.trace.PhaseDuration("canon").Milliseconds(),
+			"persist_ms", j.trace.PhaseDuration("persist").Milliseconds(),
+			"trace", j.trace.ID(),
+		)
+	} else {
+		attrs = append(attrs, "solve_ms", solveTime.Milliseconds())
 	}
 	if res != nil {
 		cache := "miss"
